@@ -1,0 +1,101 @@
+//! Design-choice ablations called out in DESIGN.md.
+//!
+//! * `s1_greedy` vs. `s1_sequential_fix` — the paper's LP-based
+//!   sequential-fix scheduler against the weight-greedy replacement this
+//!   workspace defaults to. Both run full short simulations; compare both
+//!   wall-clock here and delivery/cost (printed by the `scheduler_ablation`
+//!   test in `tests/`).
+//! * `renewables_on` vs. `renewables_off` — the architecture toggle's
+//!   simulation-cost impact (the controller does strictly more work with
+//!   renewables: non-trivial renewable splits in S4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greencell_core::SchedulerKind;
+use greencell_sim::{Architecture, Scenario, Simulator};
+use std::hint::black_box;
+
+fn run(scenario: &Scenario) -> f64 {
+    let mut sim = Simulator::new(scenario).expect("build");
+    sim.run().expect("run").average_cost()
+}
+
+fn s1_greedy(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.scheduler = SchedulerKind::Greedy;
+    c.bench_function("s1_greedy", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn s1_sequential_fix(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.scheduler = SchedulerKind::SequentialFix;
+    c.bench_function("s1_sequential_fix", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn renewables_on(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.architecture = Architecture::Proposed;
+    c.bench_function("renewables_on", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn renewables_off(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.architecture = Architecture::MultiHopNoRenewable;
+    c.bench_function("renewables_off", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn demand_constant(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.demand_model = greencell_sim::DemandModel::Constant;
+    c.bench_function("demand_constant", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn demand_poisson(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.demand_model = greencell_sim::DemandModel::Poisson;
+    c.bench_function("demand_poisson", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn energy_policy_marginal(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.energy_policy = greencell_core::EnergyPolicy::MarginalPrice;
+    c.bench_function("energy_policy_marginal", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+fn energy_policy_grid_only(c: &mut Criterion) {
+    let mut scenario = Scenario::paper(42);
+    scenario.horizon = 10;
+    scenario.energy_policy = greencell_core::EnergyPolicy::GridOnly;
+    c.bench_function("energy_policy_grid_only", |b| {
+        b.iter(|| black_box(run(&scenario)));
+    });
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = s1_greedy, s1_sequential_fix, renewables_on, renewables_off,
+              demand_constant, demand_poisson,
+              energy_policy_marginal, energy_policy_grid_only
+}
+criterion_main!(ablation);

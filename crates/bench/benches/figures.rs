@@ -1,0 +1,63 @@
+//! One benchmark per figure of the paper's evaluation (§VI): how long the
+//! full experiment pipeline takes to regenerate each plot's data on a
+//! horizon-reduced paper scenario.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greencell_bench::bench_scenario;
+use greencell_sim::{experiments, Scenario};
+use std::hint::black_box;
+
+/// Fig. 2(a): bounds sweep (two V values, lower-bound controller co-run).
+fn fig2a_bounds(c: &mut Criterion) {
+    let base = bench_scenario(10);
+    c.bench_function("fig2a_bounds", |b| {
+        b.iter(|| {
+            let rows = experiments::fig2a(black_box(&base), &[1e5, 5e5]).expect("fig2a");
+            black_box(rows)
+        });
+    });
+}
+
+/// Fig. 2(b)/(c): backlog trajectories for three V values.
+fn fig2bc_backlogs(c: &mut Criterion) {
+    let base = bench_scenario(10);
+    c.bench_function("fig2bc_backlogs", |b| {
+        b.iter(|| {
+            let rows =
+                experiments::fig2bc(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2bc");
+            black_box(rows)
+        });
+    });
+}
+
+/// Fig. 2(d)/(e): buffer trajectories for three V values.
+fn fig2de_buffers(c: &mut Criterion) {
+    let mut base = bench_scenario(10);
+    base.initial_battery_fraction = 0.0;
+    c.bench_function("fig2de_buffers", |b| {
+        b.iter(|| {
+            let rows =
+                experiments::fig2de(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2de");
+            black_box(rows)
+        });
+    });
+}
+
+/// Fig. 2(f): all four architectures at one V.
+fn fig2f_architectures(c: &mut Criterion) {
+    let mut base = Scenario::fig2f_calibrated(42);
+    base.horizon = 10;
+    c.bench_function("fig2f_architectures", |b| {
+        b.iter(|| {
+            let rows = experiments::fig2f(black_box(&base), &[1e5]).expect("fig2f");
+            black_box(rows)
+        });
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig2a_bounds, fig2bc_backlogs, fig2de_buffers, fig2f_architectures
+}
+criterion_main!(figures);

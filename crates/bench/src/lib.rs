@@ -1,0 +1,57 @@
+//! Shared fixtures for the Criterion benchmarks in `benches/`.
+//!
+//! Three bench binaries cover the reproduction:
+//!
+//! * `figures` — one benchmark per paper figure (2(a)–2(f)), each running
+//!   the corresponding experiment on a horizon-reduced paper scenario;
+//! * `solvers` — micro-benchmarks of the hand-rolled substrates (simplex,
+//!   S4 marginal-price solver, Foschini–Miljanic power control, queue
+//!   updates, one full controller step);
+//! * `ablation` — design-choice ablations called out in DESIGN.md
+//!   (greedy vs. sequential-fix S1; marginal-price vs. grid-only S4).
+
+#![forbid(unsafe_code)]
+
+use greencell_core::{Controller, SlotObservation};
+use greencell_phy::SpectrumState;
+use greencell_sim::{Scenario, Simulator};
+use greencell_stochastic::Rng;
+use greencell_units::{Bandwidth, Energy, Packets};
+
+/// The paper scenario with a bench-friendly horizon.
+pub fn bench_scenario(horizon: usize) -> Scenario {
+    let mut s = Scenario::paper(42);
+    s.horizon = horizon;
+    s
+}
+
+/// A controller warmed up on `warmup` slots of the paper scenario, plus a
+/// fixed observation to feed it, for single-step benchmarks.
+pub fn warmed_controller(warmup: usize) -> (Controller, SlotObservation) {
+    let scenario = bench_scenario(warmup.max(1));
+    let mut sim = Simulator::new(&scenario).expect("scenario builds");
+    sim.run().expect("warmup runs");
+    let controller = sim.controller().clone();
+    let net = controller.network();
+    let mut rng = Rng::seed_from(7);
+    let bandwidths = (0..net.band_count())
+        .map(|i| {
+            if i == 0 {
+                Bandwidth::from_megahertz(1.0)
+            } else {
+                Bandwidth::from_megahertz(rng.range_f64(1.0, 2.0))
+            }
+        })
+        .collect();
+    let nodes = net.topology().len();
+    let obs = SlotObservation {
+        spectrum: SpectrumState::new(bandwidths),
+        renewable: (0..nodes)
+            .map(|_| Energy::from_joules(rng.range_f64(0.0, 300.0)))
+            .collect(),
+        grid_connected: vec![true; nodes],
+        session_demand: vec![Packets::new(600); net.session_count()],
+        price_multiplier: 1.0,
+    };
+    (controller, obs)
+}

@@ -1,0 +1,534 @@
+//! The per-slot control pipeline (problem P3, §IV-C).
+
+use crate::{
+    dpp, greedy_schedule, resource_allocation, route_flows, s1::S1Inputs, sequential_fix_schedule,
+    solve_energy_management, ControllerConfig, EnergyConfig, EnergyManagementError,
+    EnergyManagementInput, ScheduleOutcome, SchedulerKind, SlotObservation,
+};
+use greencell_energy::Battery;
+use greencell_net::{Network, NodeId};
+use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig, Schedule};
+use greencell_queue::{DataQueueBank, LinkQueueBank};
+use greencell_units::{Energy, Packets, Power};
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`Controller::new`] or [`Controller::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// The energy configuration does not cover every node.
+    EnergyConfigMismatch {
+        /// Nodes in the network.
+        nodes: usize,
+        /// Entries in the energy configuration.
+        configured: usize,
+    },
+    /// S4 failed even after shedding every transmission — a node cannot
+    /// source its *idle* demand (`E^const + E^idle`). The hardware
+    /// configuration is inconsistent with the node's supply.
+    IdleDeficit {
+        /// The starving node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EnergyConfigMismatch { nodes, configured } => write!(
+                f,
+                "energy config covers {configured} nodes but the network has {nodes}"
+            ),
+            Self::IdleDeficit { node } => {
+                write!(f, "node {node} cannot source its idle energy demand")
+            }
+        }
+    }
+}
+
+impl Error for ControllerError {}
+
+/// What one controller step did — everything the simulator records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotReport {
+    /// Slot index (0-based).
+    pub slot: u64,
+    /// The provider's energy cost `f(P(t))` this slot.
+    pub cost: f64,
+    /// Total base-station grid draw `P(t)`.
+    pub grid_draw: Energy,
+    /// Number of scheduled transmissions.
+    pub scheduled_links: usize,
+    /// Total admitted packets `Σ_s k_s(t)`.
+    pub admitted: Packets,
+    /// Total packets moved by routing this slot.
+    pub routed: Packets,
+    /// The achieved `Ψ̂₁(t)` value (diagnostic, Eq. (35)).
+    pub psi1: f64,
+    /// The achieved `Ψ̂₂(t)` value (diagnostic, Eq. (36)).
+    pub psi2: f64,
+    /// The achieved `Ψ̂₃(t)` value (diagnostic, Eq. (37)).
+    pub psi3: f64,
+    /// The achieved `Ψ̂₄(t)` value (diagnostic, Eq. (38)).
+    pub psi4: f64,
+    /// The Lyapunov function `L(Θ(t))` before this slot's updates.
+    pub lyapunov_before: f64,
+    /// The Lyapunov function `L(Θ(t+1))` after this slot's updates.
+    pub lyapunov_after: f64,
+    /// Transmissions shed because their transmitter could not source the
+    /// energy (should stay 0; counted for diagnostics).
+    pub shed_transmissions: usize,
+}
+
+impl SlotReport {
+    /// Lemma 1's left-hand side for this slot:
+    /// `Δ(Θ(t)) + V·(f(P(t)) − λ·Σ k_s(t))`. Lemma 1 bounds it by
+    /// `B + Ψ̂₁ + Ψ̂₂ + Ψ̂₃ + Ψ̂₄`; see [`crate::dpp::penalty_constant_b`].
+    #[must_use]
+    pub fn drift_plus_penalty(&self, v: f64, lambda: f64) -> f64 {
+        crate::dpp::drift_plus_penalty(
+            self.lyapunov_before,
+            self.lyapunov_after,
+            v,
+            self.cost,
+            lambda,
+            self.admitted.count_f64(),
+        )
+    }
+
+    /// The sum `Ψ̂₁ + Ψ̂₂ + Ψ̂₃ + Ψ̂₄` this slot's decisions achieved.
+    #[must_use]
+    pub fn psi_total(&self) -> f64 {
+        self.psi1 + self.psi2 + self.psi3 + self.psi4
+    }
+}
+
+/// The online finite-queue-aware energy-cost controller (the paper's
+/// decomposition algorithm, §IV-C).
+///
+/// Owns the full network state — data queues `Q^s_i`, virtual link queues
+/// `G_ij`/`H_ij`, and batteries `x_i` — and advances it one slot per
+/// [`Controller::step`] given that slot's random observation. See the
+/// crate-level example.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    net: Network,
+    phy: PhyConfig,
+    energy: EnergyConfig,
+    config: ControllerConfig,
+    batteries: Vec<Battery>,
+    data: DataQueueBank,
+    links: LinkQueueBank,
+    gamma_max: f64,
+    beta: f64,
+    penalty_b: f64,
+    slot: u64,
+}
+
+impl Controller {
+    /// Builds a controller with empty queues and the configured initial
+    /// battery states.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::EnergyConfigMismatch`] if `energy.nodes` does not
+    /// have exactly one entry per network node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`ControllerConfig::validate`].
+    pub fn new(
+        net: Network,
+        phy: PhyConfig,
+        energy: EnergyConfig,
+        config: ControllerConfig,
+    ) -> Result<Self, ControllerError> {
+        config.validate();
+        let nodes = net.topology().len();
+        if energy.nodes.len() != nodes {
+            return Err(ControllerError::EnergyConfigMismatch {
+                nodes,
+                configured: energy.nodes.len(),
+            });
+        }
+        let destinations: Vec<NodeId> = net.sessions().iter().map(|s| s.destination()).collect();
+        let beta = dpp::beta(&config, &phy);
+        let gamma_max = dpp::gamma_max(&net, &energy);
+        let penalty_b = dpp::penalty_constant_b(&net, &energy, &config, &phy);
+        let batteries = energy.nodes.iter().map(|n| n.battery).collect();
+        Ok(Self {
+            data: DataQueueBank::new(nodes, &destinations),
+            links: LinkQueueBank::new(nodes, beta),
+            batteries,
+            net,
+            phy,
+            energy,
+            config,
+            gamma_max,
+            beta,
+            penalty_b,
+            slot: 0,
+        })
+    }
+
+    /// The network being controlled.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The data queue bank `Q^s_i(t)`.
+    #[must_use]
+    pub fn data(&self) -> &DataQueueBank {
+        &self.data
+    }
+
+    /// The virtual link queue bank `G_ij(t)` / `H_ij(t)`.
+    #[must_use]
+    pub fn links(&self) -> &LinkQueueBank {
+        &self.links
+    }
+
+    /// Battery of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn battery(&self, i: NodeId) -> &Battery {
+        &self.batteries[i.index()]
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// The scaling constant `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The shift constant `γ_max`.
+    #[must_use]
+    pub fn gamma_max(&self) -> f64 {
+        self.gamma_max
+    }
+
+    /// Lemma 1's constant `B` — the `B/V` of Theorem 5's gap.
+    #[must_use]
+    pub fn penalty_b(&self) -> f64 {
+        self.penalty_b
+    }
+
+    /// The current Lyapunov function value `L(Θ(t))` given the shifted
+    /// battery levels.
+    fn lyapunov_value(&self, z: &[f64]) -> f64 {
+        greencell_queue::lyapunov_value(&self.data, &self.links, z)
+    }
+
+    /// The shifted battery level `z_i(t)` in kWh.
+    #[must_use]
+    pub fn shifted_level(&self, i: NodeId) -> f64 {
+        dpp::shifted_level(
+            self.batteries[i.index()].level(),
+            self.config.v,
+            self.gamma_max,
+            self.batteries[i.index()].discharge_limit(),
+        )
+    }
+
+    /// Runs one slot of the S1→S2→S3→S4 pipeline and advances all queues.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::IdleDeficit`] if a node cannot source even its
+    /// fixed overhead energy (configuration inconsistency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` has the wrong dimensions for this network.
+    pub fn step(&mut self, obs: &SlotObservation) -> Result<SlotReport, ControllerError> {
+        let nodes = self.net.topology().len();
+        obs.validate(nodes, self.net.session_count(), self.net.band_count());
+
+        // Per-node constants for this slot.
+        let max_powers: Vec<Power> = self.energy.nodes.iter().map(|n| n.max_power).collect();
+        let models: Vec<_> = self.energy.nodes.iter().map(|n| n.energy_model).collect();
+        let z: Vec<f64> = (0..nodes)
+            .map(|i| self.shifted_level(NodeId::from_index(i)))
+            .collect();
+
+        // Energy admission budget: what a node could source for *traffic*
+        // on top of its fixed overhead this slot.
+        let traffic_budget: Vec<Energy> = (0..nodes)
+            .map(|i| {
+                let fixed = models[i].const_energy() + models[i].idle_energy();
+                let grid = if obs.grid_connected[i] {
+                    self.energy.nodes[i].grid_limit
+                } else {
+                    Energy::ZERO
+                };
+                (obs.renewable[i] + self.batteries[i].max_discharge_now() + grid - fixed)
+                    .max(Energy::ZERO)
+            })
+            .collect();
+
+        // S1 — link scheduling (+ minimal powers).
+        let s1_inputs = S1Inputs {
+            net: &self.net,
+            phy: &self.phy,
+            spectrum: &obs.spectrum,
+            links: &self.links,
+            max_powers: &max_powers,
+            energy_models: &models,
+            traffic_budget: &traffic_budget,
+            slot: self.config.slot,
+        };
+        let mut outcome = match self.config.scheduler {
+            SchedulerKind::Greedy => greedy_schedule(&s1_inputs),
+            SchedulerKind::SequentialFix => sequential_fix_schedule(&s1_inputs),
+        };
+
+        // S2 — source selection and admission control.
+        let admissions = resource_allocation(
+            &self.net,
+            &self.data,
+            self.config.lambda,
+            self.config.v,
+            self.config.k_max,
+        );
+
+        // S3 + S4, with a shedding retry loop in case S4 reports a deficit
+        // the worst-case precheck missed.
+        let mut shed = 0usize;
+        // Routing capacity: every link that could ever carry traffic
+        // (common band at both ends), capped at β packets per slot — the
+        // two-layer reading of constraint (25); see `s3` module docs.
+        let beta_cap = Packets::new(self.beta.floor() as u64);
+        let routing_caps: Vec<(NodeId, NodeId, Packets)> = self
+            .net
+            .topology()
+            .ordered_pairs()
+            .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
+            .filter(|&(i, _)| match self.config.relay {
+                crate::RelayPolicy::MultiHop => true,
+                crate::RelayPolicy::OneHop => {
+                    self.net.topology().node(i).kind().is_base_station()
+                }
+            })
+            .map(|(i, j)| (i, j, beta_cap))
+            .collect();
+
+        let (flows, link_service, energy_outcome) = loop {
+            let link_service = self.link_service(&outcome, &obs.spectrum);
+            let flows = route_flows(
+                &self.net,
+                &self.data,
+                &self.links,
+                &routing_caps,
+                &admissions,
+                &obs.session_demand,
+            );
+            let demand: Vec<Energy> = (0..nodes)
+                .map(|i| {
+                    let node = NodeId::from_index(i);
+                    let tx_power = outcome
+                        .schedule
+                        .transmission_from(node)
+                        .and_then(|t| {
+                            outcome
+                                .schedule
+                                .transmissions()
+                                .iter()
+                                .position(|u| u == t)
+                                .map(|k| outcome.powers[k])
+                        });
+                    let receiving = outcome.schedule.transmission_to(node).is_some();
+                    models[i].slot_demand(tx_power, receiving, self.config.slot)
+                })
+                .collect();
+            // Time-of-use pricing: this slot the provider pays
+            // `m·f(P)`, which for the quadratic f is exactly the scaled
+            // quadratic — S4's exactness is preserved.
+            let scaled_cost = greencell_energy::QuadraticCost::new(
+                self.energy.cost.quadratic() * obs.price_multiplier,
+                self.energy.cost.linear() * obs.price_multiplier,
+                self.energy.cost.constant() * obs.price_multiplier,
+            );
+            let grid_limits: Vec<Energy> =
+                self.energy.nodes.iter().map(|n| n.grid_limit).collect();
+            let is_bs: Vec<bool> = self
+                .net
+                .topology()
+                .nodes()
+                .iter()
+                .map(|n| n.kind().is_base_station())
+                .collect();
+            let input = EnergyManagementInput {
+                z: &z,
+                demand: &demand,
+                renewable: &obs.renewable,
+                batteries: &self.batteries,
+                grid_connected: &obs.grid_connected,
+                grid_limits: &grid_limits,
+                is_base_station: &is_bs,
+                cost: &scaled_cost,
+                v: self.config.v,
+            };
+            let solved = match self.config.energy_policy {
+                crate::EnergyPolicy::MarginalPrice => solve_energy_management(&input),
+                crate::EnergyPolicy::GridOnly => crate::solve_grid_only(&input),
+            };
+            match solved {
+                Ok(out) => break (flows, link_service, out),
+                Err(err) if !outcome.schedule.is_empty() => {
+                    #[cfg(feature = "shed-debug")]
+                    eprintln!("slot {}: S4 error {err:?}", self.slot);
+                    // Shed every transmission touching the starving node
+                    // and retry; an Invalid decision is treated the same
+                    // way (drop load, stay safe).
+                    let node = match &err {
+                        EnergyManagementError::Deficit { node, .. } => {
+                            NodeId::from_index((*node).min(nodes - 1))
+                        }
+                        EnergyManagementError::Invalid(_) => {
+                            outcome.schedule.transmissions()[0].tx()
+                        }
+                    };
+                    let before = outcome.schedule.len();
+                    outcome =
+                        shed_node(&self.net, &outcome, node, &obs.spectrum, &self.phy, &max_powers);
+                    shed += before - outcome.schedule.len();
+                    if before == outcome.schedule.len() {
+                        // Node not in schedule: its *idle* demand is
+                        // unservable.
+                        return Err(ControllerError::IdleDeficit { node: node.index() });
+                    }
+                }
+                Err(EnergyManagementError::Deficit { node, .. }) => {
+                    return Err(ControllerError::IdleDeficit { node });
+                }
+                Err(EnergyManagementError::Invalid(_)) => {
+                    return Err(ControllerError::IdleDeficit { node: 0 });
+                }
+            }
+        };
+
+        // Drift-plus-penalty diagnostics for the chosen actions, computed
+        // against the *pre-update* queue state (as in Lemma 1).
+        let lyapunov_before = self.lyapunov_value(&z);
+        let psi1 = dpp::psi1(
+            self.beta,
+            link_service
+                .iter()
+                .map(|&(i, j, pkts)| self.links.h(i, j) * pkts.count_f64()),
+        );
+        let psi2 = dpp::psi2(
+            admissions.iter().map(|a| {
+                (
+                    self.data.backlog(a.source, a.session).count_f64(),
+                    a.packets.count_f64(),
+                )
+            }),
+            self.config.lambda,
+            self.config.v,
+        );
+        let psi3 = dpp::psi3(flows.iter_nonzero().map(|(s, i, j, l)| {
+            let coeff = -self.data.backlog(i, s).count_f64()
+                + self.data.backlog(j, s).count_f64()
+                + self.beta * self.links.h(i, j);
+            (coeff, l.count_f64())
+        }));
+
+        // Advance state: queues by their laws, batteries by the decisions.
+        let admission_triples: Vec<(greencell_net::SessionId, NodeId, Packets)> = admissions
+            .iter()
+            .filter(|a| a.packets > Packets::ZERO)
+            .map(|a| (a.session, a.source, a.packets))
+            .collect();
+        let routed = flows.total();
+        self.data.advance(&flows, &admission_triples);
+        self.links.advance(&flows, &link_service);
+        for (battery, decision) in self.batteries.iter_mut().zip(&energy_outcome.decisions) {
+            decision
+                .apply_to_battery(battery)
+                .expect("validated decision must apply");
+        }
+        let z_after: Vec<f64> = (0..nodes)
+            .map(|i| self.shifted_level(NodeId::from_index(i)))
+            .collect();
+        let lyapunov_after = self.lyapunov_value(&z_after);
+
+        let report = SlotReport {
+            slot: self.slot,
+            cost: energy_outcome.cost,
+            grid_draw: energy_outcome.grid_draw,
+            scheduled_links: outcome.schedule.len(),
+            admitted: admission_triples.iter().map(|(_, _, k)| *k).sum(),
+            routed,
+            psi1,
+            psi2,
+            psi3,
+            psi4: energy_outcome.objective,
+            lyapunov_before,
+            lyapunov_after,
+            shed_transmissions: shed,
+        };
+        self.slot += 1;
+        Ok(report)
+    }
+
+    /// Realized per-link service in packets for the scheduled links.
+    ///
+    /// Power control guarantees `SINR ≥ Γ` for every kept link, so
+    /// Eq. (1)'s top branch applies.
+    fn link_service(
+        &self,
+        outcome: &ScheduleOutcome,
+        spectrum: &greencell_phy::SpectrumState,
+    ) -> Vec<(NodeId, NodeId, Packets)> {
+        outcome
+            .schedule
+            .transmissions()
+            .iter()
+            .map(|t| {
+                let capacity = potential_capacity(spectrum.bandwidth(t.band()), &self.phy);
+                (
+                    t.tx(),
+                    t.rx(),
+                    packets_per_slot(capacity, self.config.packet_size, self.config.slot),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Rebuilds the schedule without any transmission touching `node`, then
+/// recomputes minimal powers.
+fn shed_node(
+    net: &Network,
+    outcome: &ScheduleOutcome,
+    node: NodeId,
+    spectrum: &greencell_phy::SpectrumState,
+    phy: &PhyConfig,
+    max_powers: &[Power],
+) -> ScheduleOutcome {
+    let mut schedule = Schedule::new();
+    for t in outcome.schedule.transmissions() {
+        if t.tx() != node && t.rx() != node {
+            schedule
+                .try_add(net, *t)
+                .expect("subset of a valid schedule stays valid");
+        }
+    }
+    let powers = if schedule.is_empty() {
+        Vec::new()
+    } else {
+        greencell_phy::min_power_assignment(net, &schedule, spectrum, phy, max_powers)
+            .unwrap_or_default()
+    };
+    ScheduleOutcome { schedule, powers }
+}

@@ -1,0 +1,172 @@
+//! S2 — resource allocation: choose each session's source base station
+//! `s_s(t)` and admission `k_s(t)` to minimize
+//! `Ψ̂₂(t) = Σ_s Σ_{i∈ℬ} (Q^s_i(t) − λV)·k_s(t)·1{i = s_s(t)}` (§IV-C2).
+//!
+//! The paper's rule, reproduced exactly:
+//!
+//! 1. For each session, the BS with the *smallest* backlog `Q^s_i(t)`
+//!    becomes the source (ties broken by lowest node id — the paper breaks
+//!    them uniformly at random; a deterministic rule keeps experiments
+//!    replayable and is one of the tie-break choices the random rule can
+//!    make).
+//! 2. Admit `k_s(t) = K^max_s` if `Q^s_{s_s}(t) − λV < 0`, else admit
+//!    nothing. This threshold is the valve that keeps the data queues
+//!    strongly stable: backlogs can never exceed `λV + K^max` at a source.
+
+use greencell_net::{Network, NodeId, SessionId};
+use greencell_queue::DataQueueBank;
+use greencell_units::Packets;
+
+/// One session's S2 outcome: chosen source BS and admitted packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Admission {
+    /// The session.
+    pub session: SessionId,
+    /// The chosen source base station `s_s(t)`.
+    pub source: NodeId,
+    /// Admitted packets `k_s(t)` (either `K^max_s` or zero).
+    pub packets: Packets,
+}
+
+/// Runs S2 for every session.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_core::resource_allocation;
+/// use greencell_net::{NetworkBuilder, PathLossModel, Point};
+/// use greencell_queue::DataQueueBank;
+/// use greencell_units::{DataRate, Packets};
+///
+/// let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+/// let bs = b.add_base_station(Point::new(0.0, 0.0));
+/// let u = b.add_user(Point::new(100.0, 0.0));
+/// b.add_session(u, DataRate::from_kilobits_per_second(100.0));
+/// let net = b.build()?;
+/// let data = DataQueueBank::new(2, &[u]);
+///
+/// // Empty queue at the only BS ⇒ admit the full burst.
+/// let admissions = resource_allocation(&net, &data, 0.02, 1e5, Packets::new(1000));
+/// assert_eq!(admissions[0].source, bs);
+/// assert_eq!(admissions[0].packets, Packets::new(1000));
+/// # Ok::<(), greencell_net::NetworkError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if the network has no base stations (prevented by
+/// `NetworkBuilder` validation).
+#[must_use]
+pub fn resource_allocation(
+    net: &Network,
+    data: &DataQueueBank,
+    lambda: f64,
+    v: f64,
+    k_max: Packets,
+) -> Vec<Admission> {
+    net.sessions()
+        .iter()
+        .map(|session| {
+            let s = session.id();
+            let source = net
+                .topology()
+                .base_stations()
+                .min_by_key(|&b| (data.backlog(b, s), b))
+                .expect("network has at least one base station");
+            let q = data.backlog(source, s).count_f64();
+            let packets = if q - lambda * v < 0.0 {
+                k_max
+            } else {
+                Packets::ZERO
+            };
+            Admission {
+                session: s,
+                source,
+                packets,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greencell_net::{NetworkBuilder, PathLossModel, Point};
+    use greencell_queue::FlowPlan;
+    use greencell_units::DataRate;
+
+    /// Two BSs (nodes 0, 1), one user (node 2), two sessions to the user.
+    fn fixture() -> (Network, DataQueueBank) {
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+        b.add_base_station(Point::new(0.0, 0.0));
+        b.add_base_station(Point::new(1000.0, 0.0));
+        let u = b.add_user(Point::new(500.0, 0.0));
+        b.add_session(u, DataRate::from_kilobits_per_second(100.0));
+        b.add_session(u, DataRate::from_kilobits_per_second(100.0));
+        let net = b.build().unwrap();
+        let data = DataQueueBank::new(3, &[u, u]);
+        (net, data)
+    }
+
+    fn admit(data: &mut DataQueueBank, s: usize, node: usize, pkts: u64) {
+        data.advance(
+            &FlowPlan::new(3, 2),
+            &[(
+                SessionId::from_index(s),
+                NodeId::from_index(node),
+                Packets::new(pkts),
+            )],
+        );
+    }
+
+    #[test]
+    fn least_backlogged_bs_wins() {
+        let (net, mut data) = fixture();
+        admit(&mut data, 0, 0, 500); // BS 0 has 500 queued for session 0
+        let adm = resource_allocation(&net, &data, 1.0, 1000.0, Packets::new(100));
+        assert_eq!(adm[0].source, NodeId::from_index(1)); // emptier BS
+        assert_eq!(adm[1].source, NodeId::from_index(0)); // tie → lowest id
+    }
+
+    #[test]
+    fn admission_gated_by_lambda_v() {
+        let (net, mut data) = fixture();
+        // λV = 100; both BSs at 150 for session 0 ⇒ no admission.
+        admit(&mut data, 0, 0, 150);
+        admit(&mut data, 0, 1, 150);
+        let adm = resource_allocation(&net, &data, 0.1, 1000.0, Packets::new(42));
+        assert_eq!(adm[0].packets, Packets::ZERO);
+        // Session 1 queues are empty ⇒ full admission.
+        assert_eq!(adm[1].packets, Packets::new(42));
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let (net, mut data) = fixture();
+        // Q = λV exactly ⇒ Q − λV = 0, not < 0 ⇒ no admission.
+        admit(&mut data, 0, 0, 100);
+        admit(&mut data, 0, 1, 100);
+        let adm = resource_allocation(&net, &data, 0.1, 1000.0, Packets::new(9));
+        assert_eq!(adm[0].packets, Packets::ZERO);
+    }
+
+    #[test]
+    fn backlog_never_exceeds_lambda_v_plus_kmax() {
+        let (net, mut data) = fixture();
+        let k_max = Packets::new(50);
+        let cap = 0.1 * 1000.0 + 50.0;
+        for _ in 0..20 {
+            let adm = resource_allocation(&net, &data, 0.1, 1000.0, k_max);
+            for a in adm {
+                if a.packets > Packets::ZERO {
+                    admit(&mut data, a.session.index(), a.source.index(), a.packets.count());
+                }
+            }
+        }
+        for bs in net.topology().base_stations() {
+            for sess in net.sessions() {
+                assert!(data.backlog(bs, sess.id()).count_f64() <= cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,901 @@
+//! S4 — energy management: minimize
+//! `Ψ̂₄(t) = Σ_i z_i(t)·(c_i(t) − d_i(t)) + V·f(P(t))` (§IV-C4).
+//!
+//! The paper hands this convex program to CPLEX; we solve it exactly with
+//! a *marginal-price equilibrium*, exploiting its structure:
+//!
+//! * Every per-node term is linear in the node's charge/discharge/draw, so
+//!   each node's optimal response to a fixed grid price `p` (currency per
+//!   kWh of *base-station* draw — mobile-user draws do not enter `P(t)`,
+//!   §II-E) has a closed form: evaluate the **charge mode** (`d = 0`:
+//!   serve remaining demand from the grid, charge from leftover renewable
+//!   when `z < 0` and from the grid when `z + p < 0`) and the **discharge
+//!   mode** (`c = 0`: split remaining demand between battery at unit cost
+//!   `−z` and grid at unit cost `p`, cheaper source first) and keep the
+//!   better — the mutual-exclusion constraint (9) makes the two modes the
+//!   only candidates, and within each mode the optimum is bang-bang.
+//! * The only coupling is `V·f(P)` with `f` convex: each node's draw is
+//!   non-increasing in `p`, so the equilibrium price solves the monotone
+//!   one-dimensional fixed point `p = V·f'(P(p))` by bisection, after
+//!   which the price-tied nodes' continuous knobs (grid-charge amounts and
+//!   battery/grid demand splits) are filled fractionally to land `P`
+//!   exactly on `f'⁻¹(p*/V)`.
+
+use greencell_energy::CostFn;
+use greencell_energy::{
+    Battery, EnergyDecision, EnergyDecisionError, GridConnection, QuadraticCost, RenewableSplit,
+};
+use greencell_lp::bisect_increasing;
+use greencell_units::Energy;
+use std::error::Error;
+use std::fmt;
+
+/// Error from [`solve_energy_management`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnergyManagementError {
+    /// A node's demand exceeds every feasible supply combination — the
+    /// scheduler admitted a transmission the node cannot power. The
+    /// controller's energy-admission precheck exists to prevent this.
+    Deficit {
+        /// The node index.
+        node: usize,
+        /// The unservable demand.
+        demand: Energy,
+    },
+    /// A produced decision failed validation (internal invariant).
+    Invalid(EnergyDecisionError),
+}
+
+impl fmt::Display for EnergyManagementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Deficit { node, demand } => {
+                write!(f, "node {node} cannot source its demand of {demand}")
+            }
+            Self::Invalid(e) => write!(f, "internal: produced invalid decision: {e}"),
+        }
+    }
+}
+
+impl Error for EnergyManagementError {}
+
+/// Inputs to S4 for one slot, all indexed by node.
+#[derive(Debug)]
+pub struct EnergyManagementInput<'a> {
+    /// Shifted battery levels `z_i(t)` in kWh (usually negative).
+    pub z: &'a [f64],
+    /// Demands `E_i(t)` from Eq. (2) (already includes TX/RX energy).
+    pub demand: &'a [Energy],
+    /// Harvested renewable energy `R_i(t)·Δt`.
+    pub renewable: &'a [Energy],
+    /// Batteries (for charge/discharge limits; not mutated here).
+    pub batteries: &'a [Battery],
+    /// Grid connectivity `ω_i(t)`.
+    pub grid_connected: &'a [bool],
+    /// Grid draw limits `p^max_i`.
+    pub grid_limits: &'a [Energy],
+    /// `true` where the node is a base station (its draw enters `P(t)`).
+    pub is_base_station: &'a [bool],
+    /// The provider's cost function `f`.
+    pub cost: &'a QuadraticCost,
+    /// The Lyapunov weight `V`.
+    pub v: f64,
+}
+
+/// The S4 solution for one slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyOutcome {
+    /// Per-node validated decisions.
+    pub decisions: Vec<EnergyDecision>,
+    /// The provider's total draw `P(t) = Σ_{i∈ℬ} (g_i + c^g_i)`.
+    pub grid_draw: Energy,
+    /// The slot cost `f(P(t))`.
+    pub cost: f64,
+    /// The achieved objective `Ψ̂₄(t)`.
+    pub objective: f64,
+}
+
+/// One node's candidate solution, in kWh components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct NodeSolution {
+    grid_to_demand: f64,
+    grid_to_battery: f64,
+    renewable_to_demand: f64,
+    renewable_to_battery: f64,
+    discharge: f64,
+}
+
+impl NodeSolution {
+    fn draw(&self) -> f64 {
+        self.grid_to_demand + self.grid_to_battery
+    }
+
+    /// Per-node objective at a fixed price: `z·(η·c − d) + price·draw` —
+    /// the Lyapunov term uses the *stored* energy (the queue-law delta),
+    /// which is `η` per unit drawn.
+    fn objective(&self, z: f64, price: f64, eta: f64) -> f64 {
+        z * (eta * (self.renewable_to_battery + self.grid_to_battery) - self.discharge)
+            + price * self.draw()
+    }
+}
+
+/// Static per-node quantities (kWh) shared by both modes.
+#[derive(Debug, Clone, Copy)]
+struct NodeEnv {
+    z: f64,
+    demand: f64,
+    renewable: f64,
+    g_max: f64,
+    d_max: f64,
+    c_room: f64,
+    /// Battery charge efficiency `η` (1.0 = the paper's lossless model).
+    eta: f64,
+}
+
+impl NodeEnv {
+    fn from_input(input: &EnergyManagementInput<'_>, i: usize) -> Self {
+        Self {
+            z: input.z[i],
+            demand: input.demand[i].as_kilowatt_hours(),
+            renewable: input.renewable[i].as_kilowatt_hours(),
+            g_max: if input.grid_connected[i] {
+                input.grid_limits[i].as_kilowatt_hours()
+            } else {
+                0.0
+            },
+            d_max: input.batteries[i].max_discharge_now().as_kilowatt_hours(),
+            c_room: input.batteries[i].max_charge_now().as_kilowatt_hours(),
+            eta: input.batteries[i].charge_efficiency(),
+        }
+    }
+}
+
+const EPS: f64 = 1e-12;
+/// Feasibility slack in kWh (≈ 3.6×10⁻⁸ J). Must stay strictly below the
+/// validator's slacks (10⁻⁶ J for grid draws, 10⁻⁴ J for balance) so that
+/// a clamped borderline residual can never produce a decision the
+/// validator rejects.
+const FEAS_EPS: f64 = 1e-11;
+
+/// Discharge mode (`c = 0`): serve the demand from renewable (unit
+/// objective cost 0), battery (unit cost `−z` — *negative*, i.e.
+/// profitable, when `z > 0`), and grid (unit cost `price`), filling from
+/// the cheapest source. Unused renewable is wasted (charging is the other
+/// mode's job).
+fn mode_discharge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
+    // (cost, source) with deterministic tie order renewable < battery <
+    // grid at equal cost.
+    let mut sources = [
+        (0.0, 0u8, env.renewable),
+        (-env.z, 1u8, env.d_max),
+        (price, 2u8, env.g_max),
+    ];
+    sources.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut need = env.demand;
+    let mut taken = [0.0f64; 3];
+    for &(_, which, cap) in &sources {
+        let amount = need.min(cap);
+        taken[which as usize] = amount;
+        need -= amount;
+        if need <= EPS {
+            break;
+        }
+    }
+    if need > FEAS_EPS {
+        return None;
+    }
+    Some(NodeSolution {
+        grid_to_demand: taken[2],
+        grid_to_battery: 0.0,
+        renewable_to_demand: taken[0],
+        renewable_to_battery: 0.0,
+        discharge: taken[1],
+    })
+}
+
+/// Charge mode (`d = 0`): the renewable output is allocated between
+/// serving demand (worth `price` per kWh of displaced grid) and charging
+/// (worth `−z` when `z < 0`); the grid covers the remaining demand and
+/// additionally charges when `z + price < 0`.
+///
+/// The objective is piecewise linear in the renewable-to-demand amount
+/// `u`, so the exact optimum is found by evaluating every breakpoint.
+fn mode_charge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
+    let u_max = env.renewable.min(env.demand);
+    // Grid feasibility: g = demand − u ≤ g_max.
+    let u_min = (env.demand - env.g_max).max(0.0);
+    if u_min > u_max + FEAS_EPS {
+        return None;
+    }
+    let u_min = u_min.min(u_max);
+    let build = |u: f64| -> NodeSolution {
+        let g = (env.demand - u).max(0.0);
+        let leftover = env.renewable - u;
+        let cr = if env.z < 0.0 {
+            leftover.min(env.c_room)
+        } else {
+            0.0
+        };
+        // Grid charging stores η per unit drawn: worth it iff the stored
+        // Lyapunov gain η·|z| beats the purchase price.
+        let cg = if env.z * env.eta + price < 0.0 {
+            (env.c_room - cr).min(env.g_max - g).max(0.0)
+        } else {
+            0.0
+        };
+        NodeSolution {
+            grid_to_demand: g,
+            grid_to_battery: cg,
+            renewable_to_demand: u,
+            renewable_to_battery: cr,
+            discharge: 0.0,
+        }
+    };
+    // Breakpoints of the piecewise-linear objective in u: the endpoints,
+    // the point where leftover renewable saturates the charge room
+    // (u = R − c_room), and where the grid-charge cap flips between the
+    // room and the connection limit.
+    let mut candidates = vec![u_min, u_max];
+    let saturation = env.renewable - env.c_room;
+    if saturation > u_min && saturation < u_max {
+        candidates.push(saturation);
+    }
+    // c_room − cr = g_max − g  ⇔  c_room − (R − u) = g_max − demand + u —
+    // constant difference in u when cr is interior, so no extra breakpoint
+    // beyond `saturation`; when cr is clamped at c_room the cap flip is at:
+    let flip = env.demand - env.g_max + env.c_room;
+    if flip > u_min && flip < u_max {
+        candidates.push(flip);
+    }
+    candidates
+        .into_iter()
+        .map(build)
+        .min_by(|a, b| {
+            a.objective(env.z, price, env.eta)
+                .partial_cmp(&b.objective(env.z, price, env.eta))
+                .unwrap()
+        })
+}
+
+/// The node's optimal response to `price`; `None` if no mode is feasible.
+fn node_at_price(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
+    let d = mode_discharge(env, price);
+    let c = mode_charge(env, price);
+    match (d, c) {
+        (None, None) => None,
+        (Some(s), None) | (None, Some(s)) => Some(s),
+        (Some(a), Some(b)) => {
+            // Ties go to the charge mode (deterministic).
+            if a.objective(env.z, price, env.eta) < b.objective(env.z, price, env.eta) - EPS {
+                Some(a)
+            } else {
+                Some(b)
+            }
+        }
+    }
+}
+
+/// The storage-oblivious ablation baseline
+/// ([`crate::EnergyPolicy::GridOnly`]): renewables serve demand, the grid
+/// covers the rest, the battery is touched only when the grid cannot cover
+/// feasibility, and nothing ever charges. No Lyapunov term is optimized —
+/// this is what a provider without the paper's S4 would do.
+///
+/// # Errors
+///
+/// [`EnergyManagementError::Deficit`] if some node cannot source its
+/// demand; [`EnergyManagementError::Invalid`] on internal invariant
+/// violation.
+pub fn solve_grid_only(
+    input: &EnergyManagementInput<'_>,
+) -> Result<EnergyOutcome, EnergyManagementError> {
+    let n = input.z.len();
+    assert_eq!(input.demand.len(), n, "one demand per node");
+    let mut decisions = Vec::with_capacity(n);
+    let mut grid_draw = Energy::ZERO;
+    let mut z_terms = 0.0;
+    for i in 0..n {
+        let env = NodeEnv::from_input(input, i);
+        let r_dem = env.renewable.min(env.demand);
+        let need = env.demand - r_dem;
+        let g = env.g_max.min(need);
+        let d = need - g;
+        if d > env.d_max + FEAS_EPS {
+            return Err(EnergyManagementError::Deficit {
+                node: i,
+                demand: input.demand[i],
+            });
+        }
+        let waste = env.renewable - r_dem;
+        let split = RenewableSplit::new(
+            input.renewable[i],
+            Energy::from_kilowatt_hours(r_dem),
+            Energy::ZERO,
+            Energy::from_kilowatt_hours(waste),
+        )
+        .map_err(|_| EnergyManagementError::Deficit {
+            node: i,
+            demand: input.demand[i],
+        })?;
+        let decision = EnergyDecision::new(
+            Energy::from_kilowatt_hours(g),
+            Energy::ZERO,
+            split,
+            Energy::from_kilowatt_hours(d.max(0.0)),
+        );
+        let grid = GridConnection::new(input.grid_connected[i], input.grid_limits[i]);
+        decision
+            .validate(input.demand[i], &input.batteries[i], &grid)
+            .map_err(EnergyManagementError::Invalid)?;
+        if input.is_base_station[i] {
+            grid_draw += decision.grid_total();
+        }
+        z_terms += input.z[i]
+            * (decision.charge_total().as_kilowatt_hours()
+                - decision.discharge().as_kilowatt_hours());
+        decisions.push(decision);
+    }
+    let cost = input.cost.cost(grid_draw);
+    Ok(EnergyOutcome {
+        decisions,
+        grid_draw,
+        cost,
+        objective: z_terms + input.v * cost,
+    })
+}
+
+/// Solves S4 exactly. See the module docs for the algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_core::{solve_energy_management, EnergyManagementInput};
+/// use greencell_energy::{Battery, QuadraticCost};
+/// use greencell_units::Energy;
+///
+/// let kwh = Energy::from_kilowatt_hours;
+/// // One base station, deeply "under-charged" in the Lyapunov sense
+/// // (z ≪ 0): it buys its full charge capacity from the grid.
+/// let battery = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.1), kwh(0.2));
+/// let input = EnergyManagementInput {
+///     z: &[-10.0],
+///     demand: &[Energy::ZERO],
+///     renewable: &[Energy::ZERO],
+///     batteries: &[battery],
+///     grid_connected: &[true],
+///     grid_limits: &[kwh(0.2)],
+///     is_base_station: &[true],
+///     cost: &QuadraticCost::paper_default(),
+///     v: 1.0,
+/// };
+/// let out = solve_energy_management(&input)?;
+/// assert!((out.grid_draw.as_kilowatt_hours() - 0.1).abs() < 1e-9);
+/// # Ok::<(), greencell_core::EnergyManagementError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`EnergyManagementError::Deficit`] if some node cannot source its
+/// demand; [`EnergyManagementError::Invalid`] if an internal invariant is
+/// violated (a produced decision fails validation — a bug, not an input
+/// condition).
+pub fn solve_energy_management(
+    input: &EnergyManagementInput<'_>,
+) -> Result<EnergyOutcome, EnergyManagementError> {
+    let n = input.z.len();
+    assert_eq!(input.demand.len(), n, "one demand per node");
+    let v = input.v;
+
+    let envs: Vec<NodeEnv> = (0..n).map(|i| NodeEnv::from_input(input, i)).collect();
+    // Feasibility is price-independent (some mode exists or none does).
+    for (i, env) in envs.iter().enumerate() {
+        if node_at_price(env, 0.0).is_none() {
+            return Err(EnergyManagementError::Deficit {
+                node: i,
+                demand: input.demand[i],
+            });
+        }
+    }
+
+    let bs_indices: Vec<usize> = (0..n).filter(|&i| input.is_base_station[i]).collect();
+    let p_ub: f64 = bs_indices.iter().map(|&i| envs[i].g_max).sum();
+    let total_bs_draw = |price: f64| -> f64 {
+        bs_indices
+            .iter()
+            .map(|&i| node_at_price(&envs[i], price).expect("feasibility checked").draw())
+            .sum()
+    };
+
+    // Equilibrium price p* = V·f'(P(p*)) over the base stations.
+    let price_lo = v * input.cost.marginal(Energy::ZERO);
+    let price_hi = v * input.cost.marginal(Energy::from_kilowatt_hours(p_ub)) + 1.0;
+    let p_star = bisect_increasing(
+        |p| {
+            p - v * input
+                .cost
+                .marginal(Energy::from_kilowatt_hours(total_bs_draw(p)))
+        },
+        price_lo,
+        price_hi,
+        100,
+    );
+
+    // Per-node solutions: users respond to price 0 (their draws are not
+    // billed), base stations to the equilibrium price.
+    let mut solutions: Vec<NodeSolution> = (0..n)
+        .map(|i| {
+            let price = if input.is_base_station[i] { p_star } else { 0.0 };
+            node_at_price(&envs[i], price).expect("feasibility checked")
+        })
+        .collect();
+
+    // Fractional fill at the equilibrium: price-tied continuous knobs are
+    // adjusted to land the total draw exactly on f'⁻¹(p*/V).
+    if let Some(target) = input.cost.marginal_inverse(p_star / v.max(EPS)) {
+        let target = target.as_kilowatt_hours();
+        let mut total: f64 = bs_indices.iter().map(|&i| solutions[i].draw()).sum();
+        let tie_tol = 1e-6 * (1.0 + p_star.abs());
+        for &i in &bs_indices {
+            if (total - target).abs() <= FEAS_EPS {
+                break;
+            }
+            let env = &envs[i];
+            let tied = (env.z * env.eta + p_star).abs() <= tie_tol
+                || (-env.z - p_star).abs() <= tie_tol;
+            if !tied {
+                continue;
+            }
+            let sol = &mut solutions[i];
+            if total > target {
+                // Reduce draw: shed grid charging first; then re-point
+                // banked renewable at the demand (displacing grid); then
+                // substitute discharge for grid service (only if not
+                // charging at all).
+                let shed = sol.grid_to_battery.min(total - target);
+                sol.grid_to_battery -= shed;
+                total -= shed;
+                if total > target {
+                    let shift = sol
+                        .renewable_to_battery
+                        .min(sol.grid_to_demand)
+                        .min(total - target)
+                        .max(0.0);
+                    sol.renewable_to_battery -= shift;
+                    sol.renewable_to_demand += shift;
+                    sol.grid_to_demand -= shift;
+                    total -= shift;
+                }
+                if total > target
+                    && sol.grid_to_battery <= EPS
+                    && sol.renewable_to_battery <= EPS
+                {
+                    let swing = (env.d_max - sol.discharge)
+                        .min(sol.grid_to_demand)
+                        .min(total - target)
+                        .max(0.0);
+                    sol.discharge += swing;
+                    sol.grid_to_demand -= swing;
+                    total -= swing;
+                }
+            } else {
+                // Increase draw: buy back grid service for discharge; then
+                // re-point demand-serving renewable at the battery (buying
+                // grid for the demand instead); then grid-charge.
+                let swing = sol
+                    .discharge
+                    .min(env.g_max - sol.draw())
+                    .min(target - total)
+                    .max(0.0);
+                sol.discharge -= swing;
+                sol.grid_to_demand += swing;
+                total += swing;
+                if total < target && sol.discharge <= EPS {
+                    let shift = sol
+                        .renewable_to_demand
+                        .min(env.c_room - sol.grid_to_battery - sol.renewable_to_battery)
+                        .min(env.g_max - sol.draw())
+                        .min(target - total)
+                        .max(0.0);
+                    sol.renewable_to_demand -= shift;
+                    sol.renewable_to_battery += shift;
+                    sol.grid_to_demand += shift;
+                    total += shift;
+                }
+                if total < target && sol.discharge <= EPS {
+                    let headroom = (env.c_room - sol.grid_to_battery - sol.renewable_to_battery)
+                        .min(env.g_max - sol.draw())
+                        .min(target - total)
+                        .max(0.0);
+                    sol.grid_to_battery += headroom;
+                    total += headroom;
+                }
+            }
+        }
+    }
+
+    // Assemble, validate, and price the final decisions.
+    let mut decisions = Vec::with_capacity(n);
+    let mut grid_draw = Energy::ZERO;
+    let mut z_terms = 0.0;
+    for (i, sol) in solutions.iter().enumerate() {
+        let waste = (envs[i].renewable - sol.renewable_to_demand - sol.renewable_to_battery)
+            .max(0.0);
+        let split = RenewableSplit::new(
+            input.renewable[i],
+            Energy::from_kilowatt_hours(sol.renewable_to_demand),
+            Energy::from_kilowatt_hours(sol.renewable_to_battery),
+            Energy::from_kilowatt_hours(waste),
+        )
+        .map_err(|_| EnergyManagementError::Deficit {
+            node: i,
+            demand: input.demand[i],
+        })?;
+        let decision = EnergyDecision::new(
+            Energy::from_kilowatt_hours(sol.grid_to_demand),
+            Energy::from_kilowatt_hours(sol.grid_to_battery),
+            split,
+            Energy::from_kilowatt_hours(sol.discharge),
+        );
+        let grid = GridConnection::new(input.grid_connected[i], input.grid_limits[i]);
+        decision
+            .validate(input.demand[i], &input.batteries[i], &grid)
+            .map_err(|e| {
+                #[cfg(feature = "shed-debug")]
+                eprintln!(
+                    "S4 invalid at node {i}: {e:?}; sol={sol:?} env demand={} renewable={} connected={} level={}",
+                    input.demand[i],
+                    input.renewable[i],
+                    input.grid_connected[i],
+                    input.batteries[i].level(),
+                );
+                EnergyManagementError::Invalid(e)
+            })?;
+        if input.is_base_station[i] {
+            grid_draw += decision.grid_total();
+        }
+        z_terms += input.z[i]
+            * (input.batteries[i].charge_efficiency()
+                * decision.charge_total().as_kilowatt_hours()
+                - decision.discharge().as_kilowatt_hours());
+        decisions.push(decision);
+    }
+    let cost = input.cost.cost(grid_draw);
+    Ok(EnergyOutcome {
+        decisions,
+        grid_draw,
+        cost,
+        objective: z_terms + input.v * cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kwh(x: f64) -> Energy {
+        Energy::from_kilowatt_hours(x)
+    }
+
+    struct Fixture {
+        z: Vec<f64>,
+        demand: Vec<Energy>,
+        renewable: Vec<Energy>,
+        batteries: Vec<Battery>,
+        grid_connected: Vec<bool>,
+        grid_limits: Vec<Energy>,
+        is_bs: Vec<bool>,
+        cost: QuadraticCost,
+        v: f64,
+    }
+
+    impl Fixture {
+        fn input(&self) -> EnergyManagementInput<'_> {
+            EnergyManagementInput {
+                z: &self.z,
+                demand: &self.demand,
+                renewable: &self.renewable,
+                batteries: &self.batteries,
+                grid_connected: &self.grid_connected,
+                grid_limits: &self.grid_limits,
+                is_base_station: &self.is_bs,
+                cost: &self.cost,
+                v: self.v,
+            }
+        }
+    }
+
+    /// One BS with a half-full battery.
+    fn one_bs(z: f64, demand: f64, renewable: f64) -> Fixture {
+        Fixture {
+            z: vec![z],
+            demand: vec![kwh(demand)],
+            renewable: vec![kwh(renewable)],
+            batteries: vec![Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.1), kwh(0.5))],
+            grid_connected: vec![true],
+            grid_limits: vec![kwh(0.2)],
+            is_bs: vec![true],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        }
+    }
+
+    #[test]
+    fn renewable_covers_demand_without_grid() {
+        let f = one_bs(-10.0, 0.05, 0.2);
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert_eq!(d.renewable().to_demand(), kwh(0.05));
+        assert_eq!(d.grid_to_demand(), Energy::ZERO);
+        // z < 0 with plenty of leftover: charge from renewable (free)…
+        assert!(d.renewable().to_battery() > Energy::ZERO);
+    }
+
+    #[test]
+    fn positive_z_discharges_first() {
+        let f = one_bs(5.0, 0.08, 0.0);
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!((d.discharge().as_kilowatt_hours() - 0.08).abs() < 1e-9);
+        assert_eq!(d.grid_to_demand(), Energy::ZERO);
+        assert_eq!(out.grid_draw, Energy::ZERO);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn very_negative_z_charges_from_grid() {
+        // |z| = 10 ≫ V·f'(anything ≤ 0.3) ≈ 0.68: buy full charge capacity.
+        let f = one_bs(-10.0, 0.0, 0.0);
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!((d.grid_to_battery().as_kilowatt_hours() - 0.1).abs() < 1e-9);
+        assert!((out.grid_draw.as_kilowatt_hours() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mildly_negative_z_charges_partially_to_price_equilibrium() {
+        // V·f'(P) = 1.6P + 0.2; |z| = 0.28 ⇒ target P = 0.05 kWh: a
+        // *fractional* grid-charge buy.
+        let f = one_bs(-0.28, 0.0, 0.0);
+        let out = solve_energy_management(&f.input()).unwrap();
+        assert!(
+            (out.grid_draw.as_kilowatt_hours() - 0.05).abs() < 1e-6,
+            "drew {}",
+            out.grid_draw.as_kilowatt_hours()
+        );
+    }
+
+    #[test]
+    fn barely_negative_z_does_not_charge() {
+        // |z| = 0.1 < V·f'(0) = 0.2: price never drops low enough.
+        let f = one_bs(-0.1, 0.0, 0.0);
+        let out = solve_energy_management(&f.input()).unwrap();
+        assert_eq!(out.grid_draw, Energy::ZERO);
+        assert_eq!(out.decisions[0].grid_to_battery(), Energy::ZERO);
+    }
+
+    #[test]
+    fn grid_cap_forces_discharge() {
+        // Demand 0.25 > p_max 0.2: must discharge 0.05 even though z < 0.
+        let f = one_bs(-10.0, 0.25, 0.0);
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!((d.discharge().as_kilowatt_hours() - 0.05).abs() < 1e-9);
+        assert!((d.grid_to_demand().as_kilowatt_hours() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expensive_grid_makes_discharge_substitute() {
+        // z = −0.1 (battery mildly below shift) but V·f' at the base draw
+        // is high: V = 10 ⇒ price at P = 0.08 is 10·(1.6·0.08+0.2) = 3.28 >
+        // |z| = 0.1 ⇒ discharge to displace grid.
+        let mut f = one_bs(-0.1, 0.08, 0.0);
+        f.v = 10.0;
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!(d.discharge() > Energy::ZERO);
+        assert!(d.grid_to_demand() < kwh(0.08));
+    }
+
+    #[test]
+    fn discharge_can_beat_renewable_charging() {
+        // Regression for the property-test find: small |z| with leftover
+        // renewable AND an expensive grid — giving up the tiny renewable
+        // charge gain to discharge past the grid price wins.
+        let mut f = one_bs(-0.05, 0.1, 0.04);
+        f.v = 20.0; // V·f'(0.06) = 20·(1.6·0.06+0.2) ≈ 5.9 ≫ |z|
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!(
+            d.discharge() > Energy::ZERO,
+            "should discharge instead of paying the expensive grid"
+        );
+        assert_eq!(d.renewable().to_battery(), Energy::ZERO, "mutual exclusion");
+    }
+
+    #[test]
+    fn user_draws_do_not_enter_grid_total() {
+        let f = Fixture {
+            z: vec![-10.0],
+            demand: vec![kwh(0.01)],
+            renewable: vec![Energy::ZERO],
+            batteries: vec![Battery::new(kwh(1.0), kwh(0.06), kwh(0.06))],
+            grid_connected: vec![true],
+            grid_limits: vec![kwh(0.2)],
+            is_bs: vec![false],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        };
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        // User buys the full charge at price 0 and serves demand from grid.
+        assert!((d.grid_to_battery().as_kilowatt_hours() - 0.06).abs() < 1e-9);
+        assert_eq!(out.grid_draw, Energy::ZERO);
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn disconnected_user_lives_on_battery() {
+        let f = Fixture {
+            z: vec![3.0],
+            demand: vec![kwh(0.02)],
+            renewable: vec![kwh(0.005)],
+            batteries: vec![Battery::with_level(kwh(1.0), kwh(0.06), kwh(0.06), kwh(0.5))],
+            grid_connected: vec![false],
+            grid_limits: vec![kwh(0.2)],
+            is_bs: vec![false],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        };
+        let out = solve_energy_management(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        // z > 0 makes discharging the *cheapest* source (it earns z per
+        // kWh in the Lyapunov objective), so the battery covers the whole
+        // demand and the small renewable harvest is curtailed.
+        assert!((d.discharge().as_kilowatt_hours() - 0.02).abs() < 1e-9);
+        assert_eq!(d.renewable().curtailed(), kwh(0.005));
+        assert_eq!(d.grid_total(), Energy::ZERO);
+    }
+
+    #[test]
+    fn deficit_reported() {
+        let f = Fixture {
+            z: vec![0.0],
+            demand: vec![kwh(0.5)],
+            renewable: vec![Energy::ZERO],
+            batteries: vec![Battery::new(kwh(1.0), kwh(0.06), kwh(0.06))], // empty
+            grid_connected: vec![false],
+            grid_limits: vec![kwh(0.2)],
+            is_bs: vec![false],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        };
+        assert!(matches!(
+            solve_energy_management(&f.input()).unwrap_err(),
+            EnergyManagementError::Deficit { node: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn two_bs_share_the_price() {
+        // Identical BSs with z = −0.28 and combined charge capacity 0.2:
+        // equilibrium P = 0.05 shared between them.
+        let f = Fixture {
+            z: vec![-0.28, -0.28],
+            demand: vec![Energy::ZERO, Energy::ZERO],
+            renewable: vec![Energy::ZERO, Energy::ZERO],
+            batteries: vec![Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.1), kwh(0.5)); 2],
+            grid_connected: vec![true, true],
+            grid_limits: vec![kwh(0.2), kwh(0.2)],
+            is_bs: vec![true, true],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        };
+        let out = solve_energy_management(&f.input()).unwrap();
+        assert!(
+            (out.grid_draw.as_kilowatt_hours() - 0.05).abs() < 1e-6,
+            "total draw {}",
+            out.grid_draw.as_kilowatt_hours()
+        );
+    }
+
+    #[test]
+    fn grid_only_never_beats_marginal_price() {
+        for &(z, demand, renewable, v) in &[
+            (-0.5, 0.05, 0.02, 1.0),
+            (0.3, 0.08, 0.0, 1.0),
+            (-2.0, 0.15, 0.05, 2.0),
+        ] {
+            let mut f = one_bs(z, demand, renewable);
+            f.v = v;
+            let smart = solve_energy_management(&f.input()).unwrap();
+            let naive = solve_grid_only(&f.input()).unwrap();
+            assert!(
+                smart.objective <= naive.objective + 1e-9,
+                "marginal price {} must not lose to grid-only {}",
+                smart.objective,
+                naive.objective
+            );
+        }
+    }
+
+    #[test]
+    fn grid_only_discharges_only_when_forced() {
+        // Demand above the grid cap: the remainder must come from storage.
+        let f = one_bs(-1.0, 0.25, 0.0);
+        let out = solve_grid_only(&f.input()).unwrap();
+        let d = &out.decisions[0];
+        assert!((d.grid_to_demand().as_kilowatt_hours() - 0.2).abs() < 1e-9);
+        assert!((d.discharge().as_kilowatt_hours() - 0.05).abs() < 1e-9);
+        assert_eq!(d.grid_to_battery(), Energy::ZERO);
+        // Comfortable demand: no battery involvement at all.
+        let f2 = one_bs(-1.0, 0.1, 0.0);
+        let out2 = solve_grid_only(&f2.input()).unwrap();
+        assert_eq!(out2.decisions[0].discharge(), Energy::ZERO);
+    }
+
+    /// Brute-force check: discretize one BS's decision space and verify the
+    /// solver's objective is no worse than any grid point.
+    #[test]
+    fn matches_brute_force_on_single_bs() {
+        for &(z, demand, renewable, v) in &[
+            (-0.5, 0.05, 0.02, 1.0),
+            (0.3, 0.08, 0.0, 1.0),
+            (-0.28, 0.0, 0.0, 1.0),
+            (-0.1, 0.08, 0.0, 10.0),
+            (-2.0, 0.15, 0.05, 2.0),
+            (-0.05, 0.1, 0.04, 20.0),
+        ] {
+            let mut f = one_bs(z, demand, renewable);
+            f.v = v;
+            let out = solve_energy_management(&f.input()).unwrap();
+            let brute = brute_force_one_bs(&f);
+            assert!(
+                out.objective <= brute + 2e-3,
+                "z={z} demand={demand}: solver {} vs brute {brute}",
+                out.objective
+            );
+        }
+    }
+
+    /// Exhaustive grid over (renewable split, grid split, discharge).
+    fn brute_force_one_bs(f: &Fixture) -> f64 {
+        let steps = 60;
+        let battery = &f.batteries[0];
+        let e = f.demand[0].as_kilowatt_hours();
+        let r = f.renewable[0].as_kilowatt_hours();
+        let g_max = f.grid_limits[0].as_kilowatt_hours();
+        let d_max = battery.max_discharge_now().as_kilowatt_hours();
+        let c_room = battery.max_charge_now().as_kilowatt_hours();
+        let mut best = f64::INFINITY;
+        for di in 0..=steps {
+            let d = d_max * di as f64 / steps as f64;
+            for ri in 0..=steps {
+                let r_dem = (r * ri as f64 / steps as f64).min(e);
+                for ci in 0..=steps {
+                    let cr = ((r - r_dem) * ci as f64 / steps as f64).min(c_room);
+                    let g_dem = e - r_dem - d;
+                    if g_dem < -1e-9 || g_dem > g_max + 1e-9 {
+                        continue;
+                    }
+                    let g_dem = g_dem.max(0.0);
+                    for gi in 0..=steps {
+                        let cg = ((g_max - g_dem).max(0.0) * gi as f64 / steps as f64)
+                            .min(c_room - cr);
+                        let c = cr + cg;
+                        if c > 1e-9 && d > 1e-9 {
+                            continue; // (9)
+                        }
+                        if c > c_room + 1e-9 {
+                            continue;
+                        }
+                        let p = g_dem + cg;
+                        let obj = f.z[0] * (c - d)
+                            + f.v * f.cost.cost(Energy::from_kilowatt_hours(p));
+                        best = best.min(obj);
+                    }
+                }
+            }
+        }
+        best
+    }
+}

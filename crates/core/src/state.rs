@@ -1,0 +1,85 @@
+//! The controller's per-slot observation of the random network state.
+
+use greencell_phy::SpectrumState;
+use greencell_units::{Energy, Packets};
+
+/// Everything random the controller observes at the start of a slot
+/// (§II-A: "which can be observed at the beginning of each time slot").
+///
+/// The controller never samples randomness itself — the simulator (or a
+/// live system) supplies one of these per slot, which is what makes
+/// paired-seed architecture comparisons and trace replay possible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotObservation {
+    /// Band bandwidths `W_m(t)`.
+    pub spectrum: SpectrumState,
+    /// Renewable energy harvested this slot per node, `R_i(t)·Δt`.
+    pub renewable: Vec<Energy>,
+    /// Grid connectivity per node: `true` for every BS, `ξ_i(t)` for users.
+    pub grid_connected: Vec<bool>,
+    /// Required throughput `v_s(t)` per session, in packets for this slot.
+    pub session_demand: Vec<Packets>,
+    /// Time-of-use electricity price multiplier for this slot: the
+    /// provider pays `price_multiplier · f(P(t))`. The paper's flat tariff
+    /// is `1.0`; peak/off-peak tariffs are an extension (see
+    /// `greencell-sim`'s `TouPricing`).
+    pub price_multiplier: f64,
+}
+
+impl SlotObservation {
+    /// Checks dimensional consistency against a network's node/session/band
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector length disagrees.
+    pub fn validate(&self, nodes: usize, sessions: usize, bands: usize) {
+        assert!(
+            self.price_multiplier.is_finite() && self.price_multiplier >= 0.0,
+            "price multiplier must be a non-negative finite number"
+        );
+        assert_eq!(self.renewable.len(), nodes, "renewable vector length");
+        assert_eq!(
+            self.grid_connected.len(),
+            nodes,
+            "grid connectivity vector length"
+        );
+        assert_eq!(
+            self.session_demand.len(),
+            sessions,
+            "session demand vector length"
+        );
+        assert_eq!(self.spectrum.band_count(), bands, "spectrum band count");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greencell_units::Bandwidth;
+
+    #[test]
+    fn consistent_observation_validates() {
+        let obs = SlotObservation {
+            spectrum: SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]),
+            renewable: vec![Energy::ZERO; 3],
+            grid_connected: vec![true; 3],
+            session_demand: vec![Packets::new(600); 2],
+            price_multiplier: 1.0,
+        };
+        obs.validate(3, 2, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "renewable vector length")]
+    fn wrong_node_count_panics() {
+        let obs = SlotObservation {
+            spectrum: SpectrumState::new(vec![]),
+            renewable: vec![Energy::ZERO; 2],
+            grid_connected: vec![true; 3],
+            session_demand: vec![],
+            price_multiplier: 1.0,
+        };
+        obs.validate(3, 0, 0);
+    }
+}

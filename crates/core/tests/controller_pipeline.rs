@@ -1,0 +1,196 @@
+//! Direct tests of the controller's per-slot pipeline (no simulator):
+//! queue wiring, report consistency, relay policy, and battery evolution.
+
+use greencell_core::{
+    Controller, ControllerConfig, EnergyConfig, NodeEnergyConfig, RelayPolicy, SchedulerKind,
+    SlotObservation,
+};
+use greencell_energy::{Battery, CostFn, NodeEnergyModel, QuadraticCost};
+use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
+use greencell_phy::{PhyConfig, SpectrumState};
+use greencell_units::{Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta};
+
+/// BS(0) — u1(1) — u2(2) chain, session to u2.
+fn chain_net() -> Network {
+    let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+    b.add_base_station(Point::new(0.0, 0.0));
+    b.add_user(Point::new(300.0, 0.0));
+    let u2 = b.add_user(Point::new(600.0, 0.0));
+    b.add_session(u2, DataRate::from_kilobits_per_second(100.0));
+    b.build().unwrap()
+}
+
+fn energy_config(n: usize) -> EnergyConfig {
+    EnergyConfig {
+        nodes: vec![
+            NodeEnergyConfig {
+                battery: Battery::with_level(
+                    Energy::from_kilowatt_hours(1.0),
+                    Energy::from_kilowatt_hours(0.1),
+                    Energy::from_kilowatt_hours(0.1),
+                    Energy::from_kilowatt_hours(0.5),
+                ),
+                energy_model: NodeEnergyModel::new(
+                    Energy::ZERO,
+                    Energy::ZERO,
+                    Power::from_milliwatts(100.0),
+                ),
+                max_power: Power::from_watts(20.0),
+                grid_limit: Energy::from_kilowatt_hours(0.2),
+            };
+            n
+        ],
+        cost: QuadraticCost::paper_default(),
+    }
+}
+
+fn config(v: f64) -> ControllerConfig {
+    ControllerConfig {
+        v,
+        lambda: 0.02,
+        k_max: Packets::new(500),
+        packet_size: PacketSize::from_bits(10_000),
+        slot: TimeDelta::from_minutes(1.0),
+        scheduler: SchedulerKind::Greedy,
+        relay: RelayPolicy::MultiHop,
+        energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
+        w_max: Bandwidth::from_megahertz(2.0),
+    }
+}
+
+fn obs(nodes: usize, sessions: usize) -> SlotObservation {
+    SlotObservation {
+        spectrum: SpectrumState::new(vec![
+            Bandwidth::from_megahertz(1.0),
+            Bandwidth::from_megahertz(1.5),
+        ]),
+        renewable: vec![Energy::from_joules(400.0); nodes],
+        grid_connected: vec![true; nodes],
+        session_demand: vec![Packets::new(600); sessions],
+        price_multiplier: 1.0,
+    }
+}
+
+#[test]
+fn first_slot_admits_into_the_source_queue() {
+    let net = chain_net();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
+        .unwrap();
+    let report = ctl.step(&obs(3, 1)).unwrap();
+    // Empty queues ⇒ S2 admits K_max at the (only) BS; nothing to schedule
+    // or route yet.
+    assert_eq!(report.admitted, Packets::new(500));
+    assert_eq!(report.scheduled_links, 0);
+    assert_eq!(report.routed, Packets::ZERO);
+    assert_eq!(
+        ctl.data()
+            .backlog(NodeId::from_index(0), SessionId::from_index(0)),
+        Packets::new(500)
+    );
+}
+
+#[test]
+fn packets_flow_and_drain_over_slots() {
+    let net = chain_net();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
+        .unwrap();
+    let o = obs(3, 1);
+    let mut delivered = Packets::ZERO;
+    for _ in 0..12 {
+        ctl.step(&o).unwrap();
+        delivered = ctl.data().delivered(SessionId::from_index(0));
+    }
+    assert!(delivered > Packets::ZERO, "chain should deliver within 12 slots");
+    // The virtual queues that carried traffic were also served.
+    let g01 = ctl
+        .links()
+        .g(NodeId::from_index(0), NodeId::from_index(1))
+        .count();
+    assert!(g01 < 20_000, "link buffer should drain: {g01}");
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let net = chain_net();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
+        .unwrap();
+    let o = obs(3, 1);
+    let mut prev_after = None;
+    for _ in 0..8 {
+        let r = ctl.step(&o).unwrap();
+        // Lyapunov continuity: this slot's "before" is last slot's "after".
+        if let Some(prev) = prev_after {
+            assert!(
+                (r.lyapunov_before - prev) < 1e-6 * (1.0 + prev),
+                "Lyapunov value not continuous across slots"
+            );
+        }
+        prev_after = Some(r.lyapunov_after);
+        // Cost consistency with the grid draw.
+        let expected = QuadraticCost::paper_default().cost(r.grid_draw);
+        assert!((r.cost - expected).abs() < 1e-9);
+        assert_eq!(r.shed_transmissions, 0);
+    }
+}
+
+#[test]
+fn one_hop_controller_never_routes_from_users() {
+    let net = chain_net();
+    let mut cfg = config(1e5);
+    cfg.relay = RelayPolicy::OneHop;
+    let mut ctl =
+        Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), cfg).unwrap();
+    let o = obs(3, 1);
+    for _ in 0..10 {
+        ctl.step(&o).unwrap();
+    }
+    for i in 1..3 {
+        for j in 0..3 {
+            if i == j {
+                continue;
+            }
+            assert_eq!(
+                ctl.links()
+                    .g(NodeId::from_index(i), NodeId::from_index(j))
+                    .count(),
+                0,
+                "user {i} should never feed a link buffer under one-hop"
+            );
+        }
+    }
+    // Yet traffic is still delivered (directly BS → u2).
+    assert!(ctl.data().delivered(SessionId::from_index(0)) > Packets::ZERO);
+}
+
+#[test]
+fn v_zero_still_runs() {
+    // V = 0 is legal (pure stability, no cost emphasis): λV = 0 means no
+    // admissions at all, so the system idles but must not fault.
+    let net = chain_net();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(0.0))
+        .unwrap();
+    let r = ctl.step(&obs(3, 1)).unwrap();
+    assert_eq!(r.admitted, Packets::ZERO);
+    assert_eq!(r.routed, Packets::ZERO);
+}
+
+#[test]
+fn batteries_track_decisions_exactly() {
+    let net = chain_net();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
+        .unwrap();
+    let o = obs(3, 1);
+    // With V = 1e5 the z-shift dwarfs every level: all nodes charge at
+    // their caps until full (0.5 → 1.0 kWh at ≤ 0.1 kWh/slot = ≥ 5 slots).
+    for _ in 0..8 {
+        ctl.step(&o).unwrap();
+    }
+    for i in 0..3 {
+        let b = ctl.battery(NodeId::from_index(i));
+        assert!(
+            b.level().as_kilowatt_hours() > 0.95,
+            "node {i} should be nearly full, at {}",
+            b.level().as_kilowatt_hours()
+        );
+    }
+}

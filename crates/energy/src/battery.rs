@@ -1,0 +1,364 @@
+//! The per-node energy storage unit (paper Eqs. (4), (9)–(13)).
+
+use greencell_units::Energy;
+use std::error::Error;
+use std::fmt;
+
+/// Slack for floating-point comparisons on energy amounts, in joules.
+/// One micro-joule is far below any physically meaningful quantity here.
+const EPS_JOULES: f64 = 1e-6;
+
+/// Error applying an infeasible charge/discharge to a [`Battery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatteryError {
+    /// Charging and discharging in the same slot — constraint (9).
+    SimultaneousChargeDischarge,
+    /// Charge exceeds `min{c^max, x^max − x}` — constraint (11).
+    ChargeExceedsLimit {
+        /// Requested charge.
+        requested: Energy,
+        /// Largest feasible charge this slot.
+        limit: Energy,
+    },
+    /// Discharge exceeds `min{d^max, x}` — constraint (12).
+    DischargeExceedsLimit {
+        /// Requested discharge.
+        requested: Energy,
+        /// Largest feasible discharge this slot.
+        limit: Energy,
+    },
+    /// A negative amount was supplied.
+    NegativeAmount,
+}
+
+impl fmt::Display for BatteryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SimultaneousChargeDischarge => {
+                write!(f, "cannot charge and discharge in the same slot")
+            }
+            Self::ChargeExceedsLimit { requested, limit } => {
+                write!(f, "charge {requested} exceeds slot limit {limit}")
+            }
+            Self::DischargeExceedsLimit { requested, limit } => {
+                write!(f, "discharge {requested} exceeds slot limit {limit}")
+            }
+            Self::NegativeAmount => write!(f, "energy amounts must be non-negative"),
+        }
+    }
+}
+
+impl Error for BatteryError {}
+
+/// An energy storage unit with level `x_i(t) ∈ [0, x^max_i]`, per-slot
+/// charge limit `c^max_i`, and per-slot discharge limit `d^max_i`.
+///
+/// Construction enforces the paper's sizing constraint (13),
+/// `c^max + d^max ≤ x^max`; [`Battery::apply`] enforces the per-slot
+/// constraints (9), (11), and (12) and advances the level by the queue law
+/// (4), `x(t+1) = x(t) + c(t) − d(t)`.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_energy::Battery;
+/// use greencell_units::Energy;
+///
+/// let mut b = Battery::new(
+///     Energy::from_kilowatt_hours(1.0),  // x^max
+///     Energy::from_kilowatt_hours(0.1),  // c^max
+///     Energy::from_kilowatt_hours(0.1),  // d^max
+/// );
+/// b.apply(Energy::from_kilowatt_hours(0.05), Energy::ZERO)?;
+/// assert_eq!(b.level().as_kilowatt_hours(), 0.05);
+/// # Ok::<(), greencell_energy::BatteryError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    level: Energy,
+    capacity: Energy,
+    charge_limit: Energy,
+    discharge_limit: Energy,
+    charge_efficiency: f64,
+}
+
+impl Battery {
+    /// Creates an empty battery (`x(0) = 0`, as in §IV-B's `z(0)` setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is negative or if
+    /// `charge_limit + discharge_limit > capacity` (constraint (13)).
+    #[must_use]
+    pub fn new(capacity: Energy, charge_limit: Energy, discharge_limit: Energy) -> Self {
+        assert!(
+            capacity.is_non_negative()
+                && charge_limit.is_non_negative()
+                && discharge_limit.is_non_negative(),
+            "battery parameters must be non-negative"
+        );
+        assert!(
+            (charge_limit + discharge_limit).as_joules() <= capacity.as_joules() + EPS_JOULES,
+            "constraint (13) violated: c^max + d^max must not exceed x^max"
+        );
+        Self {
+            level: Energy::ZERO,
+            capacity,
+            charge_limit,
+            discharge_limit,
+            charge_efficiency: 1.0,
+        }
+    }
+
+    /// Creates an empty battery whose charging loses energy: each unit of
+    /// charging energy drawn stores only `efficiency` units (Eq. (4)
+    /// becomes `x(t+1) = x(t) + η·c(t) − d(t)` — an extension of the
+    /// paper's lossless model; `η = 1` recovers it exactly).
+    ///
+    /// # Panics
+    ///
+    /// As [`Battery::new`], plus if `efficiency ∉ (0, 1]`.
+    #[must_use]
+    pub fn with_efficiency(
+        capacity: Energy,
+        charge_limit: Energy,
+        discharge_limit: Energy,
+        efficiency: f64,
+    ) -> Self {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "charge efficiency {efficiency} outside (0, 1]"
+        );
+        let mut b = Self::new(capacity, charge_limit, discharge_limit);
+        b.charge_efficiency = efficiency;
+        b
+    }
+
+    /// Creates a battery at a given initial level.
+    ///
+    /// # Panics
+    ///
+    /// As [`Battery::new`], plus if `initial ∉ [0, capacity]`.
+    #[must_use]
+    pub fn with_level(
+        capacity: Energy,
+        charge_limit: Energy,
+        discharge_limit: Energy,
+        initial: Energy,
+    ) -> Self {
+        let mut b = Self::new(capacity, charge_limit, discharge_limit);
+        assert!(
+            initial.is_non_negative() && initial.as_joules() <= capacity.as_joules() + EPS_JOULES,
+            "initial level outside [0, x^max]"
+        );
+        b.level = initial;
+        b
+    }
+
+    /// The current level `x_i(t)`.
+    #[must_use]
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// The capacity `x^max_i`.
+    #[must_use]
+    pub fn capacity(&self) -> Energy {
+        self.capacity
+    }
+
+    /// The per-slot charge limit `c^max_i`.
+    #[must_use]
+    pub fn charge_limit(&self) -> Energy {
+        self.charge_limit
+    }
+
+    /// The per-slot discharge limit `d^max_i`.
+    #[must_use]
+    pub fn discharge_limit(&self) -> Energy {
+        self.discharge_limit
+    }
+
+    /// The charge efficiency `η ∈ (0, 1]`: stored energy per unit of
+    /// charging energy drawn (`1.0` = the paper's lossless model).
+    #[must_use]
+    pub fn charge_efficiency(&self) -> f64 {
+        self.charge_efficiency
+    }
+
+    /// The largest charge *drawable* this slot:
+    /// `min{c^max, (x^max − x(t))/η}` — the generalization of constraint
+    /// (11) under charge efficiency `η` (at `η = 1` it is exactly (11)).
+    #[must_use]
+    pub fn max_charge_now(&self) -> Energy {
+        self.charge_limit
+            .min((self.capacity - self.level) / self.charge_efficiency)
+            .max(Energy::ZERO)
+    }
+
+    /// The largest discharge available this slot:
+    /// `min{d^max, x(t)}` (constraint (12)).
+    #[must_use]
+    pub fn max_discharge_now(&self) -> Energy {
+        self.discharge_limit.min(self.level).max(Energy::ZERO)
+    }
+
+    /// Applies one slot's charge `c` and discharge `d`, advancing the level
+    /// by Eq. (4).
+    ///
+    /// # Errors
+    ///
+    /// * [`BatteryError::NegativeAmount`] — `c < 0` or `d < 0`;
+    /// * [`BatteryError::SimultaneousChargeDischarge`] — both positive (9);
+    /// * [`BatteryError::ChargeExceedsLimit`] — `c` above (11)'s bound;
+    /// * [`BatteryError::DischargeExceedsLimit`] — `d` above (12)'s bound.
+    ///
+    /// On error the level is unchanged.
+    pub fn apply(&mut self, c: Energy, d: Energy) -> Result<(), BatteryError> {
+        if !c.is_non_negative() || !d.is_non_negative() {
+            return Err(BatteryError::NegativeAmount);
+        }
+        if c.as_joules() > EPS_JOULES && d.as_joules() > EPS_JOULES {
+            return Err(BatteryError::SimultaneousChargeDischarge);
+        }
+        let c_limit = self.max_charge_now();
+        if c.as_joules() > c_limit.as_joules() + EPS_JOULES {
+            return Err(BatteryError::ChargeExceedsLimit {
+                requested: c,
+                limit: c_limit,
+            });
+        }
+        let d_limit = self.max_discharge_now();
+        if d.as_joules() > d_limit.as_joules() + EPS_JOULES {
+            return Err(BatteryError::DischargeExceedsLimit {
+                requested: d,
+                limit: d_limit,
+            });
+        }
+        self.level =
+            (self.level + c * self.charge_efficiency - d).clamp(Energy::ZERO, self.capacity);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kwh(x: f64) -> Energy {
+        Energy::from_kilowatt_hours(x)
+    }
+
+    fn battery() -> Battery {
+        Battery::new(kwh(1.0), kwh(0.1), kwh(0.06))
+    }
+
+    #[test]
+    fn charge_then_discharge_tracks_level() {
+        let mut b = battery();
+        b.apply(kwh(0.1), Energy::ZERO).unwrap();
+        b.apply(kwh(0.1), Energy::ZERO).unwrap();
+        assert!((b.level().as_kilowatt_hours() - 0.2).abs() < 1e-12);
+        b.apply(Energy::ZERO, kwh(0.06)).unwrap();
+        assert!((b.level().as_kilowatt_hours() - 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_exclusion_enforced() {
+        let mut b = battery();
+        b.apply(kwh(0.05), Energy::ZERO).unwrap();
+        assert_eq!(
+            b.apply(kwh(0.01), kwh(0.01)),
+            Err(BatteryError::SimultaneousChargeDischarge)
+        );
+    }
+
+    #[test]
+    fn charge_limit_and_headroom() {
+        let mut b = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.06), kwh(0.95));
+        assert!((b.max_charge_now().as_kilowatt_hours() - 0.05).abs() < 1e-12);
+        assert!(matches!(
+            b.apply(kwh(0.06), Energy::ZERO),
+            Err(BatteryError::ChargeExceedsLimit { .. })
+        ));
+        b.apply(kwh(0.05), Energy::ZERO).unwrap();
+        assert!((b.level().as_kilowatt_hours() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_limited_by_level() {
+        let mut b = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.06), kwh(0.01));
+        assert!((b.max_discharge_now().as_kilowatt_hours() - 0.01).abs() < 1e-15);
+        assert!(matches!(
+            b.apply(Energy::ZERO, kwh(0.02)),
+            Err(BatteryError::DischargeExceedsLimit { .. })
+        ));
+        b.apply(Energy::ZERO, kwh(0.01)).unwrap();
+        assert_eq!(b.level(), Energy::ZERO);
+    }
+
+    #[test]
+    fn error_leaves_level_unchanged() {
+        let mut b = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.06), kwh(0.5));
+        let before = b.level();
+        let _ = b.apply(kwh(0.5), Energy::ZERO); // over c^max
+        assert_eq!(b.level(), before);
+    }
+
+    #[test]
+    fn negative_amount_rejected() {
+        let mut b = battery();
+        assert_eq!(
+            b.apply(Energy::from_joules(-1.0), Energy::ZERO),
+            Err(BatteryError::NegativeAmount)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "constraint (13)")]
+    fn oversized_limits_rejected() {
+        let _ = Battery::new(kwh(0.1), kwh(0.06), kwh(0.06));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial level")]
+    fn overfull_initial_rejected() {
+        let _ = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.06), kwh(1.5));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BatteryError::SimultaneousChargeDischarge;
+        assert!(e.to_string().contains("same slot"));
+    }
+
+    #[test]
+    fn lossy_charging_stores_less() {
+        let mut b = Battery::with_efficiency(kwh(1.0), kwh(0.1), kwh(0.06), 0.8);
+        assert_eq!(b.charge_efficiency(), 0.8);
+        b.apply(kwh(0.1), Energy::ZERO).unwrap();
+        assert!((b.level().as_kilowatt_hours() - 0.08).abs() < 1e-12);
+        // Discharging is lossless in this model.
+        b.apply(Energy::ZERO, kwh(0.06)).unwrap();
+        assert!((b.level().as_kilowatt_hours() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_headroom_allows_larger_draw() {
+        // 0.05 kWh of headroom at η = 0.5 accepts 0.1 kWh of drawn charge.
+        let mut b = Battery::with_efficiency(kwh(1.0), kwh(0.2), kwh(0.06), 0.5);
+        b.apply(kwh(0.2), Energy::ZERO).unwrap(); // stores 0.1
+        for _ in 0..8 {
+            b.apply(b.max_charge_now(), Energy::ZERO).unwrap();
+        }
+        assert!(b.level().as_kilowatt_hours() <= 1.0 + 1e-12);
+        let near_full = Battery::with_level(kwh(1.0), kwh(0.2), kwh(0.06), kwh(0.95));
+        assert!(near_full.max_charge_now().as_kilowatt_hours() <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn zero_efficiency_rejected() {
+        let _ = Battery::with_efficiency(kwh(1.0), kwh(0.1), kwh(0.06), 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The provider's energy generation cost `f(P(t))` (paper §II-E).
+
+use greencell_units::Energy;
+
+/// A non-negative, non-decreasing, convex cost of the total per-slot grid
+/// draw `P(t)` — the assumptions the paper places on `f(·)`.
+///
+/// The marginal cost drives the S4 energy-management solver: with `f`
+/// convex, [`CostFn::marginal`] is non-decreasing in `P`, which is what
+/// makes the marginal-price bisection exact (see `greencell-core`).
+///
+/// Implementations must keep the three properties; [`debug_check`] verifies
+/// them numerically on a grid and is used by tests and the property suite.
+pub trait CostFn {
+    /// The cost of drawing `p` from the grid in one slot (currency units).
+    fn cost(&self, p: Energy) -> f64;
+
+    /// The derivative `f'(p)` in currency units per kilowatt-hour.
+    fn marginal(&self, p: Energy) -> f64;
+
+    /// The largest marginal over `[0, p_max]` — the paper's `γ_max`, used
+    /// to shift the battery queues (`z_i = x_i − Vγ_max − d^max_i`).
+    fn max_marginal(&self, p_max: Energy) -> f64 {
+        self.marginal(p_max)
+    }
+}
+
+/// Numerically verifies non-negativity, monotonicity, and convexity of a
+/// [`CostFn`] on `[0, p_max]` with `steps` sample points.
+///
+/// Returns `true` if all three properties hold (up to a small slack).
+///
+/// # Panics
+///
+/// Panics if `steps < 2`.
+#[must_use]
+pub fn debug_check<F: CostFn + ?Sized>(f: &F, p_max: Energy, steps: usize) -> bool {
+    assert!(steps >= 2, "need at least two samples");
+    let kwh_max = p_max.as_kilowatt_hours();
+    let xs: Vec<f64> = (0..steps)
+        .map(|k| kwh_max * k as f64 / (steps - 1) as f64)
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|&x| f.cost(Energy::from_kilowatt_hours(x)))
+        .collect();
+    let slack = 1e-9 * (1.0 + ys.iter().cloned().fold(0.0, f64::max).abs());
+    // Non-negative and non-decreasing.
+    for w in ys.windows(2) {
+        if w[0] < -slack || w[1] < w[0] - slack {
+            return false;
+        }
+    }
+    // Midpoint convexity on consecutive triples.
+    for w in ys.windows(3) {
+        if w[1] > 0.5 * (w[0] + w[2]) + slack {
+            return false;
+        }
+    }
+    true
+}
+
+/// The paper's quadratic cost `f(P) = a·P² + b·P + c`, with `P` in
+/// kilowatt-hours (the evaluation uses `a = 0.8`, `b = 0.2`, `c = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use greencell_energy::{CostFn, QuadraticCost};
+/// use greencell_units::Energy;
+///
+/// let f = QuadraticCost::new(0.8, 0.2, 0.0);
+/// let p = Energy::from_kilowatt_hours(2.0);
+/// assert_eq!(f.cost(p), 0.8 * 4.0 + 0.2 * 2.0);
+/// assert_eq!(f.marginal(p), 2.0 * 0.8 * 2.0 + 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadraticCost {
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl QuadraticCost {
+    /// Creates `f(P) = aP² + bP + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a < 0`, `b < 0`, or `c < 0` — any of those would break
+    /// convexity or monotonicity on `P ≥ 0`.
+    #[must_use]
+    pub fn new(a: f64, b: f64, c: f64) -> Self {
+        assert!(
+            a >= 0.0 && b >= 0.0 && c >= 0.0,
+            "quadratic cost coefficients must be non-negative"
+        );
+        Self { a, b, c }
+    }
+
+    /// The paper's evaluation cost: `0.8P² + 0.2P`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(0.8, 0.2, 0.0)
+    }
+
+    /// The quadratic coefficient `a`.
+    #[must_use]
+    pub fn quadratic(&self) -> f64 {
+        self.a
+    }
+
+    /// The linear coefficient `b`.
+    #[must_use]
+    pub fn linear(&self) -> f64 {
+        self.b
+    }
+
+    /// The constant term `c`.
+    #[must_use]
+    pub fn constant(&self) -> f64 {
+        self.c
+    }
+
+    /// Inverse of the marginal: the draw `P` at which `f'(P) = mu`, clamped
+    /// to `P ≥ 0`. For `a = 0` (linear cost) returns `None` — every draw
+    /// has the same marginal.
+    #[must_use]
+    pub fn marginal_inverse(&self, mu: f64) -> Option<Energy> {
+        if self.a == 0.0 {
+            None
+        } else {
+            Some(Energy::from_kilowatt_hours(
+                ((mu - self.b) / (2.0 * self.a)).max(0.0),
+            ))
+        }
+    }
+}
+
+impl CostFn for QuadraticCost {
+    fn cost(&self, p: Energy) -> f64 {
+        let x = p.as_kilowatt_hours();
+        self.a * x * x + self.b * x + self.c
+    }
+
+    fn marginal(&self, p: Energy) -> f64 {
+        2.0 * self.a * p.as_kilowatt_hours() + self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let f = QuadraticCost::paper_default();
+        assert_eq!(f.quadratic(), 0.8);
+        assert_eq!(f.linear(), 0.2);
+        assert_eq!(f.constant(), 0.0);
+        assert_eq!(f.cost(Energy::ZERO), 0.0);
+    }
+
+    #[test]
+    fn cost_and_marginal_match_closed_form() {
+        let f = QuadraticCost::new(2.0, 1.0, 0.5);
+        let p = Energy::from_kilowatt_hours(3.0);
+        assert_eq!(f.cost(p), 2.0 * 9.0 + 3.0 + 0.5);
+        assert_eq!(f.marginal(p), 13.0);
+        assert_eq!(f.max_marginal(p), 13.0);
+    }
+
+    #[test]
+    fn marginal_inverse_round_trips() {
+        let f = QuadraticCost::paper_default();
+        let p = Energy::from_kilowatt_hours(1.7);
+        let mu = f.marginal(p);
+        let back = f.marginal_inverse(mu).unwrap();
+        assert!((back.as_kilowatt_hours() - 1.7).abs() < 1e-12);
+        // Below-minimum marginal clamps to zero draw.
+        assert_eq!(
+            f.marginal_inverse(0.0).unwrap().as_kilowatt_hours(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn linear_cost_has_no_marginal_inverse() {
+        let f = QuadraticCost::new(0.0, 1.0, 0.0);
+        assert!(f.marginal_inverse(1.0).is_none());
+    }
+
+    #[test]
+    fn debug_check_accepts_valid_cost() {
+        let f = QuadraticCost::paper_default();
+        assert!(debug_check(&f, Energy::from_kilowatt_hours(10.0), 100));
+    }
+
+    #[test]
+    fn debug_check_rejects_concave() {
+        struct Concave;
+        impl CostFn for Concave {
+            fn cost(&self, p: Energy) -> f64 {
+                p.as_kilowatt_hours().sqrt()
+            }
+            fn marginal(&self, p: Energy) -> f64 {
+                0.5 / p.as_kilowatt_hours().sqrt().max(1e-9)
+            }
+        }
+        assert!(!debug_check(&Concave, Energy::from_kilowatt_hours(10.0), 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coefficient_rejected() {
+        let _ = QuadraticCost::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn usable_as_trait_object() {
+        let f: Box<dyn CostFn> = Box::new(QuadraticCost::paper_default());
+        assert!(f.cost(Energy::from_kilowatt_hours(1.0)) > 0.0);
+        assert!(debug_check(f.as_ref(), Energy::from_kilowatt_hours(1.0), 10));
+    }
+}

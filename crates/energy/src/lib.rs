@@ -1,0 +1,36 @@
+//! Energy substrate: storage, renewables, grid connections, generation
+//! cost, and per-node energy accounting (paper §II-C/D/E).
+//!
+//! Each node of the paper's network owns an energy micro-grid:
+//!
+//! * a [`Battery`] — the storage unit with level `x_i(t)`, bounds
+//!   (10)–(13), and the charge/discharge mutual exclusion (9);
+//! * a renewable source whose per-slot output `R_i(t)` is split by a
+//!   [`RenewableSplit`] into serving demand, charging, and curtailment;
+//! * a [`GridConnection`] — always on for base stations, intermittent
+//!   (`ξ_i(t)`) for users, capped by `p^max_i` (14);
+//! * a [`NodeEnergyModel`] — the demand side `E_i(t) = E^const + E^idle +
+//!   E^TX(t)` of Eqs. (2) and (23).
+//!
+//! A slot's complete sourcing choice for one node is an [`EnergyDecision`];
+//! [`EnergyDecision::validate`] checks every §II constraint at once and is
+//! the single gate through which the optimizer's output reaches the
+//! simulator. The provider's bill is a [`CostFn`] of the total grid draw —
+//! [`QuadraticCost`] is the paper's `f(P) = aP² + bP + c`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod cost;
+mod decision;
+mod demand;
+mod grid;
+mod renewable;
+
+pub use battery::{Battery, BatteryError};
+pub use cost::{debug_check, CostFn, QuadraticCost};
+pub use decision::{EnergyDecision, EnergyDecisionError};
+pub use demand::NodeEnergyModel;
+pub use grid::{GridConnection, GridError};
+pub use renewable::{RenewableSplit, RenewableSplitError};

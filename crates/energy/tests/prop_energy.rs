@@ -1,0 +1,138 @@
+//! Property tests: the battery and energy-decision invariants of paper
+//! §II hold under arbitrary valid operation sequences, and the validator
+//! rejects every constructed violation.
+
+use greencell_energy::{
+    Battery, CostFn, EnergyDecision, GridConnection, QuadraticCost, RenewableSplit,
+};
+use greencell_units::Energy;
+use proptest::prelude::*;
+
+fn j(x: f64) -> Energy {
+    Energy::from_joules(x)
+}
+
+proptest! {
+    /// A battery driven by always-feasible charges/discharges never leaves
+    /// `[0, x^max]` and never sees `c^max + d^max > x^max` violated.
+    #[test]
+    fn battery_stays_in_bounds(
+        capacity in 100.0f64..1000.0,
+        ops in prop::collection::vec((any::<bool>(), 0.0f64..1.0), 1..200),
+    ) {
+        let c_limit = capacity * 0.3;
+        let d_limit = capacity * 0.3;
+        let mut b = Battery::new(j(capacity), j(c_limit), j(d_limit));
+        for &(charge, fraction) in &ops {
+            if charge {
+                let amount = b.max_charge_now() * fraction;
+                b.apply(amount, Energy::ZERO).expect("feasible charge");
+            } else {
+                let amount = b.max_discharge_now() * fraction;
+                b.apply(Energy::ZERO, amount).expect("feasible discharge");
+            }
+            prop_assert!(b.level().as_joules() >= -1e-9);
+            prop_assert!(b.level().as_joules() <= capacity + 1e-9);
+        }
+    }
+
+    /// Over-limit operations are always rejected and leave the state
+    /// untouched.
+    #[test]
+    fn battery_rejects_over_limit(
+        capacity in 100.0f64..1000.0,
+        level_fraction in 0.0f64..1.0,
+        excess in 1.0f64..50.0,
+    ) {
+        let c_limit = capacity * 0.25;
+        let d_limit = capacity * 0.25;
+        let level = j(capacity * level_fraction);
+        let mut b = Battery::with_level(j(capacity), j(c_limit), j(d_limit), level);
+        let before = b.level();
+        let too_much_charge = b.max_charge_now() + j(excess);
+        prop_assert!(b.apply(too_much_charge, Energy::ZERO).is_err());
+        prop_assert_eq!(b.level(), before);
+        let too_much_discharge = b.max_discharge_now() + j(excess);
+        prop_assert!(b.apply(Energy::ZERO, too_much_discharge).is_err());
+        prop_assert_eq!(b.level(), before);
+    }
+
+    /// Any decision built from a feasible random split validates, and
+    /// applying it keeps the battery in range.
+    #[test]
+    fn feasible_decisions_validate_and_apply(
+        demand in 0.0f64..100.0,
+        renewable in 0.0f64..150.0,
+        level_fraction in 0.0f64..1.0,
+        use_battery in any::<bool>(),
+    ) {
+        let capacity = 500.0;
+        let mut battery = Battery::with_level(
+            j(capacity), j(120.0), j(120.0), j(capacity * level_fraction));
+        let grid = GridConnection::new(true, j(200.0));
+
+        // Construct a feasible sourcing: renewable first, then battery or
+        // grid for the remainder, leftover renewable charges if possible.
+        let r_dem = renewable.min(demand);
+        let mut need = demand - r_dem;
+        let d = if use_battery {
+            let d = need.min(battery.max_discharge_now().as_joules());
+            need -= d;
+            d
+        } else {
+            0.0
+        };
+        let g = need; // ≤ 100 < 200 grid cap
+        let leftover = renewable - r_dem;
+        let cr = if d > 1e-9 { 0.0 } else { leftover.min(battery.max_charge_now().as_joules()) };
+        let waste = leftover - cr;
+        let split = RenewableSplit::new(j(renewable), j(r_dem), j(cr), j(waste)).unwrap();
+        let decision = EnergyDecision::new(j(g), j(0.0), split, j(d));
+        decision.validate(j(demand), &battery, &grid).expect("constructed feasible");
+        decision.apply_to_battery(&mut battery).expect("applies");
+        prop_assert!(battery.level().as_joules() >= -1e-9);
+        prop_assert!(battery.level().as_joules() <= capacity + 1e-9);
+        // Grid total is what the provider pays for.
+        prop_assert!((decision.grid_total().as_joules() - g).abs() < 1e-9);
+    }
+
+    /// Unbalanced decisions are always rejected.
+    #[test]
+    fn unbalanced_decisions_rejected(
+        demand in 10.0f64..100.0,
+        shortfall in 1.0f64..9.0,
+    ) {
+        let battery = Battery::with_level(j(500.0), j(120.0), j(120.0), j(250.0));
+        let grid = GridConnection::new(true, j(200.0));
+        let split = RenewableSplit::new(Energy::ZERO, Energy::ZERO, Energy::ZERO, Energy::ZERO).unwrap();
+        let decision = EnergyDecision::new(j(demand - shortfall), Energy::ZERO, split, Energy::ZERO);
+        prop_assert!(decision.validate(j(demand), &battery, &grid).is_err());
+    }
+
+    /// The quadratic cost is non-negative, non-decreasing, and convex on
+    /// random grids, and its marginal inverse round-trips.
+    #[test]
+    fn quadratic_cost_properties(
+        a in 0.0f64..5.0,
+        b in 0.0f64..5.0,
+        c in 0.0f64..5.0,
+        p1 in 0.0f64..10.0,
+        p2 in 0.0f64..10.0,
+    ) {
+        let f = QuadraticCost::new(a, b, c);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let e_lo = Energy::from_kilowatt_hours(lo);
+        let e_hi = Energy::from_kilowatt_hours(hi);
+        prop_assert!(f.cost(e_lo) >= 0.0);
+        prop_assert!(f.cost(e_hi) + 1e-12 >= f.cost(e_lo));
+        // Midpoint convexity.
+        let mid = Energy::from_kilowatt_hours(0.5 * (lo + hi));
+        prop_assert!(f.cost(mid) <= 0.5 * (f.cost(e_lo) + f.cost(e_hi)) + 1e-9);
+        prop_assert!(greencell_energy::debug_check(&f, Energy::from_kilowatt_hours(10.0), 30));
+        if a > 1e-6 {
+            let mu = f.marginal(e_hi);
+            let back = f.marginal_inverse(mu).unwrap();
+            prop_assert!((back.as_kilowatt_hours() - hi).abs() < 1e-6);
+        }
+    }
+}

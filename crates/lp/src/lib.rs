@@ -1,0 +1,44 @@
+//! Optimization substrate: a dense two-phase simplex LP solver and scalar
+//! search routines.
+//!
+//! The paper solves its per-slot subproblems with CPLEX 12.4 (§VI). This
+//! workspace has no external solver, so this crate hand-rolls the two
+//! numerical tools the controller needs:
+//!
+//! * [`LinearProgram`] — a small, deterministic, dense two-phase primal
+//!   simplex with bounded variables, used by the sequential-fix link
+//!   scheduler (S1) and the relaxed lower-bound controller `P̄3`;
+//! * [`bisect_increasing`] / [`golden_section_min`] — scalar searches used
+//!   by the S4 marginal-price solver.
+//!
+//! The simplex is tuned for *correctness and reproducibility*, not raw
+//! speed: Dantzig pricing with an automatic switch to Bland's rule after a
+//! run of degenerate pivots (so it cannot cycle), explicit tolerances, and
+//! exhaustive tests against brute-force grids and textbook instances. The
+//! per-slot LPs of this workspace are a few hundred variables at most.
+//!
+//! # Examples
+//!
+//! Minimize `-x - 2y` subject to `x + y ≤ 4`, `x ≤ 3`, `0 ≤ x, y ≤ 3`:
+//!
+//! ```
+//! use greencell_lp::{LinearProgram, Relation};
+//!
+//! let mut lp = LinearProgram::new();
+//! let x = lp.add_variable(-1.0, 0.0, 3.0);
+//! let y = lp.add_variable(-2.0, 0.0, 3.0);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! let sol = lp.solve()?;
+//! assert!((sol.objective() - (-7.0)).abs() < 1e-9); // x = 1, y = 3
+//! assert!((sol.value(y) - 3.0).abs() < 1e-9);
+//! # Ok::<(), greencell_lp::LpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod search;
+mod simplex;
+
+pub use search::{bisect_increasing, golden_section_min};
+pub use simplex::{LinearProgram, LpError, Relation, Solution, VarId};

@@ -1,0 +1,138 @@
+//! Scalar search routines used by the S4 marginal-price solver.
+
+/// Finds a root of a non-decreasing function `f` on `[lo, hi]` by
+/// bisection: returns `x` with `|f(x)| ≤` the achievable resolution after
+/// `max_iter` halvings (or an endpoint if `f` does not change sign).
+///
+/// If `f(lo) > 0` returns `lo`; if `f(hi) < 0` returns `hi` — the callers
+/// (fixed-point equations with clamped domains) want exactly that clamping
+/// behavior.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_lp::bisect_increasing;
+///
+/// let root = bisect_increasing(|x| x * x - 4.0, 0.0, 10.0, 80);
+/// assert!((root - 2.0).abs() < 1e-9);
+/// ```
+pub fn bisect_increasing<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, max_iter: usize) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+    let mut lo = lo;
+    let mut hi = hi;
+    if f(lo) > 0.0 {
+        return lo;
+    }
+    if f(hi) < 0.0 {
+        return hi;
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) <= 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Minimizes a unimodal function on `[lo, hi]` by golden-section search;
+/// returns the minimizing `x` after `max_iter` shrink steps.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is not finite.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_lp::golden_section_min;
+///
+/// let x = golden_section_min(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 100);
+/// assert!((x - 3.0).abs() < 1e-6);
+/// ```
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    max_iter: usize,
+) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - (b - a) * INV_PHI;
+    let mut d = a + (b - a) * INV_PHI;
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..max_iter {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * INV_PHI;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * INV_PHI;
+            fd = f(d);
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_root() {
+        let r = bisect_increasing(|x| x - 1.25, 0.0, 2.0, 60);
+        assert!((r - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_clamps_at_lo() {
+        // f positive everywhere on the interval ⇒ clamp to lo.
+        assert_eq!(bisect_increasing(|x| x + 1.0, 0.0, 5.0, 60), 0.0);
+    }
+
+    #[test]
+    fn bisect_clamps_at_hi() {
+        assert_eq!(bisect_increasing(|x| x - 10.0, 0.0, 5.0, 60), 5.0);
+    }
+
+    #[test]
+    fn bisect_handles_flat_regions() {
+        // Non-decreasing step function.
+        let r = bisect_increasing(|x| if x < 2.0 { -1.0 } else { 1.0 }, 0.0, 4.0, 80);
+        assert!((r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn golden_section_minimizes_quadratic() {
+        let x = golden_section_min(|x| x.mul_add(x, -4.0 * x), -10.0, 10.0, 120);
+        assert!((x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_handles_boundary_minimum() {
+        let x = golden_section_min(|x| x, 1.0, 5.0, 120);
+        assert!((x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn bisect_rejects_inverted_interval() {
+        let _ = bisect_increasing(|x| x, 1.0, 0.0, 10);
+    }
+}

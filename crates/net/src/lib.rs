@@ -1,0 +1,49 @@
+//! Network model for multi-hop green cellular networks (paper §II-A/B).
+//!
+//! This crate is the static description of the system the controller runs
+//! on: who the nodes are ([`Node`], [`NodeKind`]), where they sit
+//! ([`Point`], [`Topology`]), how signals attenuate between them
+//! ([`PathLossModel`] — `g_ij = C · d(i,j)^{-γ}`), which spectrum bands
+//! exist and who may access them ([`BandId`], [`BandSet`]), and which
+//! downlink sessions must be served ([`Session`]).
+//!
+//! Everything *random* (per-slot bandwidths `W_m(t)`, renewable outputs,
+//! demands) lives in `greencell-stochastic` / `greencell-sim`; everything
+//! *physical-layer* (SINR, capacities, scheduling feasibility) lives in
+//! `greencell-phy`. This crate only knows geometry and membership, so it
+//! has no dependency on either.
+//!
+//! # Examples
+//!
+//! ```
+//! use greencell_net::{NetworkBuilder, PathLossModel, Point};
+//! use greencell_units::DataRate;
+//!
+//! let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+//! let bs = b.add_base_station(Point::new(500.0, 500.0));
+//! let user = b.add_user(Point::new(600.0, 500.0));
+//! b.add_session(user, DataRate::from_kilobits_per_second(100.0));
+//! let net = b.build()?;
+//! assert_eq!(net.topology().len(), 2);
+//! assert!(net.topology().gain(bs, user) > 0.0);
+//! # Ok::<(), greencell_net::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod network;
+mod node;
+mod pathloss;
+mod session;
+mod spectrum;
+mod topology;
+
+pub use builder::NetworkBuilder;
+pub use network::{Network, NetworkError};
+pub use node::{Node, NodeId, NodeKind, Point};
+pub use pathloss::PathLossModel;
+pub use session::{Session, SessionId};
+pub use spectrum::{BandId, BandSet};
+pub use topology::Topology;

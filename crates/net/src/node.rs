@@ -1,0 +1,171 @@
+//! Nodes of the multi-hop cellular network: users and base stations.
+
+use greencell_units::Distance;
+use std::fmt;
+
+/// Identifier of a node, `𝒩 = 𝒰 ∪ ℬ` in the paper.
+///
+/// Node ids are dense indices assigned by the [`crate::NetworkBuilder`] in
+/// insertion order, so they can index flat per-node arrays everywhere in the
+/// workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node id from a raw dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a node is a mobile user (`𝒰`) or a base station (`ℬ`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A mobile user: battery-constrained, intermittently grid-connected,
+    /// small solar panel, low transmit power.
+    User,
+    /// A base station: always grid-connected, wind turbine, high transmit
+    /// power; sessions enter the network here.
+    BaseStation,
+}
+
+impl NodeKind {
+    /// `true` for [`NodeKind::BaseStation`].
+    #[must_use]
+    pub fn is_base_station(self) -> bool {
+        matches!(self, Self::BaseStation)
+    }
+
+    /// `true` for [`NodeKind::User`].
+    #[must_use]
+    pub fn is_user(self) -> bool {
+        matches!(self, Self::User)
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::User => write!(f, "user"),
+            Self::BaseStation => write!(f, "base station"),
+        }
+    }
+}
+
+/// A 2-D position in meters within the deployment area.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Point {
+    x: f64,
+    y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates in meters.
+    #[must_use]
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// X coordinate in meters.
+    #[must_use]
+    pub fn x(self) -> f64 {
+        self.x
+    }
+
+    /// Y coordinate in meters.
+    #[must_use]
+    pub fn y(self) -> f64 {
+        self.y
+    }
+
+    /// Euclidean distance `d(i, j)` to another point.
+    #[must_use]
+    pub fn distance_to(self, other: Point) -> Distance {
+        Distance::from_meters(((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt())
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} m, {} m)", self.x, self.y)
+    }
+}
+
+/// A node of the network: identity, kind, and position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    id: NodeId,
+    kind: NodeKind,
+    position: Point,
+}
+
+impl Node {
+    pub(crate) fn new(id: NodeId, kind: NodeKind, position: Point) -> Self {
+        Self { id, kind, position }
+    }
+
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is a user or a base station.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// This node's position.
+    #[must_use]
+    pub fn position(&self) -> Point {
+        self.position
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] at {}", self.id, self.kind, self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b).as_meters(), 5.0);
+        assert_eq!(b.distance_to(a).as_meters(), 5.0);
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(NodeId::from_index(3), NodeKind::BaseStation, Point::new(1.0, 2.0));
+        assert_eq!(n.id().index(), 3);
+        assert!(n.kind().is_base_station());
+        assert!(!n.kind().is_user());
+        assert_eq!(n.position().x(), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let n = Node::new(NodeId::from_index(0), NodeKind::User, Point::new(5.0, 6.0));
+        assert_eq!(n.to_string(), "n0 [user] at (5 m, 6 m)");
+    }
+}

@@ -1,0 +1,153 @@
+//! Achieved SINR of scheduled links under a transmit-power assignment.
+
+use crate::{PhyConfig, Schedule, SpectrumState};
+use greencell_net::Network;
+use greencell_units::Power;
+
+/// SINR of the `index`-th transmission of `schedule` when every
+/// transmission `k` uses power `powers[k]`.
+///
+/// Implements the paper's expression
+/// `SINR^m_ij = g_ij P^m_ij / (η_j W_m + Σ_{k≠i} g_kj P^m_kv)` where the sum
+/// runs over the *other* transmitters active on the same band `m`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range or `powers.len() != schedule.len()`.
+#[must_use]
+pub fn sinr_of(
+    net: &Network,
+    schedule: &Schedule,
+    spectrum: &SpectrumState,
+    phy: &PhyConfig,
+    powers: &[Power],
+    index: usize,
+) -> f64 {
+    assert_eq!(
+        powers.len(),
+        schedule.len(),
+        "one power per scheduled transmission"
+    );
+    let txs = schedule.transmissions();
+    let t = &txs[index];
+    let topo = net.topology();
+    let noise = spectrum
+        .bandwidth(t.band())
+        .noise_power_watts(phy.noise_density());
+    let interference: f64 = txs
+        .iter()
+        .zip(powers)
+        .enumerate()
+        .filter(|(k, (other, _))| *k != index && other.band() == t.band())
+        .map(|(_, (other, p))| topo.gain(other.tx(), t.rx()) * p.as_watts())
+        .sum();
+    let signal = topo.gain(t.tx(), t.rx()) * powers[index].as_watts();
+    signal / (noise + interference)
+}
+
+/// Achieved SINR of every transmission in `schedule` (one entry per
+/// transmission, in schedule order).
+///
+/// # Panics
+///
+/// Panics if `powers.len() != schedule.len()`.
+#[must_use]
+pub fn sinr_matrix(
+    net: &Network,
+    schedule: &Schedule,
+    spectrum: &SpectrumState,
+    phy: &PhyConfig,
+    powers: &[Power],
+) -> Vec<f64> {
+    (0..schedule.len())
+        .map(|k| sinr_of(net, schedule, spectrum, phy, powers, k))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transmission;
+    use greencell_net::{BandId, NetworkBuilder, NodeId, PathLossModel, Point};
+    use greencell_units::Bandwidth;
+
+    fn net_two_links() -> (Network, [NodeId; 4]) {
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+        let a = b.add_base_station(Point::new(0.0, 0.0));
+        let x = b.add_user(Point::new(100.0, 0.0));
+        let c = b.add_base_station(Point::new(1000.0, 0.0));
+        let y = b.add_user(Point::new(1100.0, 0.0));
+        (b.build().unwrap(), [a, x, c, y])
+    }
+
+    #[test]
+    fn isolated_link_matches_closed_form() {
+        let (net, [a, x, _, _]) = net_two_links();
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+        let mut s = Schedule::new();
+        s.try_add(&net, Transmission::new(a, x, BandId::from_index(0)))
+            .unwrap();
+        let p = Power::from_watts(2.0);
+        let sinr = sinr_of(&net, &s, &spectrum, &phy, &[p], 0);
+        // g = 62.5 * 100^-4 = 6.25e-7; noise = 1e-20*1e6 = 1e-14.
+        let expected = 6.25e-7 * 2.0 / 1e-14;
+        assert!((sinr / expected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cochannel_interference_reduces_sinr() {
+        let (net, [a, x, c, y]) = net_two_links();
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+        let mut s = Schedule::new();
+        s.try_add(&net, Transmission::new(a, x, BandId::from_index(0)))
+            .unwrap();
+        s.try_add(&net, Transmission::new(c, y, BandId::from_index(0)))
+            .unwrap();
+        let powers = vec![Power::from_watts(2.0), Power::from_watts(2.0)];
+        let sinrs = sinr_matrix(&net, &s, &spectrum, &phy, &powers);
+        // Interference from c at distance 900 m to receiver x.
+        let g_signal = 62.5 * 100f64.powi(-4);
+        let g_intf = 62.5 * 900f64.powi(-4);
+        let expected = g_signal * 2.0 / (1e-14 + g_intf * 2.0);
+        assert!((sinrs[0] / expected - 1.0).abs() < 1e-12);
+        assert!(sinrs[0] < 6.25e-7 * 2.0 / 1e-14);
+    }
+
+    #[test]
+    fn different_bands_do_not_interfere() {
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+        let a = b.add_base_station(Point::new(0.0, 0.0));
+        let x = b.add_user(Point::new(100.0, 0.0));
+        let c = b.add_base_station(Point::new(300.0, 0.0));
+        let y = b.add_user(Point::new(400.0, 0.0));
+        let net = b.build().unwrap();
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let spectrum = SpectrumState::new(vec![
+            Bandwidth::from_megahertz(1.0),
+            Bandwidth::from_megahertz(1.0),
+        ]);
+        let mut s = Schedule::new();
+        s.try_add(&net, Transmission::new(a, x, BandId::from_index(0)))
+            .unwrap();
+        s.try_add(&net, Transmission::new(c, y, BandId::from_index(1)))
+            .unwrap();
+        let powers = vec![Power::from_watts(2.0), Power::from_watts(2.0)];
+        let sinrs = sinr_matrix(&net, &s, &spectrum, &phy, &powers);
+        let isolated = 62.5 * 100f64.powi(-4) * 2.0 / 1e-14;
+        assert!((sinrs[0] / isolated - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per")]
+    fn power_count_mismatch_panics() {
+        let (net, [a, x, _, _]) = net_two_links();
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+        let mut s = Schedule::new();
+        s.try_add(&net, Transmission::new(a, x, BandId::from_index(0)))
+            .unwrap();
+        let _ = sinr_of(&net, &s, &spectrum, &phy, &[], 0);
+    }
+}

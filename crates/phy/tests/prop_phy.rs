@@ -1,0 +1,138 @@
+//! Property tests: the power-control solution is feasible, minimal, and
+//! respects caps on randomly generated networks and schedules.
+
+use greencell_net::{BandId, NetworkBuilder, PathLossModel, Point};
+use greencell_phy::{
+    min_power_assignment, sinr_matrix, PhyConfig, Schedule, SpectrumState, Transmission,
+};
+use greencell_stochastic::Rng;
+use greencell_units::{Bandwidth, Power};
+use proptest::prelude::*;
+
+/// Builds a random network of `pairs` well-separated transmitter/receiver
+/// pairs and schedules each pair on a random band.
+fn random_instance(
+    seed: u64,
+    pairs: usize,
+    bands: usize,
+) -> (
+    greencell_net::Network,
+    Schedule,
+    SpectrumState,
+    Vec<Power>,
+) {
+    let mut rng = Rng::seed_from(seed);
+    let mut builder = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), bands);
+    let mut endpoints = Vec::new();
+    for k in 0..pairs {
+        // Clusters far apart so co-channel instances stay feasible.
+        let cx = 3000.0 * k as f64;
+        let cy = rng.range_f64(0.0, 500.0);
+        let tx = builder.add_base_station(Point::new(cx, cy));
+        let rx = builder.add_user(Point::new(cx + rng.range_f64(50.0, 300.0), cy));
+        endpoints.push((tx, rx));
+    }
+    let net = builder.build().expect("valid network");
+    let mut schedule = Schedule::new();
+    for &(tx, rx) in &endpoints {
+        let band = BandId::from_index(rng.index(bands));
+        schedule
+            .try_add(&net, Transmission::new(tx, rx, band))
+            .expect("disjoint nodes");
+    }
+    let spectrum = SpectrumState::new(
+        (0..bands)
+            .map(|_| Bandwidth::from_megahertz(rng.range_f64(1.0, 2.0)))
+            .collect(),
+    );
+    let caps = net
+        .topology()
+        .nodes()
+        .iter()
+        .map(|n| {
+            if n.kind().is_base_station() {
+                Power::from_watts(20.0)
+            } else {
+                Power::from_watts(1.0)
+            }
+        })
+        .collect();
+    (net, schedule, spectrum, caps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Returned powers satisfy SINR ≥ Γ on every link and stay within caps.
+    #[test]
+    fn powers_are_feasible(seed in 0u64..10_000, pairs in 1usize..5, bands in 1usize..4) {
+        let (net, schedule, spectrum, caps) = random_instance(seed, pairs, bands);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let powers = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps)
+            .expect("well-separated clusters are feasible");
+        for (k, t) in schedule.transmissions().iter().enumerate() {
+            prop_assert!(powers[k] <= caps[t.tx().index()], "cap violated");
+            prop_assert!(powers[k] > Power::ZERO);
+        }
+        let sinrs = sinr_matrix(&net, &schedule, &spectrum, &phy, &powers);
+        for s in sinrs {
+            prop_assert!(s >= 1.0 - 1e-6, "achieved SINR {s} below threshold");
+        }
+    }
+
+    /// Minimality: uniformly scaling the whole vector down breaks at least
+    /// one link's SINR.
+    #[test]
+    fn powers_are_minimal(seed in 0u64..10_000, pairs in 1usize..4) {
+        let (net, schedule, spectrum, caps) = random_instance(seed, pairs, 2);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let powers = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps)
+            .expect("feasible");
+        let shrunk: Vec<Power> = powers.iter().map(|p| *p * 0.95).collect();
+        let sinrs = sinr_matrix(&net, &schedule, &spectrum, &phy, &shrunk);
+        prop_assert!(sinrs.iter().any(|&s| s < 1.0),
+            "5% shrink should break the binding constraint");
+    }
+
+    /// Power control is deterministic: same instance, same answer.
+    #[test]
+    fn power_control_deterministic(seed in 0u64..10_000) {
+        let (net, schedule, spectrum, caps) = random_instance(seed, 3, 2);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let a = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps);
+        let b = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Schedules never hold a node in two roles, however adds are attempted.
+    #[test]
+    fn schedule_single_radio_is_structural(
+        seed in 0u64..10_000,
+        attempts in prop::collection::vec((0usize..8, 0usize..8, 0usize..2), 0..30),
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut builder = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+        let ids: Vec<_> = (0..8)
+            .map(|k| {
+                if k == 0 {
+                    builder.add_base_station(Point::new(0.0, 0.0))
+                } else {
+                    builder.add_user(Point::new(rng.range_f64(1.0, 2000.0), rng.range_f64(1.0, 2000.0)))
+                }
+            })
+            .collect();
+        let net = builder.build().expect("valid");
+        let mut schedule = Schedule::new();
+        for &(i, j, m) in &attempts {
+            if i == j {
+                continue;
+            }
+            let _ = schedule.try_add(&net, Transmission::new(ids[i], ids[j], BandId::from_index(m)));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in schedule.transmissions() {
+            prop_assert!(seen.insert(t.tx()), "node transmits twice");
+            prop_assert!(seen.insert(t.rx()), "node in two roles");
+        }
+    }
+}

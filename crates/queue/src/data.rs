@@ -1,0 +1,296 @@
+//! The network-layer data queues `Q^s_i(t)` of Eq. (15).
+
+use crate::{FlowPlan, PacketQueue};
+use greencell_net::{NodeId, SessionId};
+use greencell_units::Packets;
+
+/// The bank of per-node per-session data queues, evolving by Eq. (15):
+///
+/// ```text
+/// Q^s_i(t+1) = max{Q^s_i(t) − Σ_j l^s_ij(t), 0} + Σ_j l^s_ji(t) + k_s(t)·1{i = s_s(t)}
+/// ```
+///
+/// Destination nodes hold no queue for their own session (§III-A): inflow
+/// at `d_s` is *delivered* — counted in [`DataQueueBank::delivered`] — and
+/// `Q^s_{d_s}` stays identically zero.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_net::{NodeId, SessionId};
+/// use greencell_queue::{DataQueueBank, FlowPlan};
+/// use greencell_units::Packets;
+///
+/// // 3 nodes; session 0 terminates at node 2.
+/// let mut bank = DataQueueBank::new(3, &[NodeId::from_index(2)]);
+/// let s = SessionId::from_index(0);
+///
+/// // Slot 1: 10 packets admitted at source node 0.
+/// bank.advance(&FlowPlan::new(3, 1), &[(s, NodeId::from_index(0), Packets::new(10))]);
+/// assert_eq!(bank.backlog(NodeId::from_index(0), s).count(), 10);
+///
+/// // Slot 2: forward 10 from node 0 straight to the destination.
+/// let mut plan = FlowPlan::new(3, 1);
+/// plan.set(s, NodeId::from_index(0), NodeId::from_index(2), Packets::new(10));
+/// bank.advance(&plan, &[]);
+/// assert_eq!(bank.backlog(NodeId::from_index(0), s).count(), 0);
+/// assert_eq!(bank.backlog(NodeId::from_index(2), s).count(), 0); // delivered, not queued
+/// assert_eq!(bank.delivered(s).count(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataQueueBank {
+    nodes: usize,
+    destinations: Vec<NodeId>,
+    /// `queues[s·n + i]`.
+    queues: Vec<PacketQueue>,
+    delivered: Vec<Packets>,
+    phantom_forwarded: Vec<Packets>,
+}
+
+impl DataQueueBank {
+    /// Creates an all-empty bank for `nodes` nodes; `destinations[s]` is
+    /// the fixed destination `d_s` of session `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any destination id is out of range.
+    #[must_use]
+    pub fn new(nodes: usize, destinations: &[NodeId]) -> Self {
+        assert!(
+            destinations.iter().all(|d| d.index() < nodes),
+            "destination out of range"
+        );
+        Self {
+            nodes,
+            destinations: destinations.to_vec(),
+            queues: vec![PacketQueue::new(); destinations.len() * nodes],
+            delivered: vec![Packets::ZERO; destinations.len()],
+            phantom_forwarded: vec![Packets::ZERO; destinations.len()],
+        }
+    }
+
+    fn idx(&self, i: NodeId, s: SessionId) -> usize {
+        s.index() * self.nodes + i.index()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.destinations.len()
+    }
+
+    /// The backlog `Q^s_i(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn backlog(&self, i: NodeId, s: SessionId) -> Packets {
+        self.queues[self.idx(i, s)].backlog()
+    }
+
+    /// Sum of `Q^s_i(t)` over every session at node `i`.
+    #[must_use]
+    pub fn node_backlog(&self, i: NodeId) -> Packets {
+        (0..self.destinations.len())
+            .map(|s| self.backlog(i, SessionId::from_index(s)))
+            .sum()
+    }
+
+    /// Sum of all backlogs in the bank.
+    #[must_use]
+    pub fn total_backlog(&self) -> Packets {
+        self.queues.iter().map(PacketQueue::backlog).sum()
+    }
+
+    /// Packets delivered to session `s`'s destination so far.
+    #[must_use]
+    pub fn delivered(&self, s: SessionId) -> Packets {
+        self.delivered[s.index()]
+    }
+
+    /// Iterates over every `(node, session, backlog)` triple in the bank,
+    /// session-major (the order of `Q^s_i` in the Lyapunov sum).
+    pub fn backlogs(&self) -> impl Iterator<Item = (NodeId, SessionId, Packets)> + '_ {
+        (0..self.destinations.len()).flat_map(move |s| {
+            (0..self.nodes).map(move |i| {
+                let node = NodeId::from_index(i);
+                let session = SessionId::from_index(s);
+                (node, session, self.backlog(node, session))
+            })
+        })
+    }
+
+    /// Packets the routing plan *claimed* to forward beyond what the queue
+    /// actually held (the `max{·, 0}` truncation of Eq. (15), summed over
+    /// nodes and slots). The paper's analysis permits this; a well-behaved
+    /// controller keeps it near zero, and tests assert on it.
+    #[must_use]
+    pub fn phantom_forwarded(&self, s: SessionId) -> Packets {
+        self.phantom_forwarded[s.index()]
+    }
+
+    /// Applies one slot of Eq. (15).
+    ///
+    /// `admissions` lists `(s, s_s(t), k_s(t))` — the packets the chosen
+    /// source base station accepts from the Internet for each session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's dimensions disagree with the bank's, or an
+    /// admission references an out-of-range session/node.
+    pub fn advance(&mut self, plan: &FlowPlan, admissions: &[(SessionId, NodeId, Packets)]) {
+        assert_eq!(plan.node_count(), self.nodes, "plan/bank node mismatch");
+        assert_eq!(
+            plan.session_count(),
+            self.destinations.len(),
+            "plan/bank session mismatch"
+        );
+        for s_idx in 0..self.destinations.len() {
+            let s = SessionId::from_index(s_idx);
+            let dest = self.destinations[s_idx];
+            for i_idx in 0..self.nodes {
+                let i = NodeId::from_index(i_idx);
+                let arrivals = plan.inflow(s, i);
+                if i == dest {
+                    // Delivered straight to the upper layers; no queue.
+                    self.delivered[s_idx] += arrivals;
+                    continue;
+                }
+                let service = plan.outflow(s, i);
+                let q = &mut self.queues[s_idx * self.nodes + i_idx];
+                let wasted_before = q.total_wasted();
+                q.advance(arrivals, service);
+                self.phantom_forwarded[s_idx] +=
+                    Packets::new(q.total_wasted() - wasted_before);
+            }
+        }
+        for &(s, source, k) in admissions {
+            let dest = self.destinations[s.index()];
+            assert!(
+                source != dest,
+                "admission at the destination is meaningless"
+            );
+            let idx = self.idx(source, s);
+            // Admission joins *after* service, same as the +k_s term.
+            self.queues[idx].advance(k, Packets::ZERO);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+    fn s(i: usize) -> SessionId {
+        SessionId::from_index(i)
+    }
+
+    /// 4 nodes, 2 sessions terminating at nodes 2 and 3.
+    fn bank() -> DataQueueBank {
+        DataQueueBank::new(4, &[n(2), n(3)])
+    }
+
+    #[test]
+    fn admission_fills_source_queue() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(4, 2), &[(s(0), n(0), Packets::new(6))]);
+        assert_eq!(b.backlog(n(0), s(0)).count(), 6);
+        assert_eq!(b.backlog(n(0), s(1)).count(), 0);
+        assert_eq!(b.total_backlog().count(), 6);
+    }
+
+    #[test]
+    fn multihop_relay_matches_eq15() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(4, 2), &[(s(0), n(0), Packets::new(6))]);
+        // Hop 1: 0 → 1 carries 4.
+        let mut p1 = FlowPlan::new(4, 2);
+        p1.set(s(0), n(0), n(1), Packets::new(4));
+        b.advance(&p1, &[]);
+        assert_eq!(b.backlog(n(0), s(0)).count(), 2);
+        assert_eq!(b.backlog(n(1), s(0)).count(), 4);
+        // Hop 2: 1 → 2 (destination) carries 4.
+        let mut p2 = FlowPlan::new(4, 2);
+        p2.set(s(0), n(1), n(2), Packets::new(4));
+        b.advance(&p2, &[]);
+        assert_eq!(b.backlog(n(1), s(0)).count(), 0);
+        assert_eq!(b.backlog(n(2), s(0)).count(), 0);
+        assert_eq!(b.delivered(s(0)).count(), 4);
+    }
+
+    #[test]
+    fn same_slot_service_and_arrival_do_not_cut_through() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(4, 2), &[(s(0), n(0), Packets::new(3))]);
+        // Node 1 forwards while receiving: its service applies to its
+        // (empty) backlog, not to the packets arriving this slot.
+        let mut p = FlowPlan::new(4, 2);
+        p.set(s(0), n(0), n(1), Packets::new(3));
+        p.set(s(0), n(1), n(2), Packets::new(3));
+        b.advance(&p, &[]);
+        assert_eq!(b.backlog(n(1), s(0)).count(), 3);
+        assert_eq!(b.delivered(s(0)).count(), 3); // phantom packets delivered
+        assert_eq!(b.phantom_forwarded(s(0)).count(), 3);
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let mut b = bank();
+        b.advance(
+            &FlowPlan::new(4, 2),
+            &[(s(0), n(0), Packets::new(2)), (s(1), n(1), Packets::new(5))],
+        );
+        assert_eq!(b.backlog(n(0), s(0)).count(), 2);
+        assert_eq!(b.backlog(n(1), s(1)).count(), 5);
+        assert_eq!(b.node_backlog(n(1)).count(), 5);
+    }
+
+    #[test]
+    fn destination_never_queues() {
+        let mut b = bank();
+        let mut p = FlowPlan::new(4, 2);
+        p.set(s(0), n(0), n(2), Packets::new(8));
+        b.advance(&p, &[]);
+        assert_eq!(b.backlog(n(2), s(0)).count(), 0);
+        assert_eq!(b.delivered(s(0)).count(), 8);
+        // But node 2 still relays *other* sessions: it queues session 1.
+        let mut p2 = FlowPlan::new(4, 2);
+        p2.set(s(1), n(0), n(2), Packets::new(3));
+        b.advance(&p2, &[]);
+        assert_eq!(b.backlog(n(2), s(1)).count(), 3);
+    }
+
+    #[test]
+    fn backlogs_iterator_covers_every_queue() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(4, 2), &[(s(0), n(0), Packets::new(5))]);
+        let all: Vec<_> = b.backlogs().collect();
+        assert_eq!(all.len(), 8); // 4 nodes × 2 sessions
+        let total: u64 = all.iter().map(|(_, _, p)| p.count()).sum();
+        assert_eq!(total, b.total_backlog().count());
+        assert!(all.contains(&(n(0), s(0), Packets::new(5))));
+    }
+
+    #[test]
+    #[should_panic(expected = "destination out of range")]
+    fn rejects_bad_destination() {
+        let _ = DataQueueBank::new(2, &[n(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "plan/bank node mismatch")]
+    fn rejects_mismatched_plan() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(3, 2), &[]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The routing decision `l^s_ij(t)`: packets moved per session per link.
+
+use greencell_net::{NodeId, SessionId};
+use greencell_units::Packets;
+
+/// A dense per-slot routing decision: `l^s_ij(t)` packets of session `s`
+/// forwarded from node `i` to node `j`.
+///
+/// Produced by the S3 routing subproblem and consumed by both queue banks:
+/// `Σ_j l^s_ij` is the service of data queue `Q^s_i`, `Σ_j l^s_ji` its
+/// arrivals, and `Σ_s l^s_ij` the arrivals of virtual link queue `G_ij`.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_net::{NodeId, SessionId};
+/// use greencell_queue::FlowPlan;
+/// use greencell_units::Packets;
+///
+/// let mut plan = FlowPlan::new(3, 1);
+/// let (s, a, b) = (SessionId::from_index(0), NodeId::from_index(0), NodeId::from_index(2));
+/// plan.set(s, a, b, Packets::new(4));
+/// assert_eq!(plan.outflow(s, a).count(), 4);
+/// assert_eq!(plan.inflow(s, b).count(), 4);
+/// assert_eq!(plan.link_total(a, b).count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPlan {
+    nodes: usize,
+    sessions: usize,
+    /// `flows[s·n² + i·n + j]`.
+    flows: Vec<Packets>,
+}
+
+impl FlowPlan {
+    /// Creates an all-zero plan for `nodes` nodes and `sessions` sessions.
+    #[must_use]
+    pub fn new(nodes: usize, sessions: usize) -> Self {
+        Self {
+            nodes,
+            sessions,
+            flows: vec![Packets::ZERO; sessions * nodes * nodes],
+        }
+    }
+
+    fn idx(&self, s: SessionId, i: NodeId, j: NodeId) -> usize {
+        debug_assert!(s.index() < self.sessions, "session out of range");
+        debug_assert!(i.index() < self.nodes && j.index() < self.nodes, "node out of range");
+        s.index() * self.nodes * self.nodes + i.index() * self.nodes + j.index()
+    }
+
+    /// Number of nodes this plan spans.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of sessions this plan spans.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.sessions
+    }
+
+    /// Sets `l^s_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` (no self-loops) or any index is out of range.
+    pub fn set(&mut self, s: SessionId, i: NodeId, j: NodeId, packets: Packets) {
+        assert!(i != j, "self-loop flow {i} → {j}");
+        let idx = self.idx(s, i, j);
+        self.flows[idx] = packets;
+    }
+
+    /// Reads `l^s_ij`.
+    #[must_use]
+    pub fn get(&self, s: SessionId, i: NodeId, j: NodeId) -> Packets {
+        self.flows[self.idx(s, i, j)]
+    }
+
+    /// Total session-`s` packets leaving node `i`: `Σ_j l^s_ij`.
+    #[must_use]
+    pub fn outflow(&self, s: SessionId, i: NodeId) -> Packets {
+        (0..self.nodes)
+            .filter(|&j| j != i.index())
+            .map(|j| self.get(s, i, NodeId::from_index(j)))
+            .sum()
+    }
+
+    /// Total session-`s` packets entering node `i`: `Σ_j l^s_ji`.
+    #[must_use]
+    pub fn inflow(&self, s: SessionId, i: NodeId) -> Packets {
+        (0..self.nodes)
+            .filter(|&j| j != i.index())
+            .map(|j| self.get(s, NodeId::from_index(j), i))
+            .sum()
+    }
+
+    /// All-session packets on link `(i, j)`: `Σ_s l^s_ij` — the arrivals of
+    /// virtual queue `G_ij`.
+    #[must_use]
+    pub fn link_total(&self, i: NodeId, j: NodeId) -> Packets {
+        (0..self.sessions)
+            .map(|s| self.get(SessionId::from_index(s), i, j))
+            .sum()
+    }
+
+    /// Iterates over all non-zero entries as `(s, i, j, packets)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (SessionId, NodeId, NodeId, Packets)> + '_ {
+        let n = self.nodes;
+        self.flows.iter().enumerate().filter_map(move |(idx, &p)| {
+            if p == Packets::ZERO {
+                None
+            } else {
+                let s = idx / (n * n);
+                let i = (idx / n) % n;
+                let j = idx % n;
+                Some((
+                    SessionId::from_index(s),
+                    NodeId::from_index(i),
+                    NodeId::from_index(j),
+                    p,
+                ))
+            }
+        })
+    }
+
+    /// Total packets moved anywhere this slot.
+    #[must_use]
+    pub fn total(&self) -> Packets {
+        self.flows.iter().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut p = FlowPlan::new(4, 2);
+        p.set(SessionId::from_index(1), ids(0), ids(3), Packets::new(5));
+        assert_eq!(p.get(SessionId::from_index(1), ids(0), ids(3)).count(), 5);
+        assert_eq!(p.get(SessionId::from_index(0), ids(0), ids(3)).count(), 0);
+    }
+
+    #[test]
+    fn flows_aggregate_correctly() {
+        let s0 = SessionId::from_index(0);
+        let s1 = SessionId::from_index(1);
+        let mut p = FlowPlan::new(3, 2);
+        p.set(s0, ids(0), ids(1), Packets::new(2));
+        p.set(s1, ids(0), ids(1), Packets::new(3));
+        p.set(s0, ids(2), ids(0), Packets::new(7));
+        assert_eq!(p.outflow(s0, ids(0)).count(), 2);
+        assert_eq!(p.inflow(s0, ids(0)).count(), 7);
+        assert_eq!(p.link_total(ids(0), ids(1)).count(), 5);
+        assert_eq!(p.total().count(), 12);
+    }
+
+    #[test]
+    fn iter_nonzero_lists_all() {
+        let mut p = FlowPlan::new(3, 1);
+        p.set(SessionId::from_index(0), ids(1), ids(2), Packets::new(9));
+        let entries: Vec<_> = p.iter_nonzero().collect();
+        assert_eq!(entries, vec![(SessionId::from_index(0), ids(1), ids(2), Packets::new(9))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut p = FlowPlan::new(2, 1);
+        p.set(SessionId::from_index(0), ids(1), ids(1), Packets::new(1));
+    }
+}

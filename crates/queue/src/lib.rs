@@ -1,0 +1,49 @@
+//! Queueing substrate: data queues, virtual link queues, the Lyapunov
+//! function, and stability estimation (paper §II-F, §III-A, §IV-A/B).
+//!
+//! Strong stability of every queue in the network is the paper's headline
+//! guarantee (Theorem 3), so the queues are first-class citizens here:
+//!
+//! * [`PacketQueue`] — a single discrete queue obeying the law
+//!   `Q(t+1) = max{Q(t) − b(t), 0} + a(t)` of Theorem 1;
+//! * [`DataQueueBank`] — the per-node per-session network-layer queues
+//!   `Q^s_i(t)` of Eq. (15), including the destination rule (destinations
+//!   deliver instead of queueing);
+//! * [`LinkQueueBank`] — the per-link virtual queues `G_ij(t)` of Eq. (28)
+//!   and their scaled twins `H_ij(t) = β·G_ij(t)` of Eq. (30);
+//! * [`FlowPlan`] — the routing decision `l^s_ij(t)` that moves packets
+//!   between the two banks;
+//! * [`lyapunov_value`] / [`DriftTracker`] — the quadratic Lyapunov
+//!   function `L(Θ(t))` and its one-slot drift `Δ(Θ(t))` (§IV-B);
+//! * [`StabilityEstimator`] — finite-horizon estimates of Definition 2's
+//!   rate and strong stability.
+//!
+//! # Examples
+//!
+//! ```
+//! use greencell_queue::PacketQueue;
+//! use greencell_units::Packets;
+//!
+//! let mut q = PacketQueue::new();
+//! q.advance(Packets::new(5), Packets::new(2)); // arrive 5, serve 2
+//! assert_eq!(q.backlog().count(), 5);          // max{0-2,0}+5
+//! q.advance(Packets::new(0), Packets::new(9)); // overserve
+//! assert_eq!(q.backlog().count(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod data;
+mod flow;
+mod link;
+mod lyapunov;
+mod queue;
+mod stability;
+
+pub use data::DataQueueBank;
+pub use flow::FlowPlan;
+pub use link::LinkQueueBank;
+pub use lyapunov::{lyapunov_value, DriftTracker};
+pub use queue::PacketQueue;
+pub use stability::{theorem1_rate_stable, StabilityEstimator};

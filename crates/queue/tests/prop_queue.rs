@@ -1,0 +1,128 @@
+//! Property tests: the queueing laws' structural invariants hold for
+//! arbitrary arrival/service sequences.
+
+use greencell_net::{NodeId, SessionId};
+use greencell_queue::{DataQueueBank, FlowPlan, LinkQueueBank, PacketQueue};
+use greencell_units::Packets;
+use proptest::prelude::*;
+
+proptest! {
+    /// `Q(t+1) = max{Q−b,0}+a`: backlog is exactly reproducible from the
+    /// law, never negative, and changes by at most `max(a, b)` per slot.
+    #[test]
+    fn packet_queue_law_invariants(ops in prop::collection::vec((0u64..500, 0u64..500), 1..100)) {
+        let mut q = PacketQueue::new();
+        let mut model: u64 = 0;
+        for &(a, b) in &ops {
+            let before = q.backlog().count();
+            let after = q.advance(Packets::new(a), Packets::new(b)).count();
+            model = model.saturating_sub(b) + a;
+            prop_assert_eq!(after, model, "law mismatch");
+            let delta = after.abs_diff(before);
+            prop_assert!(delta <= a.max(b), "one-slot change {delta} > max(a,b)");
+        }
+    }
+
+    /// Conservation: arrivals = served + wasted-service complement + final
+    /// backlog (arrivals − useful service = backlog).
+    #[test]
+    fn packet_queue_conservation(ops in prop::collection::vec((0u64..500, 0u64..500), 1..100)) {
+        let mut q = PacketQueue::new();
+        for &(a, b) in &ops {
+            q.advance(Packets::new(a), Packets::new(b));
+        }
+        prop_assert_eq!(
+            q.total_arrivals(),
+            q.total_served() + q.backlog().count(),
+            "packets must be served or still queued"
+        );
+        prop_assert_eq!(q.total_offered(), q.total_served() + q.total_wasted());
+    }
+
+    /// The data bank conserves packets globally: everything admitted is
+    /// either delivered, still queued somewhere, or was a phantom forward
+    /// (which only ever *adds* packets at the receiver).
+    #[test]
+    fn data_bank_conservation(
+        admissions in prop::collection::vec(0u64..200, 1..30),
+        hops in prop::collection::vec((0usize..3, 0usize..3, 0u64..300), 0..30),
+    ) {
+        // 4 nodes, 1 session destined to node 3; admissions at node 0.
+        let dest = NodeId::from_index(3);
+        let mut bank = DataQueueBank::new(4, &[dest]);
+        let s = SessionId::from_index(0);
+        for &k in &admissions {
+            bank.advance(&FlowPlan::new(4, 1), &[(s, NodeId::from_index(0), Packets::new(k))]);
+        }
+        let admitted: u64 = admissions.iter().sum();
+        // Random forwarding between nodes 0..=2 and into the destination.
+        for &(i, j, pkts) in &hops {
+            if i == j {
+                continue;
+            }
+            let mut plan = FlowPlan::new(4, 1);
+            // Map j == 2 onto the destination sometimes for delivery.
+            let to = if pkts % 2 == 0 { NodeId::from_index(j) } else { dest };
+            let from = NodeId::from_index(i);
+            if from == to {
+                continue;
+            }
+            plan.set(s, from, to, Packets::new(pkts));
+            bank.advance(&plan, &[]);
+        }
+        let queued: u64 = (0..4)
+            .map(|i| bank.backlog(NodeId::from_index(i), s).count())
+            .sum();
+        let delivered = bank.delivered(s).count();
+        let phantom = bank.phantom_forwarded(s).count();
+        // Phantoms are minted at the max{·,0} truncation; every real packet
+        // is accounted for.
+        prop_assert_eq!(admitted + phantom, queued + delivered,
+            "admitted {} + phantom {} != queued {} + delivered {}",
+            admitted, phantom, queued, delivered);
+    }
+
+    /// H is always exactly β·G, under any flow/service interleaving.
+    #[test]
+    fn link_bank_h_is_scaled_g(
+        beta in 1.0f64..100.0,
+        events in prop::collection::vec((0u64..50, 0u64..50), 1..40),
+    ) {
+        let mut bank = LinkQueueBank::new(2, beta);
+        let i = NodeId::from_index(0);
+        let j = NodeId::from_index(1);
+        for &(arrive, serve) in &events {
+            let mut plan = FlowPlan::new(2, 1);
+            if arrive > 0 {
+                plan.set(SessionId::from_index(0), i, j, Packets::new(arrive));
+            }
+            bank.advance(&plan, &[(i, j, Packets::new(serve))]);
+            let g = bank.g(i, j).count_f64();
+            prop_assert!((bank.h(i, j) - beta * g).abs() < 1e-9);
+        }
+    }
+
+    /// FlowPlan aggregations agree with direct summation.
+    #[test]
+    fn flow_plan_aggregations(entries in prop::collection::vec((0usize..4, 0usize..4, 0u64..100), 0..20)) {
+        let mut plan = FlowPlan::new(4, 1);
+        let s = SessionId::from_index(0);
+        let mut dense = [[0u64; 4]; 4];
+        for &(i, j, p) in &entries {
+            if i != j {
+                dense[i][j] = p; // set overwrites, matching FlowPlan::set
+                plan.set(s, NodeId::from_index(i), NodeId::from_index(j), Packets::new(p));
+            }
+        }
+        for (i, row) in dense.iter().enumerate() {
+            let out: u64 = row.iter().sum();
+            let inflow: u64 = (0..4).map(|j| dense[j][i]).sum();
+            prop_assert_eq!(plan.outflow(s, NodeId::from_index(i)).count(), out);
+            prop_assert_eq!(plan.inflow(s, NodeId::from_index(i)).count(), inflow);
+        }
+        let total: u64 = dense.iter().flatten().sum();
+        prop_assert_eq!(plan.total().count(), total);
+        let listed: u64 = plan.iter_nonzero().map(|(_, _, _, p)| p.count()).sum();
+        prop_assert_eq!(listed, total);
+    }
+}

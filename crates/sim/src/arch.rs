@@ -1,0 +1,90 @@
+//! The four network architectures compared in Fig. 2(f).
+
+use greencell_core::RelayPolicy;
+use std::fmt;
+
+/// Which of the paper's four architectures a run simulates.
+///
+/// Two orthogonal toggles: whether intermediate nodes may relay
+/// (multi-hop), and whether nodes have renewable energy sources. The
+/// proposed scheme has both; the paper's Fig. 2(f) shows it achieving the
+/// lowest time-averaged energy cost, with renewables mattering more than
+/// relaying.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Architecture {
+    /// The paper's proposal: multi-hop relaying + renewable integration.
+    #[default]
+    Proposed,
+    /// Multi-hop relaying, but no renewable sources (grid + storage only).
+    MultiHopNoRenewable,
+    /// Traditional one-hop downlink with renewable sources.
+    OneHopRenewable,
+    /// Traditional one-hop downlink, grid only.
+    OneHopNoRenewable,
+}
+
+impl Architecture {
+    /// All four, in the paper's legend order.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::Proposed,
+        Architecture::MultiHopNoRenewable,
+        Architecture::OneHopRenewable,
+        Architecture::OneHopNoRenewable,
+    ];
+
+    /// `true` if nodes harvest renewable energy in this architecture.
+    #[must_use]
+    pub fn renewables_enabled(self) -> bool {
+        matches!(self, Self::Proposed | Self::OneHopRenewable)
+    }
+
+    /// The relay policy the controller runs under.
+    #[must_use]
+    pub fn relay_policy(self) -> RelayPolicy {
+        match self {
+            Self::Proposed | Self::MultiHopNoRenewable => RelayPolicy::MultiHop,
+            Self::OneHopRenewable | Self::OneHopNoRenewable => RelayPolicy::OneHop,
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Proposed => write!(f, "Our system"),
+            Self::MultiHopNoRenewable => write!(f, "Multi-hop network w/o renewable energy"),
+            Self::OneHopRenewable => write!(f, "One-hop network w/ renewable energy"),
+            Self::OneHopNoRenewable => write!(f, "One-hop network w/o renewable energy"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggles() {
+        assert!(Architecture::Proposed.renewables_enabled());
+        assert!(!Architecture::MultiHopNoRenewable.renewables_enabled());
+        assert_eq!(
+            Architecture::OneHopRenewable.relay_policy(),
+            RelayPolicy::OneHop
+        );
+        assert_eq!(
+            Architecture::Proposed.relay_policy(),
+            RelayPolicy::MultiHop
+        );
+    }
+
+    #[test]
+    fn legend_order() {
+        assert_eq!(Architecture::ALL[0], Architecture::Proposed);
+        assert_eq!(Architecture::ALL.len(), 4);
+    }
+
+    #[test]
+    fn display_matches_paper_legend() {
+        assert_eq!(Architecture::Proposed.to_string(), "Our system");
+    }
+}

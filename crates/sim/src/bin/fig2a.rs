@@ -1,0 +1,56 @@
+//! Regenerates Fig. 2(a): upper and lower bounds on the optimal
+//! time-averaged energy cost versus the Lyapunov weight `V`.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin fig2a [seed] [horizon] [out_dir]
+//! ```
+//!
+//! With `out_dir`, the rows are also written to `<out_dir>/fig2a.csv`.
+
+use greencell_sim::{experiments, report, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let out_dir = args.next();
+
+    let mut base = Scenario::paper(seed);
+    base.horizon = horizon;
+    // The paper sweeps V = 1×10⁵ … 10×10⁵.
+    let v_values: Vec<f64> = (1..=10).map(|k| k as f64 * 1e5).collect();
+
+    eprintln!("fig2a: paper scenario, seed {seed}, horizon {horizon}, {} V values", v_values.len());
+    match experiments::fig2a(&base, &v_values) {
+        Ok(rows) => {
+            println!("# Fig 2(a) — time-averaged expected energy cost bounds vs V");
+            print!("{}", report::bounds_table(&rows));
+            let tight = rows
+                .windows(2)
+                .all(|w| (w[1].upper - w[1].lower) <= (w[0].upper - w[0].lower) + 1e-9);
+            println!("# gap monotonically tightening with V: {tight}");
+            if let Some(dir) = &out_dir {
+                let dir = std::path::Path::new(dir);
+                let mut csv =
+                    String::from("v,upper_cost,lower_cost,relaxed_cost,gap,upper_psi,lower_psi\n");
+                for r in &rows {
+                    csv.push_str(&format!(
+                        "{},{},{},{},{},{},{}\n",
+                        r.v, r.upper, r.lower, r.relaxed_cost, r.gap, r.upper_psi, r.lower_psi
+                    ));
+                }
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join("fig2a.csv"), csv))
+                {
+                    eprintln!("could not write CSV to {}: {e}", dir.display());
+                } else {
+                    eprintln!("wrote {}/fig2a.csv", dir.display());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("fig2a failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

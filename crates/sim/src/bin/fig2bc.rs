@@ -1,0 +1,60 @@
+//! Regenerates Fig. 2(b) and 2(c): total data-queue backlog of base
+//! stations (b) and mobile users (c) over time, for V = 1…5 ×10⁵.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin fig2bc [seed] [horizon] [out_dir]
+//! ```
+//!
+//! With `out_dir`, the two CSV blocks are also written to
+//! `<out_dir>/fig2b.csv` and `<out_dir>/fig2c.csv`.
+
+use greencell_sim::{experiments, report, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let out_dir = args.next();
+
+    let mut base = Scenario::paper(seed);
+    base.horizon = horizon;
+    let v_values: Vec<f64> = (1..=5).map(|k| k as f64 * 1e5).collect();
+
+    eprintln!("fig2bc: paper scenario, seed {seed}, horizon {horizon}");
+    match experiments::fig2bc(&base, &v_values) {
+        Ok(rows) => {
+            let (bs, users) = report::backlog_csv(&rows);
+            println!("# Fig 2(b) — total data queue backlog of base stations (packets)");
+            print!("{bs}");
+            println!("# Fig 2(c) — total data queue backlog of mobile users (packets)");
+            print!("{users}");
+            if let Some(dir) = &out_dir {
+                let dir = std::path::Path::new(dir);
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join("fig2b.csv"), &bs))
+                    .and_then(|()| std::fs::write(dir.join("fig2c.csv"), &users))
+                {
+                    eprintln!("could not write CSVs to {}: {e}", dir.display());
+                } else {
+                    eprintln!("wrote {}/fig2b.csv and fig2c.csv", dir.display());
+                }
+            }
+            for r in &rows {
+                println!(
+                    "# V={:.0e}: BS final={:.0} peak={:.0}; users final={:.0} peak={:.0}",
+                    r.v,
+                    r.bs.last().unwrap_or(0.0),
+                    r.bs.max().unwrap_or(0.0),
+                    r.users.last().unwrap_or(0.0),
+                    r.users.max().unwrap_or(0.0),
+                );
+                println!("#   BS    {}", report::sparkline(&r.bs));
+                println!("#   users {}", report::sparkline(&r.users));
+            }
+        }
+        Err(e) => {
+            eprintln!("fig2bc failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Regenerates Fig. 2(d) and 2(e): total energy-buffer levels of base
+//! stations (d, kWh) and mobile users (e, Wh) over time, for V = 1…5 ×10⁵.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin fig2de [seed] [horizon] [out_dir]
+//! ```
+//!
+//! With `out_dir`, the two CSV blocks are also written to
+//! `<out_dir>/fig2d.csv` and `<out_dir>/fig2e.csv`.
+
+use greencell_sim::{experiments, report, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+    let out_dir = args.next();
+
+    let mut base = Scenario::paper(seed);
+    base.horizon = horizon;
+    // Start buffers empty so the fill-up dynamics of Fig. 2(d)/(e) show.
+    base.initial_battery_fraction = 0.0;
+    let v_values: Vec<f64> = (1..=5).map(|k| k as f64 * 1e5).collect();
+
+    eprintln!("fig2de: paper scenario, seed {seed}, horizon {horizon}");
+    match experiments::fig2de(&base, &v_values) {
+        Ok(rows) => {
+            let (bs, users) = report::buffer_csv(&rows);
+            println!("# Fig 2(d) — total energy buffer size of base stations (kWh)");
+            print!("{bs}");
+            println!("# Fig 2(e) — total energy buffer size of mobile users (Wh)");
+            print!("{users}");
+            if let Some(dir) = &out_dir {
+                let dir = std::path::Path::new(dir);
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join("fig2d.csv"), &bs))
+                    .and_then(|()| std::fs::write(dir.join("fig2e.csv"), &users))
+                {
+                    eprintln!("could not write CSVs to {}: {e}", dir.display());
+                } else {
+                    eprintln!("wrote {}/fig2d.csv and fig2e.csv", dir.display());
+                }
+            }
+            for r in &rows {
+                println!(
+                    "# V={:.0e}: BS final={:.3} kWh; users final={:.1} Wh",
+                    r.v,
+                    r.bs_kwh.last().unwrap_or(0.0),
+                    r.users_wh.last().unwrap_or(0.0),
+                );
+                println!("#   BS    {}", report::sparkline(&r.bs_kwh));
+                println!("#   users {}", report::sparkline(&r.users_wh));
+            }
+        }
+        Err(e) => {
+            eprintln!("fig2de failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 2(f): time-averaged expected energy cost of the four
+//! architectures (proposed, multi-hop w/o renewables, one-hop w/
+//! renewables, one-hop w/o renewables) at V = 1, 3, 5 ×10⁵ under common
+//! random numbers.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin fig2f [seed] [horizon]
+//! ```
+
+use greencell_sim::{experiments, report, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+
+    let mut base = Scenario::fig2f_calibrated(seed);
+    base.horizon = horizon;
+    let v_values = [1e5, 3e5, 5e5];
+
+    eprintln!("fig2f: paper scenario, seed {seed}, horizon {horizon}");
+    match experiments::fig2f(&base, &v_values) {
+        Ok(rows) => {
+            println!("# Fig 2(f) — time-averaged expected energy cost by architecture");
+            print!("{}", report::architecture_table(&rows, &v_values));
+            let ours: f64 = rows[0].costs.iter().sum();
+            let best_other = rows[1..]
+                .iter()
+                .map(|r| r.costs.iter().sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "# proposed beats best baseline: {} ({}).",
+                ours <= best_other,
+                if best_other > 0.0 {
+                    format!("ratio {:.3}", ours / best_other)
+                } else {
+                    "baseline cost is zero".to_string()
+                }
+            );
+        }
+        Err(e) => {
+            eprintln!("fig2f failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Structural sweeps beyond the paper's figures: how the proposed system
+//! scales with relay density (users), offered load (sessions), and
+//! spectrum supply (bands), plus a multi-seed replication of the paper
+//! scenario.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin sweeps [seed] [horizon]
+//! ```
+
+use greencell_sim::{experiments, Scenario};
+
+fn print_points(title: &str, xlabel: &str, points: &[experiments::SweepPoint]) {
+    println!("# {title}");
+    println!(
+        "{xlabel:>10} {:>12} {:>12} {:>14} {:>10}",
+        "avg cost", "delivered", "peak backlog", "links/slot"
+    );
+    for p in points {
+        println!(
+            "{:>10} {:>12.6} {:>12} {:>14.0} {:>10.2}",
+            p.x, p.avg_cost, p.delivered, p.peak_backlog, p.mean_scheduled
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(60);
+
+    let mut base = Scenario::paper(seed);
+    base.horizon = horizon;
+
+    match experiments::sweep_users(&base, &[5, 10, 20, 40]) {
+        Ok(points) => print_points("user-count sweep (relay density)", "users", &points),
+        Err(e) => eprintln!("user sweep failed: {e}"),
+    }
+    match experiments::sweep_sessions(&base, &[2, 5, 10, 15]) {
+        Ok(points) => print_points("session-count sweep (offered load)", "sessions", &points),
+        Err(e) => eprintln!("session sweep failed: {e}"),
+    }
+    match experiments::sweep_bands(&base, &[0, 2, 4, 8]) {
+        Ok(points) => print_points("extra-band sweep (spectrum supply)", "bands", &points),
+        Err(e) => eprintln!("band sweep failed: {e}"),
+    }
+    match experiments::replicate(&base, &[1, 7, 13, 42, 99]) {
+        Ok(rep) => {
+            println!("# replication across seeds {:?}", rep.seeds);
+            println!(
+                "cost {:.6} ± {:.6}; delivered {:.0}; peak backlog {:.0}",
+                rep.mean_cost, rep.std_cost, rep.mean_delivered, rep.mean_peak_backlog
+            );
+        }
+        Err(e) => eprintln!("replication failed: {e}"),
+    }
+}

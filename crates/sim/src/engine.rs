@@ -1,0 +1,424 @@
+//! The time-slotted simulation engine.
+
+use crate::{GridModel, RunMetrics, Scenario};
+use greencell_core::{Controller, ControllerError, RelaxedController, SlotObservation};
+use greencell_net::{Network, NetworkError, NodeId};
+use greencell_phy::SpectrumState;
+use greencell_stochastic::{Distribution, MarkovOnOff, Poisson, Process, Rng};
+use greencell_units::{Bandwidth, Energy, Packets};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing or running a [`Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scenario produced an invalid network.
+    Network(NetworkError),
+    /// The controller rejected the configuration or hit an unrecoverable
+    /// energy deficit.
+    Controller(ControllerError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Network(e) => write!(f, "network construction failed: {e}"),
+            Self::Controller(e) => write!(f, "controller failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Network(e) => Some(e),
+            Self::Controller(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetworkError> for SimError {
+    fn from(e: NetworkError) -> Self {
+        Self::Network(e)
+    }
+}
+
+impl From<ControllerError> for SimError {
+    fn from(e: ControllerError) -> Self {
+        Self::Controller(e)
+    }
+}
+
+/// Drives a [`Controller`] (and optionally the relaxed lower-bound
+/// controller on the *same* observations — the paired design behind
+/// Fig. 2(a)) through a scenario's horizon.
+///
+/// All randomness derives from the scenario seed through independent
+/// split streams, so runs are bit-for-bit reproducible and two simulators
+/// with the same seed but different control policies see identical
+/// weather, spectrum, and connectivity — the common-random-numbers design
+/// behind Fig. 2(f).
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    scenario: Scenario,
+    controller: Controller,
+    relaxed: Option<RelaxedController>,
+    band_rng: Rng,
+    renewable_rng: Rng,
+    grid_rng: Rng,
+    demand_rng: Rng,
+    /// One sticky connectivity chain per node (used under
+    /// [`GridModel::Markov`]; base stations' entries are ignored).
+    grid_chains: Vec<MarkovOnOff>,
+    metrics: RunMetrics,
+    slots_run: usize,
+}
+
+impl Simulator {
+    /// Builds the network, controller, and random streams for `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation and controller construction failures.
+    pub fn new(scenario: &Scenario) -> Result<Self, SimError> {
+        let net = scenario.build_network()?;
+        // Stream discipline: the scenario's topology stream is the master's
+        // first split (consumed inside `build_network`); the simulator takes
+        // the subsequent splits in a fixed order.
+        let mut master = Rng::seed_from(scenario.seed);
+        let _topology_stream = master.split();
+        let band_rng = master.split();
+        let renewable_rng = master.split();
+        let mut grid_rng = master.split();
+        let demand_rng = master.split();
+        let grid_chains = match scenario.grid_model {
+            GridModel::Iid => Vec::new(),
+            GridModel::Markov { stay_on, stay_off } => (0..net.topology().len())
+                .map(|_| {
+                    MarkovOnOff::new(stay_on, stay_off, true, grid_rng.split())
+                        .expect("validated probabilities")
+                })
+                .collect(),
+        };
+
+        let energy = scenario.energy_config(&net);
+        let config = scenario.controller_config();
+        let phy = scenario.phy();
+        let relaxed = scenario
+            .track_lower_bound
+            .then(|| RelaxedController::new(net.clone(), phy, energy.clone(), config));
+        let controller = Controller::new(net, phy, energy, config)?;
+        Ok(Self {
+            scenario: scenario.clone(),
+            controller,
+            relaxed,
+            band_rng,
+            renewable_rng,
+            grid_rng,
+            demand_rng,
+            grid_chains,
+            metrics: RunMetrics::new(),
+            slots_run: 0,
+        })
+    }
+
+    /// The controller under simulation.
+    #[must_use]
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// The network under simulation.
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        self.controller.network()
+    }
+
+    /// Metrics collected so far.
+    #[must_use]
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// The relaxed controller's time-averaged admissions, when tracked.
+    #[must_use]
+    pub fn relaxed_average_admitted(&self) -> Option<f64> {
+        self.relaxed.as_ref().map(|r| r.average_admitted())
+    }
+
+    /// Samples one slot's random observation.
+    fn observe(&mut self) -> SlotObservation {
+        let s = &self.scenario;
+        let mut bandwidths = Vec::with_capacity(s.band_count());
+        bandwidths.push(Bandwidth::from_megahertz(s.cellular_band_mhz));
+        for &(lo, hi) in &s.random_bands {
+            bandwidths.push(Bandwidth::from_megahertz(self.band_rng.range_f64(lo, hi)));
+        }
+        let net = self.controller.network();
+        let renewables_on = s.architecture.renewables_enabled();
+        let renewable: Vec<Energy> = net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|node| {
+                let max = if node.kind().is_base_station() {
+                    s.bs_renewable_max
+                } else {
+                    s.user_renewable_max
+                };
+                // Draw even when disabled so enabling renewables does not
+                // perturb the other streams (common random numbers).
+                let watts = self.renewable_rng.range_f64(0.0, max.as_watts());
+                if renewables_on {
+                    greencell_units::Power::from_watts(watts) * s.slot
+                } else {
+                    Energy::ZERO
+                }
+            })
+            .collect();
+        let grid_connected: Vec<bool> = net
+            .topology()
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(idx, node)| {
+                let draw = match s.grid_model {
+                    GridModel::Iid => self.grid_rng.chance(s.user_grid_probability),
+                    GridModel::Markov { .. } => self.grid_chains[idx].observe(),
+                };
+                node.kind().is_base_station() || draw
+            })
+            .collect();
+        // Per-session nominal demand (sessions may be heterogeneous).
+        let session_demand: Vec<Packets> = net
+            .sessions()
+            .iter()
+            .map(|sess| {
+                let nominal = (sess.demand() * s.slot).whole_packets(s.packet_size);
+                match s.demand_model {
+                    crate::DemandModel::Constant => nominal,
+                    crate::DemandModel::Poisson => {
+                        let poisson = Poisson::new(nominal.count_f64())
+                            .expect("non-negative mean");
+                        Packets::new(poisson.sample(&mut self.demand_rng))
+                    }
+                }
+            })
+            .collect();
+        let price_multiplier = s.pricing.multiplier(self.slots_run);
+        SlotObservation {
+            spectrum: SpectrumState::new(bandwidths),
+            renewable,
+            grid_connected,
+            session_demand,
+            price_multiplier,
+        }
+    }
+
+    /// Advances one slot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.step_with_report().map(|_| ())
+    }
+
+    /// Advances one slot, returning the controller's full
+    /// [`greencell_core::SlotReport`] (drift-plus-penalty diagnostics
+    /// included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn step_with_report(&mut self) -> Result<greencell_core::SlotReport, SimError> {
+        let obs = self.observe();
+        self.step_with_observation(&obs)
+    }
+
+    /// Advances one slot using an externally supplied observation —
+    /// trace replay and what-if analysis (e.g. the same weather under a
+    /// different controller configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` has the wrong dimensions for this network.
+    pub fn step_with_observation(
+        &mut self,
+        obs: &SlotObservation,
+    ) -> Result<greencell_core::SlotReport, SimError> {
+        let obs = obs.clone();
+        if let Some(relaxed) = &mut self.relaxed {
+            let cost = relaxed.step(&obs);
+            self.metrics.record_relaxed(cost);
+        }
+        let report = self.controller.step(&obs)?;
+
+        let net = self.controller.network();
+        let topo = net.topology();
+        let sum_backlog = |ids: Vec<NodeId>| -> f64 {
+            ids.iter()
+                .map(|&i| self.controller.data().node_backlog(i).count_f64())
+                .sum()
+        };
+        let bs_ids: Vec<NodeId> = topo.base_stations().collect();
+        let user_ids: Vec<NodeId> = topo.users().collect();
+        let backlog_bs = sum_backlog(bs_ids.clone());
+        let backlog_users = sum_backlog(user_ids.clone());
+        let buffer_bs_kwh: f64 = bs_ids
+            .iter()
+            .map(|&i| self.controller.battery(i).level().as_kilowatt_hours())
+            .sum();
+        let buffer_users_wh: f64 = user_ids
+            .iter()
+            .map(|&i| self.controller.battery(i).level().as_watt_hours())
+            .sum();
+        self.metrics.record_lyapunov(report.lyapunov_after);
+        self.metrics.record_slot(
+            report.cost,
+            report.grid_draw.as_kilowatt_hours(),
+            backlog_bs,
+            backlog_users,
+            buffer_bs_kwh,
+            buffer_users_wh,
+            report.admitted.count_f64(),
+            report.routed.count_f64(),
+            report.scheduled_links as f64,
+            report.shed_transmissions as u64,
+        );
+        self.slots_run += 1;
+        Ok(report)
+    }
+
+    /// Runs the whole horizon, returning the collected metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn run(&mut self) -> Result<&RunMetrics, SimError> {
+        while self.slots_run < self.scenario.horizon {
+            self.step()?;
+        }
+        self.finalize();
+        Ok(&self.metrics)
+    }
+
+    /// Runs the whole horizon while recording every slot's observation for
+    /// later replay via [`Simulator::replay`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn run_recording(&mut self) -> Result<(RunMetrics, Vec<SlotObservation>), SimError> {
+        let mut trace = Vec::with_capacity(self.scenario.horizon);
+        while self.slots_run < self.scenario.horizon {
+            let obs = self.observe();
+            trace.push(obs.clone());
+            self.step_with_observation(&obs)?;
+        }
+        self.finalize();
+        Ok((self.metrics.clone(), trace))
+    }
+
+    /// Replays a recorded observation trace through this simulator's
+    /// controller (one slot per observation, ignoring the scenario's own
+    /// random streams and horizon).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn replay(&mut self, trace: &[SlotObservation]) -> Result<&RunMetrics, SimError> {
+        for obs in trace {
+            self.step_with_observation(obs)?;
+        }
+        self.finalize();
+        Ok(&self.metrics)
+    }
+
+    fn finalize(&mut self) {
+        let delivered: Vec<u64> = self
+            .controller
+            .network()
+            .sessions()
+            .iter()
+            .map(|s| self.controller.data().delivered(s.id()).count())
+            .collect();
+        self.metrics.set_delivered(delivered);
+        if let Some(relaxed) = &self.relaxed {
+            self.metrics.set_lower_bound(relaxed.bound());
+        }
+    }
+
+    /// Total delivered packets so far (sum over sessions).
+    #[must_use]
+    pub fn delivered(&self) -> Packets {
+        self.controller
+            .network()
+            .sessions()
+            .iter()
+            .map(|s| self.controller.data().delivered(s.id()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Architecture;
+
+    #[test]
+    fn tiny_run_completes_and_is_deterministic() {
+        let scenario = Scenario::tiny(11);
+        let mut a = Simulator::new(&scenario).unwrap();
+        let ma = a.run().unwrap().clone();
+        let mut b = Simulator::new(&scenario).unwrap();
+        let mb = b.run().unwrap().clone();
+        assert_eq!(ma, mb);
+        assert_eq!(ma.cost_series().len(), scenario.horizon);
+    }
+
+    #[test]
+    fn traffic_actually_moves() {
+        let mut scenario = Scenario::tiny(13);
+        scenario.horizon = 30;
+        let mut sim = Simulator::new(&scenario).unwrap();
+        let m = sim.run().unwrap();
+        assert!(m.admitted_series().values().iter().sum::<f64>() > 0.0, "nothing admitted");
+        assert!(m.routed_series().values().iter().sum::<f64>() > 0.0, "nothing routed");
+        assert!(m.delivered() > 0, "nothing delivered");
+    }
+
+    #[test]
+    fn disabling_renewables_zeroes_harvest_but_keeps_streams() {
+        let mut s1 = Scenario::tiny(17);
+        s1.architecture = Architecture::Proposed;
+        let mut s2 = s1.clone();
+        s2.architecture = Architecture::MultiHopNoRenewable;
+        let mut a = Simulator::new(&s1).unwrap();
+        let mut b = Simulator::new(&s2).unwrap();
+        let oa = a.observe();
+        let ob = b.observe();
+        // Same spectrum and connectivity draws, different renewables.
+        assert_eq!(oa.spectrum, ob.spectrum);
+        assert_eq!(oa.grid_connected, ob.grid_connected);
+        assert!(ob.renewable.iter().all(|&e| e == Energy::ZERO));
+        assert!(oa.renewable.iter().any(|&e| e > Energy::ZERO));
+    }
+
+    #[test]
+    fn lower_bound_tracked_when_requested() {
+        let mut scenario = Scenario::tiny(19);
+        scenario.track_lower_bound = true;
+        scenario.horizon = 10;
+        let mut sim = Simulator::new(&scenario).unwrap();
+        let m = sim.run().unwrap();
+        assert!(m.lower_bound().is_some());
+        assert_eq!(m.relaxed_cost_series().len(), 10);
+        // Theorem 5: the lower bound sits below the achieved cost.
+        assert!(m.lower_bound().unwrap() <= m.average_cost());
+    }
+}

@@ -1,0 +1,409 @@
+//! One runner per paper figure. Each returns the exact series/rows the
+//! paper plots; the `fig2*` binaries print them via [`crate::report`].
+
+use crate::{Architecture, RunMetrics, Scenario, SimError, Simulator};
+use greencell_stochastic::Series;
+
+/// One `(V, upper, lower)` row of Fig. 2(a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsRow {
+    /// The Lyapunov weight.
+    pub v: f64,
+    /// Upper bound: the proposed algorithm's time-averaged cost `ψ_P3`.
+    pub upper: f64,
+    /// Lower bound: the relaxed controller's `ψ*_P̄3 − B/V` (Theorem 5).
+    pub lower: f64,
+    /// The raw relaxed average cost (before subtracting `B/V`).
+    pub relaxed_cost: f64,
+    /// The gap constant contribution `B/V`.
+    pub gap: f64,
+    /// Upper bound on the P2 objective `ψ = f̄ − λ·Σ_s k̄_s` (includes the
+    /// admission reward, the quantity P2 actually minimizes).
+    pub upper_psi: f64,
+    /// Lower bound on the P2 objective: relaxed `ψ` minus `B/V`.
+    pub lower_psi: f64,
+}
+
+/// Fig. 2(a): upper and lower bounds on `ψ*_P1` versus `V`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2a(base: &Scenario, v_values: &[f64]) -> Result<Vec<BoundsRow>, SimError> {
+    let mut rows = Vec::with_capacity(v_values.len());
+    for &v in v_values {
+        let mut scenario = base.clone();
+        scenario.v = v;
+        scenario.track_lower_bound = true;
+        let mut sim = Simulator::new(&scenario)?;
+        let metrics = sim.run()?.clone();
+        let penalty_b = sim.controller().penalty_b();
+        let relaxed_cost = metrics.relaxed_cost_series().mean();
+        let lambda = scenario.lambda;
+        let upper_psi = metrics.average_cost() - lambda * metrics.admitted_series().mean();
+        let lower_psi =
+            relaxed_cost - lambda * sim.relaxed_average_admitted().unwrap_or(0.0) - penalty_b / v;
+        rows.push(BoundsRow {
+            v,
+            upper: metrics.average_cost(),
+            lower: metrics.lower_bound().expect("tracked"),
+            relaxed_cost,
+            gap: penalty_b / v,
+            upper_psi,
+            lower_psi,
+        });
+    }
+    Ok(rows)
+}
+
+/// One V's backlog trajectories for Fig. 2(b) (BSs) and 2(c) (users).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BacklogRow {
+    /// The Lyapunov weight.
+    pub v: f64,
+    /// Total BS data-queue backlog per slot.
+    pub bs: Series,
+    /// Total user data-queue backlog per slot.
+    pub users: Series,
+}
+
+/// Fig. 2(b)/(c): total data-queue backlogs over time for a sweep of `V`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2bc(base: &Scenario, v_values: &[f64]) -> Result<Vec<BacklogRow>, SimError> {
+    let mut rows = Vec::with_capacity(v_values.len());
+    for &v in v_values {
+        let mut scenario = base.clone();
+        scenario.v = v;
+        let mut sim = Simulator::new(&scenario)?;
+        let metrics = sim.run()?;
+        rows.push(BacklogRow {
+            v,
+            bs: metrics.backlog_bs_series().clone(),
+            users: metrics.backlog_users_series().clone(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One V's energy-buffer trajectories for Fig. 2(d) (BSs, kWh) and 2(e)
+/// (users, Wh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferRow {
+    /// The Lyapunov weight.
+    pub v: f64,
+    /// Total BS battery level per slot (kWh).
+    pub bs_kwh: Series,
+    /// Total user battery level per slot (Wh).
+    pub users_wh: Series,
+}
+
+/// Fig. 2(d)/(e): total energy-buffer levels over time for a sweep of `V`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2de(base: &Scenario, v_values: &[f64]) -> Result<Vec<BufferRow>, SimError> {
+    let mut rows = Vec::with_capacity(v_values.len());
+    for &v in v_values {
+        let mut scenario = base.clone();
+        scenario.v = v;
+        let mut sim = Simulator::new(&scenario)?;
+        let metrics = sim.run()?;
+        rows.push(BufferRow {
+            v,
+            bs_kwh: metrics.buffer_bs_series().clone(),
+            users_wh: metrics.buffer_users_series().clone(),
+        });
+    }
+    Ok(rows)
+}
+
+/// One `(architecture, V, cost)` cell of Fig. 2(f).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchitectureRow {
+    /// The architecture simulated.
+    pub architecture: Architecture,
+    /// Time-averaged energy cost per `V` value, in `v_values` order.
+    pub costs: Vec<f64>,
+}
+
+/// Fig. 2(f): time-averaged energy cost of the four architectures across
+/// `V` values, under common random numbers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2f(base: &Scenario, v_values: &[f64]) -> Result<Vec<ArchitectureRow>, SimError> {
+    let mut rows = Vec::with_capacity(Architecture::ALL.len());
+    for architecture in Architecture::ALL {
+        let mut costs = Vec::with_capacity(v_values.len());
+        for &v in v_values {
+            let mut scenario = base.clone();
+            scenario.v = v;
+            scenario.architecture = architecture;
+            let mut sim = Simulator::new(&scenario)?;
+            costs.push(sim.run()?.average_cost());
+        }
+        rows.push(ArchitectureRow {
+            architecture,
+            costs,
+        });
+    }
+    Ok(rows)
+}
+
+/// Convenience: run a single scenario and return its metrics.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn single_run(scenario: &Scenario) -> Result<RunMetrics, SimError> {
+    let mut sim = Simulator::new(scenario)?;
+    Ok(sim.run()?.clone())
+}
+
+/// Multi-seed replication of one scenario: mean and standard deviation of
+/// the headline metrics across independent topologies and sample paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replication {
+    /// The seeds replicated.
+    pub seeds: Vec<u64>,
+    /// Mean time-averaged energy cost.
+    pub mean_cost: f64,
+    /// Population standard deviation of the cost.
+    pub std_cost: f64,
+    /// Mean delivered packets.
+    pub mean_delivered: f64,
+    /// Mean peak total backlog (BS + users).
+    pub mean_peak_backlog: f64,
+}
+
+/// Runs `base` once per seed and aggregates (the confidence companion to
+/// every single-seed figure).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn replicate(base: &Scenario, seeds: &[u64]) -> Result<Replication, SimError> {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut costs = greencell_stochastic::RunningMean::new();
+    let mut delivered = greencell_stochastic::RunningMean::new();
+    let mut peaks = greencell_stochastic::RunningMean::new();
+    for &seed in seeds {
+        let mut scenario = base.clone();
+        scenario.seed = seed;
+        let metrics = single_run(&scenario)?;
+        costs.record(metrics.average_cost());
+        delivered.record(metrics.delivered() as f64);
+        let peak = metrics.backlog_bs_series().max().unwrap_or(0.0)
+            + metrics.backlog_users_series().max().unwrap_or(0.0);
+        peaks.record(peak);
+    }
+    Ok(Replication {
+        seeds: seeds.to_vec(),
+        mean_cost: costs.mean(),
+        std_cost: costs.std_dev(),
+        mean_delivered: delivered.mean(),
+        mean_peak_backlog: peaks.mean(),
+    })
+}
+
+/// One point of a structural sweep (user count, session count, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The swept value.
+    pub x: f64,
+    /// Time-averaged energy cost.
+    pub avg_cost: f64,
+    /// Delivered packets over the horizon.
+    pub delivered: u64,
+    /// Peak total data backlog (BS + users).
+    pub peak_backlog: f64,
+    /// Mean scheduled transmissions per slot.
+    pub mean_scheduled: f64,
+}
+
+fn sweep_point(scenario: &Scenario, x: f64) -> Result<SweepPoint, SimError> {
+    let metrics = single_run(scenario)?;
+    Ok(SweepPoint {
+        x,
+        avg_cost: metrics.average_cost(),
+        delivered: metrics.delivered(),
+        peak_backlog: metrics.backlog_bs_series().max().unwrap_or(0.0)
+            + metrics.backlog_users_series().max().unwrap_or(0.0),
+        mean_scheduled: metrics.scheduled_series().mean(),
+    })
+}
+
+/// Sweeps the number of users (relay density) — more relays should help
+/// multi-hop serve the same sessions with shorter hops.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_users(base: &Scenario, counts: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
+    counts
+        .iter()
+        .map(|&users| {
+            let mut scenario = base.clone();
+            scenario.users = users.max(scenario.sessions);
+            sweep_point(&scenario, users as f64)
+        })
+        .collect()
+}
+
+/// Sweeps the number of sessions (offered load).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_sessions(base: &Scenario, counts: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
+    counts
+        .iter()
+        .map(|&sessions| {
+            let mut scenario = base.clone();
+            scenario.sessions = sessions;
+            sweep_point(&scenario, sessions as f64)
+        })
+        .collect()
+}
+
+/// Head-to-head comparison of the two S1 schedulers on the *same*
+/// recorded observation trace (perfectly paired).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerComparison {
+    /// Greedy scheduler's time-averaged energy cost.
+    pub greedy_cost: f64,
+    /// Sequential-fix scheduler's time-averaged energy cost.
+    pub sequential_fix_cost: f64,
+    /// Greedy scheduler's delivered packets.
+    pub greedy_delivered: u64,
+    /// Sequential-fix scheduler's delivered packets.
+    pub sequential_fix_delivered: u64,
+}
+
+/// Runs the greedy and sequential-fix S1 algorithms over an identical
+/// observation trace and compares cost and throughput — the `s1_ablation`
+/// companion experiment (wall-clock lives in the Criterion benches).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn scheduler_comparison(base: &Scenario) -> Result<SchedulerComparison, SimError> {
+    let mut recorder = Simulator::new(base)?;
+    let (_, trace) = recorder.run_recording()?;
+
+    let mut greedy_scenario = base.clone();
+    greedy_scenario.scheduler = greencell_core::SchedulerKind::Greedy;
+    let mut greedy = Simulator::new(&greedy_scenario)?;
+    let greedy_metrics = greedy.replay(&trace)?.clone();
+
+    let mut sf_scenario = base.clone();
+    sf_scenario.scheduler = greencell_core::SchedulerKind::SequentialFix;
+    let mut sf = Simulator::new(&sf_scenario)?;
+    let sf_metrics = sf.replay(&trace)?.clone();
+
+    Ok(SchedulerComparison {
+        greedy_cost: greedy_metrics.average_cost(),
+        sequential_fix_cost: sf_metrics.average_cost(),
+        greedy_delivered: greedy_metrics.delivered(),
+        sequential_fix_delivered: sf_metrics.delivered(),
+    })
+}
+
+/// Head-to-head comparison of the marginal-price S4 against the
+/// storage-oblivious grid-only baseline on the same trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyPolicyComparison {
+    /// The paper's S4 (marginal-price equilibrium): time-averaged cost.
+    pub marginal_price_cost: f64,
+    /// The grid-only ablation baseline: time-averaged cost.
+    pub grid_only_cost: f64,
+}
+
+/// Runs both S4 policies over an identical observation trace (the
+/// storage-management ablation of DESIGN.md).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn energy_policy_comparison(base: &Scenario) -> Result<EnergyPolicyComparison, SimError> {
+    let mut recorder = Simulator::new(base)?;
+    let (_, trace) = recorder.run_recording()?;
+
+    let mut smart_scenario = base.clone();
+    smart_scenario.energy_policy = greencell_core::EnergyPolicy::MarginalPrice;
+    let mut smart = Simulator::new(&smart_scenario)?;
+    let smart_metrics = smart.replay(&trace)?.clone();
+
+    let mut naive_scenario = base.clone();
+    naive_scenario.energy_policy = greencell_core::EnergyPolicy::GridOnly;
+    let mut naive = Simulator::new(&naive_scenario)?;
+    let naive_metrics = naive.replay(&trace)?.clone();
+
+    Ok(EnergyPolicyComparison {
+        marginal_price_cost: smart_metrics.average_cost(),
+        grid_only_cost: naive_metrics.average_cost(),
+    })
+}
+
+/// Sweeps the number of extra (non-cellular) spectrum bands.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_bands(base: &Scenario, extra_bands: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
+    extra_bands
+        .iter()
+        .map(|&extra| {
+            let mut scenario = base.clone();
+            scenario.random_bands = vec![(1.0, 2.0); extra];
+            sweep_point(&scenario, extra as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2a_rows_are_ordered_bounds() {
+        let mut base = Scenario::tiny(23);
+        base.horizon = 12;
+        let rows = fig2a(&base, &[1e5, 5e5]).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.lower <= row.upper, "bound ordering violated");
+            assert!(row.gap > 0.0);
+        }
+        // The B/V gap shrinks as V grows.
+        assert!(rows[1].gap < rows[0].gap);
+    }
+
+    #[test]
+    fn fig2bc_produces_one_series_per_v() {
+        let mut base = Scenario::tiny(29);
+        base.horizon = 8;
+        let rows = fig2bc(&base, &[1e5, 2e5, 3e5]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.bs.len() == 8 && r.users.len() == 8));
+    }
+
+    #[test]
+    fn fig2f_covers_all_architectures() {
+        let mut base = Scenario::tiny(31);
+        base.horizon = 8;
+        let rows = fig2f(&base, &[1e5]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].architecture, Architecture::Proposed);
+        assert!(rows.iter().all(|r| r.costs.len() == 1));
+    }
+}

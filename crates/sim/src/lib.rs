@@ -1,0 +1,43 @@
+//! Time-slotted simulator and experiment harness for the ICDCS 2014
+//! evaluation (paper §VI).
+//!
+//! * [`Scenario`] — a complete experiment description; [`Scenario::paper`]
+//!   encodes every §VI parameter (2000 m × 2000 m, 2 BSs, 20 users, 1+4
+//!   bands, `Γ = 1`, `η = 10⁻²⁰` W/Hz, `f(P) = 0.8P² + 0.2P`, …) and
+//!   documents the handful the paper leaves unspecified.
+//! * [`Architecture`] — the four systems of Fig. 2(f): the proposed
+//!   scheme, multi-hop without renewables, one-hop with renewables, and
+//!   one-hop without renewables.
+//! * [`Simulator`] — drives a [`greencell_core::Controller`] (and
+//!   optionally the relaxed lower-bound controller on the *same* random
+//!   observations) and collects [`RunMetrics`].
+//! * [`experiments`] — one runner per figure, each returning the exact
+//!   rows/series the paper plots; the `fig2a`/`fig2bc`/`fig2de`/`fig2f`
+//!   binaries print them.
+//!
+//! # Examples
+//!
+//! ```
+//! use greencell_sim::{Scenario, Simulator};
+//!
+//! let scenario = Scenario::tiny(42); // small network for quick runs
+//! let mut sim = Simulator::new(&scenario)?;
+//! let metrics = sim.run()?;
+//! assert_eq!(metrics.cost_series().len(), scenario.horizon);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod engine;
+pub mod experiments;
+mod metrics;
+pub mod report;
+mod scenario;
+
+pub use arch::Architecture;
+pub use engine::{SimError, Simulator};
+pub use metrics::RunMetrics;
+pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};

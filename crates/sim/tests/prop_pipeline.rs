@@ -1,0 +1,153 @@
+//! Property tests over the full pipeline: randomized small scenarios run
+//! end-to-end without violating the physical and Lyapunov invariants.
+
+use greencell_sim::{Architecture, DemandModel, GridModel, Scenario, Simulator};
+use greencell_units::Energy;
+use proptest::prelude::*;
+
+fn random_scenario(
+    seed: u64,
+    users: usize,
+    sessions: usize,
+    v: f64,
+    arch_pick: u8,
+    bursty: bool,
+    sticky: bool,
+) -> Scenario {
+    let mut s = Scenario::tiny(seed);
+    s.users = users;
+    s.sessions = sessions.min(users);
+    s.v = v;
+    s.horizon = 15;
+    s.architecture = Architecture::ALL[arch_pick as usize % 4];
+    if bursty {
+        s.demand_model = DemandModel::Poisson;
+    }
+    if sticky {
+        s.grid_model = GridModel::Markov {
+            stay_on: 0.9,
+            stay_off: 0.8,
+        };
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random small configuration runs to completion with batteries in
+    /// range and source queues under the admission valve.
+    #[test]
+    fn pipeline_invariants_hold(
+        seed in 0u64..10_000,
+        users in 2usize..6,
+        sessions in 1usize..4,
+        v in 1e4f64..1e6,
+        arch_pick in 0u8..4,
+        bursty in any::<bool>(),
+        sticky in any::<bool>(),
+    ) {
+        let scenario = random_scenario(seed, users, sessions, v, arch_pick, bursty, sticky);
+        let mut sim = Simulator::new(&scenario).expect("scenario builds");
+        sim.run().expect("run completes");
+
+        let net = sim.network().clone();
+        // Batteries stay physical.
+        for id in net.topology().ids() {
+            let b = sim.controller().battery(id);
+            prop_assert!(b.level() >= Energy::ZERO);
+            prop_assert!(b.level() <= b.capacity());
+        }
+        // The admission valve bounds every source queue. Poisson demand
+        // does not change the bound: admission is gated before arrival.
+        let valve = scenario.lambda * scenario.v + scenario.k_max.count_f64();
+        for bs in net.topology().base_stations() {
+            for session in net.sessions() {
+                let q = sim.controller().data().backlog(bs, session.id()).count_f64();
+                prop_assert!(q <= valve + 1e-9, "source queue {q} over valve {valve}");
+            }
+        }
+        // Metrics cover the whole horizon.
+        prop_assert_eq!(sim.metrics().cost_series().len(), scenario.horizon);
+        // Energy cost is non-negative in every slot.
+        prop_assert!(sim.metrics().cost_series().values().iter().all(|&c| c >= 0.0));
+    }
+
+    /// Determinism holds across the extension knobs too.
+    #[test]
+    fn extensions_are_deterministic(
+        seed in 0u64..10_000,
+        bursty in any::<bool>(),
+        sticky in any::<bool>(),
+    ) {
+        let scenario = random_scenario(seed, 4, 2, 1e5, 0, bursty, sticky);
+        let mut a = Simulator::new(&scenario).expect("a builds");
+        let ra = a.run().expect("a runs").clone();
+        let mut b = Simulator::new(&scenario).expect("b builds");
+        let rb = b.run().expect("b runs").clone();
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// One-hop runs never leave packets in user-transmitter link buffers.
+    #[test]
+    fn one_hop_invariant(seed in 0u64..10_000) {
+        let mut scenario = random_scenario(seed, 4, 2, 1e5, 0, false, false);
+        scenario.architecture = Architecture::OneHopRenewable;
+        let mut sim = Simulator::new(&scenario).expect("builds");
+        sim.run().expect("runs");
+        let net = sim.network().clone();
+        for u in net.topology().users() {
+            for j in net.topology().ids() {
+                if u != j {
+                    prop_assert_eq!(sim.controller().links().g(u, j).count(), 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shadowing_changes_gains_but_zero_sigma_is_identity() {
+    let base = Scenario::tiny(55);
+    let plain = base.build_network().expect("plain");
+    let mut shadowed_scenario = base.clone();
+    shadowed_scenario.shadowing_sigma_db = 6.0;
+    let shadowed = shadowed_scenario.build_network().expect("shadowed");
+    // Same placement, different gains.
+    let topo_a = plain.topology();
+    let topo_b = shadowed.topology();
+    let i = greencell_net::NodeId::from_index(0);
+    let j = greencell_net::NodeId::from_index(1);
+    assert_eq!(topo_a.node(i).position(), topo_b.node(i).position());
+    assert_ne!(topo_a.gain(i, j), topo_b.gain(i, j));
+    // Shadowing stays symmetric.
+    assert!((topo_b.gain(i, j) - topo_b.gain(j, i)).abs() <= f64::EPSILON * topo_b.gain(i, j));
+    // σ = 0 reproduces the plain network exactly.
+    let zero = base.build_network().expect("zero");
+    assert_eq!(plain, zero);
+    // And a shadowed scenario still simulates cleanly.
+    let mut sim = Simulator::new(&shadowed_scenario).expect("build");
+    sim.run().expect("run");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 4/5 across random seeds and V: the relaxed lower bound
+    /// never exceeds the achieved cost.
+    #[test]
+    fn lower_bound_below_upper_everywhere(seed in 0u64..10_000, v in 5e4f64..1e6) {
+        let mut scenario = Scenario::tiny(seed);
+        scenario.v = v;
+        scenario.horizon = 12;
+        scenario.track_lower_bound = true;
+        let mut sim = Simulator::new(&scenario).expect("build");
+        let metrics = sim.run().expect("run").clone();
+        let lower = metrics.lower_bound().expect("tracked");
+        prop_assert!(
+            lower <= metrics.average_cost() + 1e-9,
+            "lower bound {lower} above achieved cost {}",
+            metrics.average_cost()
+        );
+    }
+}

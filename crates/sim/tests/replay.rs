@@ -1,0 +1,53 @@
+//! Trace record/replay: a recorded run reproduces exactly, and the same
+//! weather trace can be replayed under different controller settings for
+//! perfectly paired what-if comparisons.
+
+use greencell_sim::{Scenario, Simulator};
+
+#[test]
+fn replay_reproduces_the_recorded_run() {
+    let scenario = Scenario::tiny(77);
+    let mut recorder = Simulator::new(&scenario).expect("build");
+    let (metrics, trace) = recorder.run_recording().expect("record");
+    assert_eq!(trace.len(), scenario.horizon);
+
+    let mut replayer = Simulator::new(&scenario).expect("build");
+    let replayed = replayer.replay(&trace).expect("replay").clone();
+    assert_eq!(metrics, replayed);
+}
+
+#[test]
+fn same_trace_different_v_is_a_paired_comparison() {
+    let scenario = Scenario::tiny(78);
+    let mut recorder = Simulator::new(&scenario).expect("build");
+    let (_, trace) = recorder.run_recording().expect("record");
+
+    // Replay the identical weather under a much smaller V: the admission
+    // valve tightens, so no more packets can be admitted than at large V.
+    let mut small_v = scenario.clone();
+    small_v.v = 1e4;
+    let mut sim_small = Simulator::new(&small_v).expect("build");
+    let metrics_small = sim_small.replay(&trace).expect("replay").clone();
+
+    let mut large_v = scenario.clone();
+    large_v.v = 1e6;
+    let mut sim_large = Simulator::new(&large_v).expect("build");
+    let metrics_large = sim_large.replay(&trace).expect("replay").clone();
+
+    let admitted_small: f64 = metrics_small.admitted_series().values().iter().sum();
+    let admitted_large: f64 = metrics_large.admitted_series().values().iter().sum();
+    assert!(
+        admitted_small <= admitted_large,
+        "smaller V must admit no more ({admitted_small} vs {admitted_large})"
+    );
+}
+
+#[test]
+fn replay_accepts_partial_traces() {
+    let scenario = Scenario::tiny(79);
+    let mut recorder = Simulator::new(&scenario).expect("build");
+    let (_, trace) = recorder.run_recording().expect("record");
+    let mut sim = Simulator::new(&scenario).expect("build");
+    let metrics = sim.replay(&trace[..5]).expect("replay");
+    assert_eq!(metrics.cost_series().len(), 5);
+}

@@ -1,0 +1,37 @@
+//! The S1 ablation of DESIGN.md: the weight-greedy default must stay
+//! competitive with the paper's sequential-fix on identical traces.
+
+use greencell_sim::{experiments, Scenario};
+
+#[test]
+fn greedy_and_sequential_fix_deliver_comparably() {
+    let mut base = Scenario::paper(42);
+    base.horizon = 40;
+    let cmp = experiments::scheduler_comparison(&base).expect("comparison runs");
+
+    assert!(cmp.greedy_delivered > 0);
+    assert!(cmp.sequential_fix_delivered > 0);
+    // Neither scheduler should deliver less than 70% of the other.
+    let (lo, hi) = (
+        cmp.greedy_delivered.min(cmp.sequential_fix_delivered) as f64,
+        cmp.greedy_delivered.max(cmp.sequential_fix_delivered) as f64,
+    );
+    assert!(
+        lo >= 0.7 * hi,
+        "throughput gap too large: greedy {} vs sequential-fix {}",
+        cmp.greedy_delivered,
+        cmp.sequential_fix_delivered
+    );
+    // Costs within 2x of each other (both dominated by the same storage
+    // and overhead flows).
+    let (clo, chi) = (
+        cmp.greedy_cost.min(cmp.sequential_fix_cost),
+        cmp.greedy_cost.max(cmp.sequential_fix_cost),
+    );
+    assert!(
+        chi <= 2.0 * clo + 1e-9,
+        "cost gap too large: greedy {} vs sequential-fix {}",
+        cmp.greedy_cost,
+        cmp.sequential_fix_cost
+    );
+}

@@ -1,0 +1,56 @@
+//! Stochastic substrate for the `greencell` workspace.
+//!
+//! The paper drives the network with several independent i.i.d. random
+//! processes, all observed at the start of each slot (§II):
+//!
+//! * band bandwidths `W_m(t)` — uniform on an interval (§VI),
+//! * renewable outputs `R_i(t)` — uniform on `[0, R^max_i]` (§II-D),
+//! * grid connectivity of mobile users `ξ_i(t) ∈ {0, 1}` (§II-D),
+//! * session demands `v_s(t)` (§II-A).
+//!
+//! This crate provides the machinery those models share:
+//!
+//! * [`Rng`] — a small, fully deterministic xoshiro256\*\* generator with
+//!   SplitMix64 seeding and stream splitting, so every experiment is
+//!   reproducible bit-for-bit from a single seed across platforms;
+//! * [`Distribution`] implementations ([`UniformF64`], [`Bernoulli`],
+//!   [`DiscreteUniform`], [`Constant`]);
+//! * [`Process`] — per-slot observation of a random process, including
+//!   i.i.d. wrappers, recorded traces, and replay ([`IidProcess`],
+//!   [`TraceProcess`]);
+//! * running statistics ([`RunningMean`], [`TimeAverage`], [`Ewma`],
+//!   [`Series`]) used to estimate the paper's time averages (Definition 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use greencell_stochastic::{Rng, UniformF64, Distribution, TimeAverage};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let bandwidth = UniformF64::new(1.0, 2.0)?;
+//! let mut avg = TimeAverage::new();
+//! for _ in 0..1000 {
+//!     avg.record(bandwidth.sample(&mut rng));
+//! }
+//! assert!((avg.mean() - 1.5).abs() < 0.05);
+//! # Ok::<(), greencell_stochastic::DistributionError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod markov;
+mod poisson;
+mod process;
+mod rng;
+mod stats;
+
+pub use dist::{
+    Bernoulli, Constant, DiscreteUniform, Distribution, DistributionError, UniformF64,
+};
+pub use markov::MarkovOnOff;
+pub use poisson::Poisson;
+pub use process::{ConstantProcess, IidProcess, Process, Recorder, TraceProcess};
+pub use rng::Rng;
+pub use stats::{jain_fairness, Ewma, MinMax, RunningMean, Series, TimeAverage};

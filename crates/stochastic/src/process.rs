@@ -1,0 +1,209 @@
+//! Discrete-time random processes observed once per slot.
+
+use crate::{Distribution, Rng};
+
+/// A discrete-time process producing one observation per time slot.
+///
+/// Everything random in the paper's system model — bandwidths, renewable
+/// outputs, grid connectivity, demands — is observed "at the beginning of
+/// each time slot" (§II-A); this trait is that observation.
+///
+/// Implementors carry their own state (and RNG stream where applicable), so
+/// a network holds a `Vec<Box<dyn Process<f64>>>` without caring which are
+/// i.i.d., replayed traces, or constants.
+pub trait Process<T> {
+    /// Observes the process value for the next time slot.
+    fn observe(&mut self) -> T;
+}
+
+/// An i.i.d. process: a fresh draw from a fixed distribution each slot,
+/// using a dedicated RNG stream.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_stochastic::{IidProcess, Process, Rng, UniformF64};
+///
+/// let mut renewables = IidProcess::new(UniformF64::new(0.0, 15.0)?, Rng::seed_from(3));
+/// let r_t = renewables.observe();
+/// assert!((0.0..15.0).contains(&r_t));
+/// # Ok::<(), greencell_stochastic::DistributionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IidProcess<D> {
+    dist: D,
+    rng: Rng,
+}
+
+impl<D> IidProcess<D> {
+    /// Creates an i.i.d. process from a distribution and a dedicated stream.
+    pub fn new(dist: D, rng: Rng) -> Self {
+        Self { dist, rng }
+    }
+
+    /// The underlying distribution.
+    pub fn distribution(&self) -> &D {
+        &self.dist
+    }
+}
+
+impl<T, D: Distribution<T>> Process<T> for IidProcess<D> {
+    fn observe(&mut self) -> T {
+        self.dist.sample(&mut self.rng)
+    }
+}
+
+/// A process that always observes the same value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantProcess<T>(pub T);
+
+impl<T: Clone> Process<T> for ConstantProcess<T> {
+    fn observe(&mut self) -> T {
+        self.0.clone()
+    }
+}
+
+/// A process replayed from a recorded trace, cycling when exhausted.
+///
+/// Replaying the identical randomness under two different control policies
+/// is how the Fig. 2(f) architecture comparison keeps its paired design.
+#[derive(Debug, Clone)]
+pub struct TraceProcess<T> {
+    trace: Vec<T>,
+    cursor: usize,
+}
+
+impl<T> TraceProcess<T> {
+    /// Creates a replay process from a recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty — there would be nothing to observe.
+    #[must_use]
+    pub fn new(trace: Vec<T>) -> Self {
+        assert!(!trace.is_empty(), "trace must be non-empty");
+        Self { trace, cursor: 0 }
+    }
+
+    /// Length of one replay cycle.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// `true` if the trace has length zero (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+impl<T: Clone> Process<T> for TraceProcess<T> {
+    fn observe(&mut self) -> T {
+        let v = self.trace[self.cursor].clone();
+        self.cursor = (self.cursor + 1) % self.trace.len();
+        v
+    }
+}
+
+/// Wraps a process, recording every observation for later replay.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_stochastic::{Recorder, IidProcess, Process, Rng, UniformF64};
+///
+/// let inner = IidProcess::new(UniformF64::new(0.0, 1.0)?, Rng::seed_from(1));
+/// let mut rec = Recorder::new(inner);
+/// let first = rec.observe();
+/// let trace = rec.into_trace();
+/// assert_eq!(trace, vec![first]);
+/// # Ok::<(), greencell_stochastic::DistributionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder<P, T> {
+    inner: P,
+    trace: Vec<T>,
+}
+
+impl<P, T> Recorder<P, T> {
+    /// Wraps `inner`, starting with an empty trace.
+    pub fn new(inner: P) -> Self {
+        Self {
+            inner,
+            trace: Vec::new(),
+        }
+    }
+
+    /// The observations recorded so far.
+    pub fn trace(&self) -> &[T] {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the recorded trace.
+    pub fn into_trace(self) -> Vec<T> {
+        self.trace
+    }
+}
+
+impl<T: Clone, P: Process<T>> Process<T> for Recorder<P, T> {
+    fn observe(&mut self) -> T {
+        let v = self.inner.observe();
+        self.trace.push(v.clone());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformF64;
+
+    #[test]
+    fn iid_process_draws_vary() {
+        let mut p = IidProcess::new(UniformF64::new(0.0, 1.0).unwrap(), Rng::seed_from(1));
+        let a = p.observe();
+        let b = p.observe();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constant_process_repeats() {
+        let mut p = ConstantProcess(5u64);
+        assert_eq!(p.observe(), 5);
+        assert_eq!(p.observe(), 5);
+    }
+
+    #[test]
+    fn trace_process_cycles() {
+        let mut p = TraceProcess::new(vec![1, 2, 3]);
+        let observed: Vec<i32> = (0..7).map(|_| p.observe()).collect();
+        assert_eq!(observed, vec![1, 2, 3, 1, 2, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_rejected() {
+        let _ = TraceProcess::<i32>::new(vec![]);
+    }
+
+    #[test]
+    fn recorder_round_trips_through_trace() {
+        let inner = IidProcess::new(UniformF64::new(0.0, 1.0).unwrap(), Rng::seed_from(9));
+        let mut rec = Recorder::new(inner);
+        let original: Vec<f64> = (0..5).map(|_| rec.observe()).collect();
+        let mut replay = TraceProcess::new(rec.into_trace());
+        let replayed: Vec<f64> = (0..5).map(|_| replay.observe()).collect();
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn processes_usable_as_trait_objects() {
+        let mut procs: Vec<Box<dyn Process<f64>>> = vec![
+            Box::new(ConstantProcess(1.0)),
+            Box::new(TraceProcess::new(vec![2.0])),
+        ];
+        let total: f64 = procs.iter_mut().map(|p| p.observe()).sum();
+        assert_eq!(total, 3.0);
+    }
+}

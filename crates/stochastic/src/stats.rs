@@ -1,0 +1,444 @@
+//! Running statistics for estimating the paper's time averages.
+//!
+//! Definition 1 of the paper defines the time average
+//! `ā = lim (1/T) Σ E[a(t)]`; on a finite simulated horizon we estimate it
+//! with [`TimeAverage`]. [`RunningMean`] adds Welford variance for
+//! confidence reporting, [`Ewma`] provides smoothed trend lines, and
+//! [`Series`] stores whole trajectories for the Fig. 2(b)–(e) plots.
+
+/// Plain time average `(1/T) Σ x_t` with an exact running sum.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_stochastic::TimeAverage;
+///
+/// let mut avg = TimeAverage::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     avg.record(x);
+/// }
+/// assert_eq!(avg.mean(), 2.0);
+/// assert_eq!(avg.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeAverage {
+    sum: f64,
+    count: u64,
+}
+
+impl TimeAverage {
+    /// Creates an empty average.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+    }
+
+    /// The running sum `Σ x_t`.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of recorded observations `T`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean `(1/T) Σ x_t`; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Welford running mean and variance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The mean; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; `0.0` with fewer than two observations.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA smoothing factor {alpha} outside (0, 1]"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current smoothed value, if any observation has been recorded.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Running minimum and maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MinMax {
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl MinMax {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Smallest observation so far.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation so far.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative allocations:
+/// `1.0` for perfectly equal shares, `1/n` when one participant takes
+/// everything; `1.0` for empty or all-zero input by convention.
+///
+/// # Examples
+///
+/// ```
+/// use greencell_stochastic::jain_fairness;
+///
+/// assert_eq!(jain_fairness(&[5.0, 5.0, 5.0]), 1.0);
+/// assert!((jain_fairness(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any value is negative.
+#[must_use]
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    assert!(
+        values.iter().all(|&x| x >= 0.0),
+        "fairness is defined over non-negative allocations"
+    );
+    let sum: f64 = values.iter().sum();
+    if values.is_empty() || sum <= 0.0 {
+        return 1.0;
+    }
+    let sum_sq: f64 = values.iter().map(|x| x * x).sum();
+    sum * sum / (values.len() as f64 * sum_sq)
+}
+
+/// A stored trajectory `x_0, x_1, …` (one value per slot).
+///
+/// Backs the over-time plots of Fig. 2(b)–(e); keeps both the raw series
+/// and summary statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the next slot's value.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+    }
+
+    /// The stored values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of slots recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean over the whole series; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Largest value; `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, x| {
+            Some(acc.map_or(x, |m: f64| m.max(x)))
+        })
+    }
+
+    /// Last value; `None` when empty.
+    #[must_use]
+    pub fn last(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// Value at slot `t`; `None` if out of range.
+    #[must_use]
+    pub fn at(&self, t: usize) -> Option<f64> {
+        self.values.get(t).copied()
+    }
+
+    /// The `q`-quantile (nearest-rank) of the stored values, `q ∈ [0, 1]`;
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in series"));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Mean of the final `tail` fraction of the series (e.g. `0.25` for the
+    /// last quarter) — a steady-state estimate that skips the ramp-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tail` is outside `(0, 1]`.
+    #[must_use]
+    pub fn tail_mean(&self, tail: f64) -> f64 {
+        assert!(tail > 0.0 && tail <= 1.0, "tail fraction {tail} outside (0, 1]");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let start = ((self.values.len() as f64) * (1.0 - tail)).floor() as usize;
+        let slice = &self.values[start.min(self.values.len() - 1)..];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+}
+
+impl FromIterator<f64> for Series {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Series {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_average_empty_is_zero() {
+        assert_eq!(TimeAverage::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn running_mean_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rm = RunningMean::new();
+        for &x in &data {
+            rm.record(x);
+        }
+        assert!((rm.mean() - 5.0).abs() < 1e-12);
+        assert!((rm.variance() - 4.0).abs() < 1e-12);
+        assert!((rm.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_first_value_passthrough_then_smooths() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), None);
+        e.record(10.0);
+        assert_eq!(e.value(), Some(10.0));
+        e.record(0.0);
+        assert_eq!(e.value(), Some(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn ewma_rejects_zero_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn minmax_tracks() {
+        let mut mm = MinMax::new();
+        assert_eq!(mm.min(), None);
+        for x in [3.0, -1.0, 7.0] {
+            mm.record(x);
+        }
+        assert_eq!(mm.min(), Some(-1.0));
+        assert_eq!(mm.max(), Some(7.0));
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s: Series = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.last(), Some(4.0));
+        assert_eq!(s.at(1), Some(2.0));
+        assert_eq!(s.at(9), None);
+    }
+
+    #[test]
+    fn series_percentiles() {
+        let s: Series = [5.0, 1.0, 3.0, 2.0, 4.0].into_iter().collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(0.5), Some(3.0));
+        assert_eq!(s.percentile(1.0), Some(5.0));
+        assert_eq!(Series::new().percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn percentile_rejects_bad_quantile() {
+        let s: Series = [1.0].into_iter().collect();
+        let _ = s.percentile(1.5);
+    }
+
+    #[test]
+    fn series_tail_mean_skips_rampup() {
+        let s: Series = [100.0, 100.0, 1.0, 1.0].into_iter().collect();
+        assert_eq!(s.tail_mean(0.5), 1.0);
+        assert_eq!(s.tail_mean(1.0), 50.5);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_fairness(&[7.0, 7.0, 7.0, 7.0]), 1.0);
+        assert!((jain_fairness(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+        // Monotone in equalization.
+        assert!(jain_fairness(&[6.0, 4.0]) > jain_fairness(&[9.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jain_rejects_negative() {
+        let _ = jain_fairness(&[-1.0]);
+    }
+
+    #[test]
+    fn series_extend() {
+        let mut s = Series::new();
+        s.extend([1.0, 2.0]);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Typed physical quantities for the `greencell` workspace.
+//!
+//! The ICDCS 2014 paper freely mixes units — transmit powers in watts,
+//! battery limits in kilowatt-hours, buffer plots in watt-hours, slot
+//! durations in minutes, bandwidths in megahertz. Mixing those up silently
+//! is the classic failure mode of a simulation reproduction, so every
+//! quantity that crosses a module boundary in this workspace is a newtype
+//! with explicit constructors and accessors:
+//!
+//! * [`Energy`] — joules internally; W·h and kW·h at the edges.
+//! * [`Power`] — watts; `Power * TimeDelta = Energy`.
+//! * [`Bandwidth`] — hertz; MHz at the edges.
+//! * [`Distance`] — meters.
+//! * [`TimeDelta`] — seconds; minutes at the edges (slot length Δt).
+//! * [`Bits`], [`Packets`], [`PacketSize`], [`DataRate`] — traffic bookkeeping.
+//!
+//! All quantity types are `Copy` and implement the usual arithmetic
+//! operators where the physics makes sense; dimension-mixing operations are
+//! simply not provided, so they fail to compile.
+//!
+//! # Examples
+//!
+//! ```
+//! use greencell_units::{Power, TimeDelta, Energy};
+//!
+//! let slot = TimeDelta::from_minutes(1.0);
+//! let tx = Power::from_watts(20.0);
+//! let spent: Energy = tx * slot;
+//! assert!((spent.as_watt_hours() - 20.0 / 60.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod bandwidth;
+mod data;
+mod distance;
+mod energy;
+mod power;
+mod time;
+
+pub use bandwidth::Bandwidth;
+pub use data::{Bits, DataRate, PacketSize, Packets};
+pub use distance::Distance;
+pub use energy::Energy;
+pub use power::Power;
+pub use time::TimeDelta;

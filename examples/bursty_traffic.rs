@@ -1,0 +1,69 @@
+//! Extension experiment: the paper assumes constant per-slot demand and
+//! i.i.d. grid connectivity. This example swaps in Poisson (bursty)
+//! session arrivals and a sticky Markov on/off grid, and shows the
+//! Lyapunov controller absorbing both without losing stability — the
+//! drift analysis never used the i.i.d. assumption beyond its mean.
+//!
+//! ```text
+//! cargo run --release --example bursty_traffic [seed]
+//! ```
+
+use greencell::queue::StabilityEstimator;
+use greencell::sim::{DemandModel, GridModel, Scenario, Simulator};
+
+fn run(label: &str, scenario: &Scenario) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = Simulator::new(scenario)?;
+    let metrics = sim.run()?.clone();
+    let mut stability = StabilityEstimator::new();
+    for &x in metrics.backlog_bs_series().values() {
+        stability.record(x);
+    }
+    println!(
+        "{label:<38} cost {:>9.6}  delivered {:>7}  peak backlog {:>7.0}  saturating {}",
+        metrics.average_cost(),
+        metrics.delivered(),
+        stability.peak_backlog(),
+        stability.is_saturating(0.3),
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+
+    println!("=== bursty traffic & sticky connectivity (seed {seed}) ===");
+    println!("All runs share topology, spectrum, and renewable sample paths.\n");
+
+    let mut base = Scenario::paper(seed);
+    base.horizon = 200;
+    run("paper model (constant, i.i.d. grid)", &base)?;
+
+    let mut bursty = base.clone();
+    bursty.demand_model = DemandModel::Poisson;
+    run("Poisson demand (same mean)", &bursty)?;
+
+    let mut sticky = base.clone();
+    sticky.grid_model = GridModel::Markov {
+        stay_on: 0.95,
+        stay_off: 0.9,
+    };
+    run("Markov grid (bursty connectivity)", &sticky)?;
+
+    let mut both = bursty.clone();
+    both.grid_model = GridModel::Markov {
+        stay_on: 0.95,
+        stay_off: 0.9,
+    };
+    run("both extensions", &both)?;
+
+    println!();
+    println!("The admission valve k_s = K_max·1{{Q < λV}} bounds every queue");
+    println!("regardless of the arrival law, so all four runs stay strongly stable.");
+    println!("Note: the provider's bill is unchanged by the grid model because only");
+    println!("base stations are billed (§II-E) and they are always connected; user");
+    println!("connectivity only matters when their batteries and renewables run dry.");
+    Ok(())
+}

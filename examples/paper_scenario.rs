@@ -1,0 +1,104 @@
+//! Runs the paper's full §VI evaluation scenario (2000 m × 2000 m, 2 base
+//! stations, 20 users, 5 bands, 5 sessions, 100 one-minute slots) with
+//! the lower-bound controller co-running, and prints a compact summary of
+//! every quantity the paper's Fig. 2 plots.
+//!
+//! ```text
+//! cargo run --release --example paper_scenario [seed]
+//! ```
+
+use greencell::net::NodeId;
+use greencell::sim::{Scenario, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
+
+    let mut scenario = Scenario::paper(seed);
+    scenario.track_lower_bound = true;
+
+    let mut sim = Simulator::new(&scenario)?;
+    println!("=== paper scenario (seed {seed}) ===");
+    println!(
+        "V = {:.0e}, λ = {}, K_max = {}, δ = {} bits, Δt = 1 min",
+        scenario.v,
+        scenario.lambda,
+        scenario.k_max,
+        scenario.packet_size.as_bits(),
+    );
+    println!(
+        "drift constants: β = {:.0} pkt, γ_max = {:.3}, B = {:.3e}",
+        sim.controller().beta(),
+        sim.controller().gamma_max(),
+        sim.controller().penalty_b(),
+    );
+
+    let metrics = sim.run()?.clone();
+
+    println!();
+    println!("--- Fig 2(a) inputs ---");
+    println!("upper bound ψ_P3 (avg f-cost): {:.6}", metrics.average_cost());
+    println!(
+        "relaxed controller avg f-cost: {:.6}",
+        metrics.relaxed_cost_series().mean()
+    );
+    println!(
+        "lower bound ψ̄ − B/V:           {:.3e}",
+        metrics.lower_bound().unwrap()
+    );
+
+    println!();
+    println!("--- Fig 2(b)/(c): data queues (packets) ---");
+    println!(
+        "BS backlog:   final {:.0}, peak {:.0}",
+        metrics.backlog_bs_series().last().unwrap(),
+        metrics.backlog_bs_series().max().unwrap()
+    );
+    println!(
+        "user backlog: final {:.0}, peak {:.0}",
+        metrics.backlog_users_series().last().unwrap(),
+        metrics.backlog_users_series().max().unwrap()
+    );
+
+    println!();
+    println!("--- Fig 2(d)/(e): energy buffers ---");
+    println!(
+        "BS buffers:   final {:.3} kWh",
+        metrics.buffer_bs_series().last().unwrap()
+    );
+    println!(
+        "user buffers: final {:.1} Wh",
+        metrics.buffer_users_series().last().unwrap()
+    );
+
+    println!();
+    println!("--- traffic ---");
+    println!(
+        "admitted {:.0} pkt/slot avg, routed {:.0} pkt/slot avg, delivered {} pkt total",
+        metrics.admitted_series().mean(),
+        metrics.routed_series().mean(),
+        metrics.delivered(),
+    );
+    println!(
+        "scheduled {:.1} transmissions/slot avg, {} shed",
+        metrics.scheduled_series().mean(),
+        metrics.shed(),
+    );
+
+    // Peek at a few per-node states.
+    println!();
+    println!("--- sample node states after {} slots ---", scenario.horizon);
+    let topo = sim.network().topology().clone();
+    for id in topo.ids().take(4) {
+        let node = topo.node(id);
+        println!(
+            "{}: battery {:.3} kWh, backlog {} ",
+            node,
+            sim.controller().battery(NodeId::from_index(id.index())).level().as_kilowatt_hours(),
+            sim.controller().data().node_backlog(id),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,307 @@
+//! Hand-rolled argument parsing for the `greencell` CLI.
+//!
+//! No third-party parser: the grammar is one subcommand plus `--key value`
+//! flags, small enough that explicit code is clearer than a dependency.
+
+use greencell_core::SchedulerKind;
+use greencell_sim::{Architecture, DemandModel, GridModel, Scenario, TouPricing};
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Command {
+    /// What to run.
+    pub action: Action,
+    /// The fully-resolved scenario after applying every flag.
+    pub scenario: Scenario,
+    /// Lyapunov-weight sweep for the figure actions (defaults per figure).
+    pub v_values: Option<Vec<f64>>,
+    /// Output directory for CSV artifacts, if requested.
+    pub out_dir: Option<String>,
+}
+
+/// The CLI's subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Run one scenario and print a summary.
+    Run,
+    /// Fig. 2(a): cost bounds vs V.
+    Fig2a,
+    /// Fig. 2(b)/(c): backlogs over time.
+    Fig2bc,
+    /// Fig. 2(d)/(e): energy buffers over time.
+    Fig2de,
+    /// Fig. 2(f): architecture comparison.
+    Fig2f,
+    /// Structural sweeps + replication.
+    Sweeps,
+    /// Print usage.
+    Help,
+}
+
+/// Error explaining what part of the invocation was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `greencell help`.
+pub const USAGE: &str = "\
+greencell — ICDCS 2014 green multi-hop cellular reproduction
+
+USAGE:
+    greencell <ACTION> [FLAGS]
+
+ACTIONS:
+    run      run one scenario and print a summary
+    fig2a    cost bounds vs V            (paper Fig. 2(a))
+    fig2bc   data-queue backlogs         (paper Fig. 2(b)/(c))
+    fig2de   energy buffers              (paper Fig. 2(d)/(e))
+    fig2f    architecture comparison     (paper Fig. 2(f))
+    sweeps   structural sweeps + multi-seed replication
+    help     this text
+
+FLAGS (all optional):
+    --seed N            master seed                    [42]
+    --horizon N         slots to simulate              [100]
+    --v X               Lyapunov weight V              [1e5]
+    --lambda X          admission reward λ             [0.02]
+    --users N           mobile users                   [20]
+    --sessions N        downlink sessions              [5]
+    --scheduler S       greedy | sequential-fix        [greedy]
+    --arch A            proposed | mh-no-re | oh-re | oh-no-re
+    --demand M          constant | poisson             [constant]
+    --grid M            iid | markov                   [iid]
+    --tou PEAKX         periodic tariff with PEAKX multiplier (12-slot
+                        period, 6 peak slots)          [flat]
+    --tiny              use the small test scenario instead of the paper's
+    --track-lower-bound co-run the relaxed lower-bound controller
+    --out DIR           also write CSV artifacts to DIR
+";
+
+fn parse_flag_value<T: std::str::FromStr>(key: &str, value: Option<&str>) -> Result<T, ParseError> {
+    let raw = value.ok_or_else(|| ParseError(format!("flag {key} needs a value")))?;
+    raw.parse()
+        .map_err(|_| ParseError(format!("invalid value for {key}: {raw}")))
+}
+
+/// Parses an argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a human-readable message on unknown
+/// actions, unknown flags, or malformed values.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    let action = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => Action::Help,
+        Some("run") => Action::Run,
+        Some("fig2a") => Action::Fig2a,
+        Some("fig2bc") => Action::Fig2bc,
+        Some("fig2de") => Action::Fig2de,
+        Some("fig2f") => Action::Fig2f,
+        Some("sweeps") => Action::Sweeps,
+        Some(other) => return Err(ParseError(format!("unknown action: {other}"))),
+    };
+
+    let mut seed = 42u64;
+    let mut tiny = false;
+    let mut scenario_edits: Vec<(String, String)> = Vec::new();
+    let mut track_lower = false;
+    let mut out_dir = None;
+    let mut v_values = None;
+
+    while let Some(flag) = it.next() {
+        match flag {
+            "--seed" => seed = parse_flag_value(flag, it.next())?,
+            "--tiny" => tiny = true,
+            "--track-lower-bound" => track_lower = true,
+            "--out" => {
+                out_dir = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--out needs a directory".into()))?
+                        .to_string(),
+                );
+            }
+            "--v-values" => {
+                let raw: String = parse_flag_value(flag, it.next())?;
+                let parsed: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
+                v_values = Some(
+                    parsed.map_err(|_| ParseError(format!("invalid V list: {raw}")))?,
+                );
+            }
+            "--horizon" | "--v" | "--lambda" | "--users" | "--sessions" | "--scheduler"
+            | "--arch" | "--demand" | "--grid" | "--tou" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ParseError(format!("flag {flag} needs a value")))?;
+                scenario_edits.push((flag.to_string(), value.to_string()));
+            }
+            other => return Err(ParseError(format!("unknown flag: {other}"))),
+        }
+    }
+
+    let mut scenario = if tiny {
+        Scenario::tiny(seed)
+    } else {
+        Scenario::paper(seed)
+    };
+    scenario.track_lower_bound = track_lower;
+    for (key, value) in &scenario_edits {
+        apply_edit(&mut scenario, key, value)?;
+    }
+
+    Ok(Command {
+        action,
+        scenario,
+        v_values,
+        out_dir,
+    })
+}
+
+fn apply_edit(s: &mut Scenario, key: &str, value: &str) -> Result<(), ParseError> {
+    match key {
+        "--horizon" => s.horizon = parse_flag_value(key, Some(value))?,
+        "--v" => s.v = parse_flag_value(key, Some(value))?,
+        "--lambda" => s.lambda = parse_flag_value(key, Some(value))?,
+        "--users" => s.users = parse_flag_value(key, Some(value))?,
+        "--sessions" => s.sessions = parse_flag_value(key, Some(value))?,
+        "--scheduler" => {
+            s.scheduler = match value {
+                "greedy" => SchedulerKind::Greedy,
+                "sequential-fix" | "sf" => SchedulerKind::SequentialFix,
+                other => return Err(ParseError(format!("unknown scheduler: {other}"))),
+            }
+        }
+        "--arch" => {
+            s.architecture = match value {
+                "proposed" => Architecture::Proposed,
+                "mh-no-re" => Architecture::MultiHopNoRenewable,
+                "oh-re" => Architecture::OneHopRenewable,
+                "oh-no-re" => Architecture::OneHopNoRenewable,
+                other => return Err(ParseError(format!("unknown architecture: {other}"))),
+            }
+        }
+        "--demand" => {
+            s.demand_model = match value {
+                "constant" => DemandModel::Constant,
+                "poisson" => DemandModel::Poisson,
+                other => return Err(ParseError(format!("unknown demand model: {other}"))),
+            }
+        }
+        "--grid" => {
+            s.grid_model = match value {
+                "iid" => GridModel::Iid,
+                "markov" => GridModel::Markov {
+                    stay_on: 0.95,
+                    stay_off: 0.9,
+                },
+                other => return Err(ParseError(format!("unknown grid model: {other}"))),
+            }
+        }
+        "--tou" => {
+            let peak: f64 = parse_flag_value(key, Some(value))?;
+            s.pricing = TouPricing::Periodic {
+                period_slots: 12,
+                peak_slots: 6,
+                peak_multiplier: peak,
+            };
+        }
+        _ => return Err(ParseError(format!("unknown flag: {key}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).unwrap().action, Action::Help);
+        assert_eq!(parse(&argv("help")).unwrap().action, Action::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().action, Action::Help);
+    }
+
+    #[test]
+    fn run_with_flags() {
+        let cmd = parse(&argv("run --seed 7 --horizon 50 --v 3e5 --users 10")).unwrap();
+        assert_eq!(cmd.action, Action::Run);
+        assert_eq!(cmd.scenario.seed, 7);
+        assert_eq!(cmd.scenario.horizon, 50);
+        assert_eq!(cmd.scenario.v, 3e5);
+        assert_eq!(cmd.scenario.users, 10);
+    }
+
+    #[test]
+    fn figure_actions_parse() {
+        for (name, action) in [
+            ("fig2a", Action::Fig2a),
+            ("fig2bc", Action::Fig2bc),
+            ("fig2de", Action::Fig2de),
+            ("fig2f", Action::Fig2f),
+            ("sweeps", Action::Sweeps),
+        ] {
+            assert_eq!(parse(&argv(name)).unwrap().action, action);
+        }
+    }
+
+    #[test]
+    fn scheduler_and_architecture() {
+        let cmd = parse(&argv("run --scheduler sequential-fix --arch oh-no-re")).unwrap();
+        assert_eq!(cmd.scenario.scheduler, SchedulerKind::SequentialFix);
+        assert_eq!(cmd.scenario.architecture, Architecture::OneHopNoRenewable);
+    }
+
+    #[test]
+    fn extension_knobs() {
+        let cmd = parse(&argv("run --demand poisson --grid markov --tou 5.0")).unwrap();
+        assert_eq!(cmd.scenario.demand_model, DemandModel::Poisson);
+        assert!(matches!(cmd.scenario.grid_model, GridModel::Markov { .. }));
+        assert!(matches!(
+            cmd.scenario.pricing,
+            TouPricing::Periodic {
+                peak_multiplier,
+                ..
+            } if (peak_multiplier - 5.0).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn v_values_list() {
+        let cmd = parse(&argv("fig2a --v-values 1e5,3e5,5e5")).unwrap();
+        assert_eq!(cmd.v_values, Some(vec![1e5, 3e5, 5e5]));
+    }
+
+    #[test]
+    fn tiny_and_lower_bound() {
+        let cmd = parse(&argv("run --tiny --track-lower-bound")).unwrap();
+        assert_eq!(cmd.scenario.users, 4);
+        assert!(cmd.scenario.track_lower_bound);
+    }
+
+    #[test]
+    fn out_dir() {
+        let cmd = parse(&argv("fig2bc --out results")).unwrap();
+        assert_eq!(cmd.out_dir.as_deref(), Some("results"));
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&argv("explode")).unwrap_err().0.contains("unknown action"));
+        assert!(parse(&argv("run --bogus 1")).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(&argv("run --v")).unwrap_err().0.contains("needs a value"));
+        assert!(parse(&argv("run --v abc")).unwrap_err().0.contains("invalid value"));
+        assert!(parse(&argv("run --scheduler magic")).unwrap_err().0.contains("unknown scheduler"));
+    }
+}

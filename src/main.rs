@@ -1,0 +1,176 @@
+//! The `greencell` command-line interface: one binary for running
+//! scenarios, regenerating every paper figure, and sweeping the extension
+//! knobs. Run `greencell help` for usage.
+
+use greencell::cli::{parse, Action, Command, USAGE};
+use greencell::sim::{experiments, report, Simulator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if command.action == Action::Help {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = dispatch(&command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn dispatch(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd.action {
+        Action::Help => unreachable!("handled in main"),
+        Action::Run => run_once(cmd),
+        Action::Fig2a => fig2a(cmd),
+        Action::Fig2bc => fig2bc(cmd),
+        Action::Fig2de => fig2de(cmd),
+        Action::Fig2f => fig2f(cmd),
+        Action::Sweeps => sweeps(cmd),
+    }
+}
+
+fn run_once(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sim = Simulator::new(&cmd.scenario)?;
+    let metrics = sim.run()?.clone();
+    println!(
+        "scenario: {} nodes, {} sessions, {} slots, V={:.3e}, seed {}",
+        sim.network().topology().len(),
+        sim.network().session_count(),
+        cmd.scenario.horizon,
+        cmd.scenario.v,
+        cmd.scenario.seed,
+    );
+    println!("avg energy cost f(P): {:.6}", metrics.average_cost());
+    println!(
+        "grid drawn total:     {:.4} kWh",
+        metrics.grid_series().values().iter().sum::<f64>()
+    );
+    println!(
+        "delivered:            {} packets (fairness {:.3})",
+        metrics.delivered(),
+        metrics.delivery_fairness()
+    );
+    println!(
+        "peak backlogs:        BS {:.0}, users {:.0} packets",
+        metrics.backlog_bs_series().max().unwrap_or(0.0),
+        metrics.backlog_users_series().max().unwrap_or(0.0)
+    );
+    println!("cost per slot:        {}", report::sparkline(metrics.cost_series()));
+    println!("BS backlog:           {}", report::sparkline(metrics.backlog_bs_series()));
+    if let Some(bound) = metrics.lower_bound() {
+        println!("lower bound ψ̄ − B/V:  {bound:.3e}");
+    }
+    if metrics.shed() > 0 {
+        println!("WARNING: {} transmissions shed", metrics.shed());
+    }
+    Ok(())
+}
+
+fn fig2a(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let v_values = cmd
+        .v_values
+        .clone()
+        .unwrap_or_else(|| (1..=10).map(|k| k as f64 * 1e5).collect());
+    let rows = experiments::fig2a(&cmd.scenario, &v_values)?;
+    println!("# Fig 2(a) — time-averaged expected energy cost bounds vs V");
+    print!("{}", report::bounds_table(&rows));
+    Ok(())
+}
+
+fn fig2bc(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let v_values = cmd
+        .v_values
+        .clone()
+        .unwrap_or_else(|| (1..=5).map(|k| k as f64 * 1e5).collect());
+    let rows = experiments::fig2bc(&cmd.scenario, &v_values)?;
+    let (bs, users) = report::backlog_csv(&rows);
+    println!("# Fig 2(b) — total data queue backlog of base stations (packets)");
+    print!("{bs}");
+    println!("# Fig 2(c) — total data queue backlog of mobile users (packets)");
+    print!("{users}");
+    write_artifacts(cmd, &[("fig2b.csv", &bs), ("fig2c.csv", &users)])
+}
+
+fn fig2de(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let v_values = cmd
+        .v_values
+        .clone()
+        .unwrap_or_else(|| (1..=5).map(|k| k as f64 * 1e5).collect());
+    let mut scenario = cmd.scenario.clone();
+    scenario.initial_battery_fraction = 0.0;
+    let rows = experiments::fig2de(&scenario, &v_values)?;
+    let (bs, users) = report::buffer_csv(&rows);
+    println!("# Fig 2(d) — total energy buffer size of base stations (kWh)");
+    print!("{bs}");
+    println!("# Fig 2(e) — total energy buffer size of mobile users (Wh)");
+    print!("{users}");
+    write_artifacts(cmd, &[("fig2d.csv", &bs), ("fig2e.csv", &users)])
+}
+
+fn fig2f(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let v_values = cmd.v_values.clone().unwrap_or_else(|| vec![1e5, 3e5, 5e5]);
+    // Apply the documented Fig 2(f) calibration unless the user changed
+    // those fields themselves.
+    let mut scenario = cmd.scenario.clone();
+    let defaults = greencell::sim::Scenario::paper(scenario.seed);
+    if scenario.noise_density == defaults.noise_density {
+        let calibrated = greencell::sim::Scenario::fig2f_calibrated(scenario.seed);
+        scenario.noise_density = calibrated.noise_density;
+        scenario.recv_power = calibrated.recv_power;
+        scenario.initial_battery_fraction = calibrated.initial_battery_fraction;
+    }
+    let rows = experiments::fig2f(&scenario, &v_values)?;
+    println!("# Fig 2(f) — time-averaged expected energy cost by architecture");
+    print!("{}", report::architecture_table(&rows, &v_values));
+    Ok(())
+}
+
+fn sweeps(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let base = &cmd.scenario;
+    for (title, points) in [
+        ("users", experiments::sweep_users(base, &[5, 10, 20, 40])?),
+        ("sessions", experiments::sweep_sessions(base, &[2, 5, 10, 15])?),
+        ("extra bands", experiments::sweep_bands(base, &[0, 2, 4, 8])?),
+    ] {
+        println!("# sweep: {title}");
+        println!(
+            "{:>10} {:>12} {:>12} {:>14} {:>10}",
+            "x", "avg cost", "delivered", "peak backlog", "links/slot"
+        );
+        for p in &points {
+            println!(
+                "{:>10} {:>12.6} {:>12} {:>14.0} {:>10.2}",
+                p.x, p.avg_cost, p.delivered, p.peak_backlog, p.mean_scheduled
+            );
+        }
+        println!();
+    }
+    let rep = experiments::replicate(base, &[1, 7, 13, 42, 99])?;
+    println!(
+        "# replication over seeds {:?}: cost {:.6} ± {:.6}",
+        rep.seeds, rep.mean_cost, rep.std_cost
+    );
+    Ok(())
+}
+
+fn write_artifacts(
+    cmd: &Command,
+    files: &[(&str, &str)],
+) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(dir) = &cmd.out_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)?;
+        for (name, contents) in files {
+            std::fs::write(dir.join(name), contents)?;
+        }
+        eprintln!("wrote {} file(s) to {}", files.len(), dir.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Scale test: the system stays correct and fast well beyond the paper's
+//! 22-node evaluation.
+
+use greencell::sim::{Scenario, Simulator};
+use std::time::Instant;
+
+#[test]
+fn fifty_users_ten_sessions_runs_and_stays_stable() {
+    let mut scenario = Scenario::paper(42);
+    scenario.users = 50;
+    scenario.sessions = 10;
+    scenario.horizon = 40;
+
+    let start = Instant::now();
+    let mut sim = Simulator::new(&scenario).expect("build");
+    let metrics = sim.run().expect("run").clone();
+    let elapsed = start.elapsed();
+
+    assert_eq!(metrics.cost_series().len(), 40);
+    assert!(metrics.delivered() > 0, "traffic must flow at scale");
+    assert_eq!(metrics.shed(), 0);
+    // Valve bound still applies per source queue.
+    let valve = scenario.lambda * scenario.v + scenario.k_max.count_f64();
+    let net = sim.network().clone();
+    for bs in net.topology().base_stations() {
+        for session in net.sessions() {
+            assert!(
+                sim.controller().data().backlog(bs, session.id()).count_f64() <= valve,
+                "valve violated at scale"
+            );
+        }
+    }
+    // 52 nodes × 40 slots should stay well under a minute even in debug.
+    assert!(
+        elapsed.as_secs() < 60,
+        "scale run too slow: {elapsed:?}"
+    );
+}
+
+#[test]
+fn four_base_stations_share_admissions() {
+    let mut scenario = Scenario::paper(7);
+    scenario.bs_positions = vec![
+        (500.0, 500.0),
+        (1500.0, 500.0),
+        (500.0, 1500.0),
+        (1500.0, 1500.0),
+    ];
+    scenario.horizon = 30;
+    let mut sim = Simulator::new(&scenario).expect("build");
+    sim.run().expect("run");
+    let net = sim.network().clone();
+    assert_eq!(net.topology().base_station_count(), 4);
+    // S2 spreads sources: at least two different BSs hold session backlog.
+    let with_backlog = net
+        .topology()
+        .base_stations()
+        .filter(|&bs| sim.controller().data().node_backlog(bs).count() > 0)
+        .count();
+    assert!(
+        with_backlog >= 2,
+        "least-backlog source selection should spread load, got {with_backlog} BSs"
+    );
+}
