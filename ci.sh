@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus style/lint checks. Run from the repo root.
+#
+# The workspace builds fully offline: the only non-crates.io dependencies
+# are the vendored std-only `proptest`/`criterion` shims under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+# Prefer offline mode when the registry is unreachable; drop the flag if a
+# populated cargo cache is available and you want index freshness checks.
+CARGO_FLAGS=${CARGO_FLAGS:---offline}
+
+echo "== cargo build --release =="
+cargo build --workspace --release $CARGO_FLAGS
+
+echo "== cargo test -q =="
+# --workspace matters: the root manifest is both a package and a workspace,
+# so a bare `cargo test` would only cover the root `greencell` crate.
+cargo test -q --workspace $CARGO_FLAGS
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace $CARGO_FLAGS -- -D warnings
+
+echo "ci: all checks passed"

@@ -23,8 +23,7 @@ fn fig2bc_backlogs(c: &mut Criterion) {
     let base = bench_scenario(10);
     c.bench_function("fig2bc_backlogs", |b| {
         b.iter(|| {
-            let rows =
-                experiments::fig2bc(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2bc");
+            let rows = experiments::fig2bc(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2bc");
             black_box(rows)
         });
     });
@@ -36,8 +35,7 @@ fn fig2de_buffers(c: &mut Criterion) {
     base.initial_battery_fraction = 0.0;
     c.bench_function("fig2de_buffers", |b| {
         b.iter(|| {
-            let rows =
-                experiments::fig2de(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2de");
+            let rows = experiments::fig2de(black_box(&base), &[1e5, 3e5, 5e5]).expect("fig2de");
             black_box(rows)
         });
     });

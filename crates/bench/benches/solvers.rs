@@ -49,7 +49,10 @@ fn power_control_6_links(c: &mut Criterion) {
     let mut schedule = Schedule::new();
     for pair in nodes.chunks(2) {
         schedule
-            .try_add(&net, Transmission::new(pair[0], pair[1], BandId::from_index(0)))
+            .try_add(
+                &net,
+                Transmission::new(pair[0], pair[1], BandId::from_index(0)),
+            )
             .expect("disjoint");
     }
     let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
@@ -58,8 +61,7 @@ fn power_control_6_links(c: &mut Criterion) {
     c.bench_function("power_control_6_links", |b| {
         b.iter(|| {
             black_box(
-                min_power_assignment(&net, &schedule, &spectrum, &phy, &caps)
-                    .expect("feasible"),
+                min_power_assignment(&net, &schedule, &spectrum, &phy, &caps).expect("feasible"),
             )
         });
     });
@@ -166,7 +168,10 @@ fn s3_routing_22_nodes(c: &mut Criterion) {
         )));
     }
     for &user in users.iter().take(sessions) {
-        b.add_session(user, greencell_units::DataRate::from_kilobits_per_second(100.0));
+        b.add_session(
+            user,
+            greencell_units::DataRate::from_kilobits_per_second(100.0),
+        );
     }
     let net = b.build().expect("net");
     let mut data = DataQueueBank::new(n, &users[..sessions]);
@@ -179,9 +184,15 @@ fn s3_routing_22_nodes(c: &mut Criterion) {
     data.advance(&FlowPlan::new(n, sessions), &admissions_load);
     let links = LinkQueueBank::new(n, 12_000.0);
     let caps: Vec<(NodeId, NodeId, Packets)> = (0..n)
-        .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| {
-            (NodeId::from_index(i), NodeId::from_index(j), Packets::new(12_000))
-        }))
+        .flat_map(|i| {
+            (0..n).filter(move |&j| j != i).map(move |j| {
+                (
+                    NodeId::from_index(i),
+                    NodeId::from_index(j),
+                    Packets::new(12_000),
+                )
+            })
+        })
         .collect();
     let admissions: Vec<Admission> = (0..sessions)
         .map(|s| Admission {
@@ -192,7 +203,16 @@ fn s3_routing_22_nodes(c: &mut Criterion) {
         .collect();
     let demand = vec![Packets::new(600); sessions];
     c.bench_function("s3_routing_22_nodes", |b| {
-        b.iter(|| black_box(route_flows(&net, &data, &links, &caps, &admissions, &demand)));
+        b.iter(|| {
+            black_box(route_flows(
+                &net,
+                &data,
+                &links,
+                &caps,
+                &admissions,
+                &demand,
+            ))
+        });
     });
 }
 

@@ -1,0 +1,41 @@
+//! Sweep-engine throughput: how fast the deterministic parallel engine
+//! pushes a batch of independent scenario points, serial vs. fanned out.
+//!
+//! The engine guarantees bit-identical results at any worker count, so
+//! the only question these benchmarks answer is wall-clock: the parallel
+//! run should approach `serial / workers` on a multi-core host (on a
+//! single-core host the two are expected to tie).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greencell_sim::{run_sweep, Scenario, SweepOptions, SweepPoint};
+use std::hint::black_box;
+
+fn batch(n: usize) -> Vec<SweepPoint> {
+    (0..n)
+        .map(|i| SweepPoint::new(format!("p{i}"), Scenario::tiny(500 + i as u64)))
+        .collect()
+}
+
+fn sweep_serial(c: &mut Criterion) {
+    let points = batch(8);
+    c.bench_function("sweep_8pts_serial", |b| {
+        b.iter(|| {
+            let report = run_sweep(black_box(&points), &SweepOptions::serial()).expect("sweep");
+            black_box(report)
+        });
+    });
+}
+
+fn sweep_parallel(c: &mut Criterion) {
+    let points = batch(8);
+    let opts = SweepOptions::with_threads(4);
+    c.bench_function("sweep_8pts_4threads", |b| {
+        b.iter(|| {
+            let report = run_sweep(black_box(&points), &opts).expect("sweep");
+            black_box(report)
+        });
+    });
+}
+
+criterion_group!(sweep, sweep_serial, sweep_parallel);
+criterion_main!(sweep);

@@ -1,0 +1,90 @@
+//! Establishes the sweep-engine perf baseline: times the same point batch
+//! serial and fanned out, checks the results stayed bit-identical, and
+//! writes the numbers to `BENCH_sweep.json` for trajectory tracking.
+//!
+//! ```text
+//! cargo run --release -p greencell-bench --bin perf_baseline [points] [threads] [reps]
+//! ```
+
+use greencell_sim::{run_sweep, Scenario, SweepOptions, SweepPoint, SweepReport};
+use std::time::{Duration, Instant};
+
+fn batch(n: usize) -> Vec<SweepPoint> {
+    (0..n)
+        .map(|i| SweepPoint::new(format!("p{i}"), Scenario::tiny(500 + i as u64)))
+        .collect()
+}
+
+/// The determinism-relevant bytes of a report (everything but timing).
+fn fingerprint(report: &SweepReport) -> String {
+    report
+        .outcomes
+        .iter()
+        .map(|o| format!("{}|{}|{:?}", o.label, o.seed, o.metrics))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Best-of-`reps` wall-clock for one worker count, plus the last report.
+fn measure(points: &[SweepPoint], opts: &SweepOptions, reps: usize) -> (Duration, SweepReport) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = run_sweep(points, opts).expect("sweep runs");
+        best = best.min(start.elapsed());
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_points: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+    });
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+
+    let points = batch(n_points);
+    let slots: usize = points.iter().map(|p| p.scenario.horizon).sum();
+
+    eprintln!("perf_baseline: {n_points} points, best of {reps} reps, 1 vs {threads} worker(s)");
+    let (serial_wall, serial_report) = measure(&points, &SweepOptions::serial(), reps);
+    let (parallel_wall, parallel_report) =
+        measure(&points, &SweepOptions::with_threads(threads), reps);
+
+    assert_eq!(
+        fingerprint(&serial_report),
+        fingerprint(&parallel_report),
+        "parallel sweep diverged from the serial baseline"
+    );
+
+    let serial_s = serial_wall.as_secs_f64();
+    let parallel_s = parallel_wall.as_secs_f64();
+    let speedup = serial_s / parallel_s.max(1e-12);
+    println!(
+        "serial:   {serial_s:.4}s ({:.0} slots/s)",
+        slots as f64 / serial_s
+    );
+    println!(
+        "parallel: {parallel_s:.4}s ({:.0} slots/s)",
+        slots as f64 / parallel_s
+    );
+    println!("speedup:  {speedup:.2}x at {threads} worker(s); results bit-identical");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
+         \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
+         \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \
+         \"speedup\": {speedup:.4},\n  \
+         \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
+         \"bit_identical\": true\n}}\n",
+        slots as f64 / serial_s,
+        slots as f64 / parallel_s,
+    );
+    match std::fs::write("BENCH_sweep.json", &json) {
+        Ok(()) => eprintln!("wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
+    }
+}

@@ -12,6 +12,7 @@ use greencell_queue::{DataQueueBank, LinkQueueBank};
 use greencell_units::{Energy, Packets, Power};
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Error from [`Controller::new`] or [`Controller::step`].
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +104,51 @@ impl SlotReport {
     }
 }
 
+/// Cumulative wall-clock spent in each stage of the S1→S4 pipeline,
+/// accumulated across every [`Controller::step`] call.
+///
+/// Kept on the controller (not in [`SlotReport`]) so slot reports stay
+/// comparable across runs: wall-clock is nondeterministic, decisions are
+/// not. S3 and S4 run inside the shedding retry loop, so their totals
+/// include any retries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Time in S1 link scheduling (greedy or sequential-fix).
+    pub s1: Duration,
+    /// Time in S2 admission control / resource allocation.
+    pub s2: Duration,
+    /// Time in S3 routing (including realized link-service computation).
+    pub s3: Duration,
+    /// Time in S4 energy management (marginal-price or grid-only solve).
+    pub s4: Duration,
+    /// Number of slots accumulated.
+    pub slots: u64,
+}
+
+impl StageTimings {
+    /// Total time across all four stages.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.s1 + self.s2 + self.s3 + self.s4
+    }
+
+    /// Per-stage share of the total, as `[s1, s2, s3, s4]` fractions;
+    /// all zeros when nothing has been timed yet.
+    #[must_use]
+    pub fn shares(&self) -> [f64; 4] {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.s1.as_secs_f64() / total,
+            self.s2.as_secs_f64() / total,
+            self.s3.as_secs_f64() / total,
+            self.s4.as_secs_f64() / total,
+        ]
+    }
+}
+
 /// The online finite-queue-aware energy-cost controller (the paper's
 /// decomposition algorithm, §IV-C).
 ///
@@ -123,6 +169,7 @@ pub struct Controller {
     beta: f64,
     penalty_b: f64,
     slot: u64,
+    timings: StageTimings,
 }
 
 impl Controller {
@@ -168,6 +215,7 @@ impl Controller {
             beta,
             penalty_b,
             slot: 0,
+            timings: StageTimings::default(),
         })
     }
 
@@ -221,6 +269,12 @@ impl Controller {
     #[must_use]
     pub fn penalty_b(&self) -> f64 {
         self.penalty_b
+    }
+
+    /// Cumulative wall-clock spent in each pipeline stage so far.
+    #[must_use]
+    pub fn stage_timings(&self) -> StageTimings {
+        self.timings
     }
 
     /// The current Lyapunov function value `L(Θ(t))` given the shifted
@@ -286,13 +340,17 @@ impl Controller {
             energy_models: &models,
             traffic_budget: &traffic_budget,
             slot: self.config.slot,
+            packet_size: self.config.packet_size,
         };
+        let s1_start = Instant::now();
         let mut outcome = match self.config.scheduler {
             SchedulerKind::Greedy => greedy_schedule(&s1_inputs),
             SchedulerKind::SequentialFix => sequential_fix_schedule(&s1_inputs),
         };
+        self.timings.s1 += s1_start.elapsed();
 
         // S2 — source selection and admission control.
+        let s2_start = Instant::now();
         let admissions = resource_allocation(
             &self.net,
             &self.data,
@@ -300,6 +358,7 @@ impl Controller {
             self.config.v,
             self.config.k_max,
         );
+        self.timings.s2 += s2_start.elapsed();
 
         // S3 + S4, with a shedding retry loop in case S4 reports a deficit
         // the worst-case precheck missed.
@@ -315,14 +374,13 @@ impl Controller {
             .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
             .filter(|&(i, _)| match self.config.relay {
                 crate::RelayPolicy::MultiHop => true,
-                crate::RelayPolicy::OneHop => {
-                    self.net.topology().node(i).kind().is_base_station()
-                }
+                crate::RelayPolicy::OneHop => self.net.topology().node(i).kind().is_base_station(),
             })
             .map(|(i, j)| (i, j, beta_cap))
             .collect();
 
         let (flows, link_service, energy_outcome) = loop {
+            let s3_start = Instant::now();
             let link_service = self.link_service(&outcome, &obs.spectrum);
             let flows = route_flows(
                 &self.net,
@@ -332,20 +390,18 @@ impl Controller {
                 &admissions,
                 &obs.session_demand,
             );
+            self.timings.s3 += s3_start.elapsed();
             let demand: Vec<Energy> = (0..nodes)
                 .map(|i| {
                     let node = NodeId::from_index(i);
-                    let tx_power = outcome
-                        .schedule
-                        .transmission_from(node)
-                        .and_then(|t| {
-                            outcome
-                                .schedule
-                                .transmissions()
-                                .iter()
-                                .position(|u| u == t)
-                                .map(|k| outcome.powers[k])
-                        });
+                    let tx_power = outcome.schedule.transmission_from(node).and_then(|t| {
+                        outcome
+                            .schedule
+                            .transmissions()
+                            .iter()
+                            .position(|u| u == t)
+                            .map(|k| outcome.powers[k])
+                    });
                     let receiving = outcome.schedule.transmission_to(node).is_some();
                     models[i].slot_demand(tx_power, receiving, self.config.slot)
                 })
@@ -358,8 +414,7 @@ impl Controller {
                 self.energy.cost.linear() * obs.price_multiplier,
                 self.energy.cost.constant() * obs.price_multiplier,
             );
-            let grid_limits: Vec<Energy> =
-                self.energy.nodes.iter().map(|n| n.grid_limit).collect();
+            let grid_limits: Vec<Energy> = self.energy.nodes.iter().map(|n| n.grid_limit).collect();
             let is_bs: Vec<bool> = self
                 .net
                 .topology()
@@ -378,10 +433,12 @@ impl Controller {
                 cost: &scaled_cost,
                 v: self.config.v,
             };
+            let s4_start = Instant::now();
             let solved = match self.config.energy_policy {
                 crate::EnergyPolicy::MarginalPrice => solve_energy_management(&input),
                 crate::EnergyPolicy::GridOnly => crate::solve_grid_only(&input),
             };
+            self.timings.s4 += s4_start.elapsed();
             match solved {
                 Ok(out) => break (flows, link_service, out),
                 Err(err) if !outcome.schedule.is_empty() => {
@@ -399,8 +456,14 @@ impl Controller {
                         }
                     };
                     let before = outcome.schedule.len();
-                    outcome =
-                        shed_node(&self.net, &outcome, node, &obs.spectrum, &self.phy, &max_powers);
+                    outcome = shed_node(
+                        &self.net,
+                        &outcome,
+                        node,
+                        &obs.spectrum,
+                        &self.phy,
+                        &max_powers,
+                    );
                     shed += before - outcome.schedule.len();
                     if before == outcome.schedule.len() {
                         // Node not in schedule: its *idle* demand is
@@ -478,6 +541,7 @@ impl Controller {
             shed_transmissions: shed,
         };
         self.slot += 1;
+        self.timings.slots += 1;
         Ok(report)
     }
 

@@ -92,8 +92,10 @@ mod s3;
 mod s4;
 mod state;
 
-pub use config::{ControllerConfig, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelayPolicy, SchedulerKind};
-pub use controller::{Controller, ControllerError, SlotReport};
+pub use config::{
+    ControllerConfig, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelayPolicy, SchedulerKind,
+};
+pub use controller::{Controller, ControllerError, SlotReport, StageTimings};
 pub use lower_bound::{LowerBoundSeries, RelaxedController};
 pub use s1::{greedy_schedule, sequential_fix_schedule, S1Inputs, ScheduleOutcome};
 pub use s2::{resource_allocation, Admission};

@@ -18,8 +18,10 @@
 //! system's achieved time-averaged cost estimates `ψ*_P̄3` from below the
 //! true controller's, and `ψ*_P̄3 − B/V` lower-bounds the offline optimum.
 
-use crate::{dpp, solve_energy_management, ControllerConfig, EnergyConfig, EnergyManagementInput,
-            SlotObservation};
+use crate::{
+    dpp, solve_energy_management, ControllerConfig, EnergyConfig, EnergyManagementInput,
+    SlotObservation,
+};
 use greencell_energy::Battery;
 use greencell_lp::{LinearProgram, Relation};
 use greencell_net::{Network, NodeId};
@@ -220,8 +222,8 @@ impl RelaxedController {
             }
             let w = obs.spectrum.bandwidth(*m);
             let gain = topo.gain(NodeId::from_index(*i), NodeId::from_index(*j));
-            let p_min = self.phy.sinr_threshold() * w.noise_power_watts(self.phy.noise_density())
-                / gain;
+            let p_min =
+                self.phy.sinr_threshold() * w.noise_power_watts(self.phy.noise_density()) / gain;
             let p_min = p_min.min(self.energy.nodes[*i].max_power.as_watts());
             tx_energy[*i] += alpha * p_min * dt.as_seconds();
             rx_energy[*j] += alpha
@@ -289,9 +291,8 @@ impl RelaxedController {
                     if j == source || i == dest || j == dest || backlog[s * n + i] <= 0.0 {
                         continue;
                     }
-                    let coeff = -self.qi(s, i)
-                        + self.qi(s, j)
-                        + self.beta * self.beta * self.g[i * n + j];
+                    let coeff =
+                        -self.qi(s, i) + self.qi(s, j) + self.beta * self.beta * self.g[i * n + j];
                     if coeff < 0.0 && (best.is_none() || coeff < best.unwrap().1) {
                         best = Some((s, coeff));
                     }
@@ -323,7 +324,12 @@ impl RelaxedController {
         let z: Vec<f64> = batteries
             .iter()
             .map(|b| {
-                dpp::shifted_level(b.level(), self.config.v, self.gamma_max, b.discharge_limit())
+                dpp::shifted_level(
+                    b.level(),
+                    self.config.v,
+                    self.gamma_max,
+                    b.discharge_limit(),
+                )
             })
             .collect();
         let demand: Vec<Energy> = (0..n)
@@ -384,8 +390,7 @@ impl RelaxedController {
         let mut srv = vec![0.0f64; n * n];
         for ((i, j, m, _), &alpha) in cand.iter().zip(&alphas) {
             let c = potential_capacity(obs.spectrum.bandwidth(*m), &self.phy);
-            srv[*i * n + *j] +=
-                alpha * (c * dt).count() / self.config.packet_size.as_bits_f64();
+            srv[*i * n + *j] += alpha * (c * dt).count() / self.config.packet_size.as_bits_f64();
         }
         for i in 0..n {
             for j in 0..n {

@@ -24,10 +24,11 @@ use greencell_energy::NodeEnergyModel;
 use greencell_lp::{LinearProgram, Relation};
 use greencell_net::{BandId, Network, NodeId};
 use greencell_phy::{
-    min_power_assignment, potential_capacity, PhyConfig, Schedule, SpectrumState, Transmission,
+    min_power_assignment, packets_per_slot, potential_capacity, PhyConfig, Schedule, SpectrumState,
+    Transmission,
 };
 use greencell_queue::LinkQueueBank;
-use greencell_units::{Energy, Power, TimeDelta};
+use greencell_units::{Energy, PacketSize, Power, TimeDelta};
 
 /// The result of S1: a feasible schedule plus its minimal power vector
 /// (one power per transmission, in schedule order).
@@ -78,6 +79,8 @@ pub struct S1Inputs<'a> {
     pub traffic_budget: &'a [Energy],
     /// The slot duration `Δt`.
     pub slot: TimeDelta,
+    /// Fixed packet size used to quantize per-slot service.
+    pub packet_size: PacketSize,
 }
 
 fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
@@ -93,7 +96,12 @@ fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
         }
         for m in inp.net.link_bands(i, j).iter() {
             let c = potential_capacity(inp.spectrum.bandwidth(m), inp.phy);
-            let weight = h * c.as_bits_per_second();
+            // Weight by the *quantized* per-slot service `μ^m_ij` — the exact
+            // quantity Ψ̂₁ sums — rather than the continuous capacity. The two
+            // orderings disagree near packet-count boundaries, and the greedy
+            // single-best-activation guarantee only holds for the former.
+            let pkts = packets_per_slot(c, inp.packet_size, inp.slot);
+            let weight = h * pkts.count_f64();
             if weight > 0.0 {
                 out.push(Candidate {
                     tx: i,
@@ -200,8 +208,7 @@ pub fn sequential_fix_schedule(inp: &S1Inputs<'_>) -> ScheduleOutcome {
         let cand = active.swap_remove(best_idx);
         let t = Transmission::new(cand.tx, cand.rx, cand.band);
         if let Ok(idx) = schedule.try_add(inp.net, t) {
-            match min_power_assignment(inp.net, &schedule, inp.spectrum, inp.phy, inp.max_powers)
-            {
+            match min_power_assignment(inp.net, &schedule, inp.spectrum, inp.phy, inp.max_powers) {
                 Ok(p) => powers = p,
                 Err(_) => {
                     schedule.remove(idx); // fix to 0 instead
@@ -370,7 +377,11 @@ mod tests {
                 Power::from_watts(1.0),
             ],
             models: vec![
-                NodeEnergyModel::new(Energy::ZERO, Energy::ZERO, Power::from_milliwatts(100.0));
+                NodeEnergyModel::new(
+                    Energy::ZERO,
+                    Energy::ZERO,
+                    Power::from_milliwatts(100.0)
+                );
                 3
             ],
             budget: vec![Energy::from_kilowatt_hours(1.0); 3],
@@ -387,6 +398,7 @@ mod tests {
             energy_models: &f.models,
             traffic_budget: &f.budget,
             slot: TimeDelta::from_minutes(1.0),
+            packet_size: PacketSize::from_bits(10_000),
         }
     }
 

@@ -159,7 +159,12 @@ mod tests {
             let adm = resource_allocation(&net, &data, 0.1, 1000.0, k_max);
             for a in adm {
                 if a.packets > Packets::ZERO {
-                    admit(&mut data, a.session.index(), a.source.index(), a.packets.count());
+                    admit(
+                        &mut data,
+                        a.session.index(),
+                        a.source.index(),
+                        a.packets.count(),
+                    );
                 }
             }
         }

@@ -137,7 +137,12 @@ pub fn route_flows(
             }
         }
     }
-    combos.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    combos.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
     let mut link_used = vec![false; cap.len()];
     for (_, s, idx) in combos {
         if link_used[idx] {
@@ -186,10 +191,7 @@ mod tests {
     }
 
     fn fill(data: &mut DataQueueBank, node: usize, pkts: u64) {
-        data.advance(
-            &FlowPlan::new(3, 1),
-            &[(s0(), n(node), Packets::new(pkts))],
-        );
+        data.advance(&FlowPlan::new(3, 1), &[(s0(), n(node), Packets::new(pkts))]);
     }
 
     fn adm(source: usize) -> Vec<Admission> {

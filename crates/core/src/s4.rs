@@ -247,14 +247,11 @@ fn mode_charge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
     if flip > u_min && flip < u_max {
         candidates.push(flip);
     }
-    candidates
-        .into_iter()
-        .map(build)
-        .min_by(|a, b| {
-            a.objective(env.z, price, env.eta)
-                .partial_cmp(&b.objective(env.z, price, env.eta))
-                .unwrap()
-        })
+    candidates.into_iter().map(build).min_by(|a, b| {
+        a.objective(env.z, price, env.eta)
+            .partial_cmp(&b.objective(env.z, price, env.eta))
+            .unwrap()
+    })
 }
 
 /// The node's optimal response to `price`; `None` if no mode is feasible.
@@ -402,7 +399,11 @@ pub fn solve_energy_management(
     let total_bs_draw = |price: f64| -> f64 {
         bs_indices
             .iter()
-            .map(|&i| node_at_price(&envs[i], price).expect("feasibility checked").draw())
+            .map(|&i| {
+                node_at_price(&envs[i], price)
+                    .expect("feasibility checked")
+                    .draw()
+            })
             .sum()
     };
 
@@ -424,7 +425,11 @@ pub fn solve_energy_management(
     // billed), base stations to the equilibrium price.
     let mut solutions: Vec<NodeSolution> = (0..n)
         .map(|i| {
-            let price = if input.is_base_station[i] { p_star } else { 0.0 };
+            let price = if input.is_base_station[i] {
+                p_star
+            } else {
+                0.0
+            };
             node_at_price(&envs[i], price).expect("feasibility checked")
         })
         .collect();
@@ -440,8 +445,8 @@ pub fn solve_energy_management(
                 break;
             }
             let env = &envs[i];
-            let tied = (env.z * env.eta + p_star).abs() <= tie_tol
-                || (-env.z - p_star).abs() <= tie_tol;
+            let tied =
+                (env.z * env.eta + p_star).abs() <= tie_tol || (-env.z - p_star).abs() <= tie_tol;
             if !tied {
                 continue;
             }
@@ -465,10 +470,7 @@ pub fn solve_energy_management(
                     sol.grid_to_demand -= shift;
                     total -= shift;
                 }
-                if total > target
-                    && sol.grid_to_battery <= EPS
-                    && sol.renewable_to_battery <= EPS
-                {
+                if total > target && sol.grid_to_battery <= EPS && sol.renewable_to_battery <= EPS {
                     let swing = (env.d_max - sol.discharge)
                         .min(sol.grid_to_demand)
                         .min(total - target)
@@ -518,8 +520,8 @@ pub fn solve_energy_management(
     let mut grid_draw = Energy::ZERO;
     let mut z_terms = 0.0;
     for (i, sol) in solutions.iter().enumerate() {
-        let waste = (envs[i].renewable - sol.renewable_to_demand - sol.renewable_to_battery)
-            .max(0.0);
+        let waste =
+            (envs[i].renewable - sol.renewable_to_demand - sol.renewable_to_battery).max(0.0);
         let split = RenewableSplit::new(
             input.renewable[i],
             Energy::from_kilowatt_hours(sol.renewable_to_demand),
@@ -739,7 +741,12 @@ mod tests {
             z: vec![3.0],
             demand: vec![kwh(0.02)],
             renewable: vec![kwh(0.005)],
-            batteries: vec![Battery::with_level(kwh(1.0), kwh(0.06), kwh(0.06), kwh(0.5))],
+            batteries: vec![Battery::with_level(
+                kwh(1.0),
+                kwh(0.06),
+                kwh(0.06),
+                kwh(0.5),
+            )],
             grid_connected: vec![false],
             grid_limits: vec![kwh(0.2)],
             is_bs: vec![false],
@@ -879,8 +886,8 @@ mod tests {
                     }
                     let g_dem = g_dem.max(0.0);
                     for gi in 0..=steps {
-                        let cg = ((g_max - g_dem).max(0.0) * gi as f64 / steps as f64)
-                            .min(c_room - cr);
+                        let cg =
+                            ((g_max - g_dem).max(0.0) * gi as f64 / steps as f64).min(c_room - cr);
                         let c = cr + cg;
                         if c > 1e-9 && d > 1e-9 {
                             continue; // (9)
@@ -889,8 +896,8 @@ mod tests {
                             continue;
                         }
                         let p = g_dem + cg;
-                        let obj = f.z[0] * (c - d)
-                            + f.v * f.cost.cost(Energy::from_kilowatt_hours(p));
+                        let obj =
+                            f.z[0] * (c - d) + f.v * f.cost.cost(Energy::from_kilowatt_hours(p));
                         best = best.min(obj);
                     }
                 }

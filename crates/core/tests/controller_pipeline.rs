@@ -74,8 +74,13 @@ fn obs(nodes: usize, sessions: usize) -> SlotObservation {
 #[test]
 fn first_slot_admits_into_the_source_queue() {
     let net = chain_net();
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
-        .unwrap();
+    let mut ctl = Controller::new(
+        net,
+        PhyConfig::new(1.0, 1e-20),
+        energy_config(3),
+        config(1e5),
+    )
+    .unwrap();
     let report = ctl.step(&obs(3, 1)).unwrap();
     // Empty queues ⇒ S2 admits K_max at the (only) BS; nothing to schedule
     // or route yet.
@@ -92,15 +97,23 @@ fn first_slot_admits_into_the_source_queue() {
 #[test]
 fn packets_flow_and_drain_over_slots() {
     let net = chain_net();
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
-        .unwrap();
+    let mut ctl = Controller::new(
+        net,
+        PhyConfig::new(1.0, 1e-20),
+        energy_config(3),
+        config(1e5),
+    )
+    .unwrap();
     let o = obs(3, 1);
     let mut delivered = Packets::ZERO;
     for _ in 0..12 {
         ctl.step(&o).unwrap();
         delivered = ctl.data().delivered(SessionId::from_index(0));
     }
-    assert!(delivered > Packets::ZERO, "chain should deliver within 12 slots");
+    assert!(
+        delivered > Packets::ZERO,
+        "chain should deliver within 12 slots"
+    );
     // The virtual queues that carried traffic were also served.
     let g01 = ctl
         .links()
@@ -112,8 +125,13 @@ fn packets_flow_and_drain_over_slots() {
 #[test]
 fn reports_are_internally_consistent() {
     let net = chain_net();
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
-        .unwrap();
+    let mut ctl = Controller::new(
+        net,
+        PhyConfig::new(1.0, 1e-20),
+        energy_config(3),
+        config(1e5),
+    )
+    .unwrap();
     let o = obs(3, 1);
     let mut prev_after = None;
     for _ in 0..8 {
@@ -138,8 +156,7 @@ fn one_hop_controller_never_routes_from_users() {
     let net = chain_net();
     let mut cfg = config(1e5);
     cfg.relay = RelayPolicy::OneHop;
-    let mut ctl =
-        Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), cfg).unwrap();
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), cfg).unwrap();
     let o = obs(3, 1);
     for _ in 0..10 {
         ctl.step(&o).unwrap();
@@ -167,8 +184,13 @@ fn v_zero_still_runs() {
     // V = 0 is legal (pure stability, no cost emphasis): λV = 0 means no
     // admissions at all, so the system idles but must not fault.
     let net = chain_net();
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(0.0))
-        .unwrap();
+    let mut ctl = Controller::new(
+        net,
+        PhyConfig::new(1.0, 1e-20),
+        energy_config(3),
+        config(0.0),
+    )
+    .unwrap();
     let r = ctl.step(&obs(3, 1)).unwrap();
     assert_eq!(r.admitted, Packets::ZERO);
     assert_eq!(r.routed, Packets::ZERO);
@@ -177,8 +199,13 @@ fn v_zero_still_runs() {
 #[test]
 fn batteries_track_decisions_exactly() {
     let net = chain_net();
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy_config(3), config(1e5))
-        .unwrap();
+    let mut ctl = Controller::new(
+        net,
+        PhyConfig::new(1.0, 1e-20),
+        energy_config(3),
+        config(1e5),
+    )
+    .unwrap();
     let o = obs(3, 1);
     // With V = 1e5 the z-shift dwarfs every level: all nodes charge at
     // their caps until full (0.5 → 1.0 kWh at ≤ 0.1 kWh/slot = ≥ 5 slots).

@@ -8,9 +8,7 @@ use greencell_core::{
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{Network, NetworkBuilder, PathLossModel, Point};
 use greencell_phy::{PhyConfig, SpectrumState};
-use greencell_units::{
-    Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta,
-};
+use greencell_units::{Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta};
 
 fn tiny_net() -> Network {
     let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
@@ -143,5 +141,8 @@ fn controller_recovers_after_transient_energy_shortage() {
         let report = ctl.step(&plentiful).expect("recovers");
         delivered_any |= report.routed > Packets::ZERO;
     }
-    assert!(delivered_any, "traffic should flow once energy is available");
+    assert!(
+        delivered_any,
+        "traffic should flow once energy is available"
+    );
 }

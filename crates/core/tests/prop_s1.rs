@@ -7,8 +7,8 @@ use greencell_core::{greedy_schedule, sequential_fix_schedule, S1Inputs};
 use greencell_energy::NodeEnergyModel;
 use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
 use greencell_phy::{
-    min_power_assignment, packets_per_slot, potential_capacity, PhyConfig, Schedule,
-    SpectrumState, Transmission,
+    min_power_assignment, packets_per_slot, potential_capacity, PhyConfig, Schedule, SpectrumState,
+    Transmission,
 };
 use greencell_queue::{FlowPlan, LinkQueueBank};
 use greencell_stochastic::Rng;
@@ -91,6 +91,7 @@ fn inputs<'a>(inst: &'a Instance, phy: &'a PhyConfig) -> S1Inputs<'a> {
         energy_models: &inst.models,
         traffic_budget: &inst.budget,
         slot: TimeDelta::from_minutes(1.0),
+        packet_size: PacketSize::from_bits(10_000),
     }
 }
 
@@ -102,7 +103,11 @@ fn psi1_of(inst: &Instance, phy: &PhyConfig, schedule: &Schedule) -> f64 {
         .iter()
         .map(|t| {
             let c = potential_capacity(inst.spectrum.bandwidth(t.band()), phy);
-            let pkts = packets_per_slot(c, PacketSize::from_bits(10_000), TimeDelta::from_minutes(1.0));
+            let pkts = packets_per_slot(
+                c,
+                PacketSize::from_bits(10_000),
+                TimeDelta::from_minutes(1.0),
+            );
             inst.links.h(t.tx(), t.rx()) * pkts.count_f64()
         })
         .sum::<f64>()

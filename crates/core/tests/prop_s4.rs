@@ -3,7 +3,9 @@
 //! against random feasible decisions on multi-node instances.
 
 use greencell_core::{solve_energy_management, EnergyManagementInput};
-use greencell_energy::{Battery, CostFn, EnergyDecision, GridConnection, QuadraticCost, RenewableSplit};
+use greencell_energy::{
+    Battery, CostFn, EnergyDecision, GridConnection, QuadraticCost, RenewableSplit,
+};
 use greencell_stochastic::Rng;
 use greencell_units::Energy;
 use proptest::prelude::*;
@@ -110,15 +112,13 @@ fn brute_force(inst: &Instance) -> f64 {
                 }
                 let g_dem = g_dem.max(0.0);
                 for gi in 0..=steps {
-                    let cg =
-                        ((g_max - g_dem).max(0.0) * gi as f64 / steps as f64).min(c_room - cr);
+                    let cg = ((g_max - g_dem).max(0.0) * gi as f64 / steps as f64).min(c_room - cr);
                     let c = cr + cg;
                     if (c > 1e-9 && d > 1e-9) || c > c_room + 1e-9 {
                         continue;
                     }
                     let p = g_dem + cg;
-                    let obj = inst.z[0] * (eta * c - d)
-                        + inst.v * inst.cost.cost(kwh(p));
+                    let obj = inst.z[0] * (eta * c - d) + inst.v * inst.cost.cost(kwh(p));
                     best = best.min(obj);
                 }
             }

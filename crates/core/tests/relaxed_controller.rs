@@ -1,8 +1,8 @@
 //! Direct tests of the relaxed lower-bound controller `P̄3`.
 
 use greencell_core::{
-    ControllerConfig, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelaxedController,
-    RelayPolicy, SchedulerKind, SlotObservation,
+    ControllerConfig, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelaxedController, RelayPolicy,
+    SchedulerKind, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{Network, NetworkBuilder, PathLossModel, Point};
@@ -87,8 +87,7 @@ fn relaxed_costs_are_nonnegative_and_accumulate() {
 #[test]
 fn relaxed_controller_is_deterministic() {
     let run = || {
-        let mut ctl =
-            RelaxedController::new(net(), PhyConfig::new(1.0, 1e-20), energy(), config());
+        let mut ctl = RelaxedController::new(net(), PhyConfig::new(1.0, 1e-20), energy(), config());
         (0..15).map(|_| ctl.step(&obs())).collect::<Vec<f64>>()
     };
     assert_eq!(run(), run());

@@ -177,10 +177,7 @@ mod tests {
         let back = f.marginal_inverse(mu).unwrap();
         assert!((back.as_kilowatt_hours() - 1.7).abs() < 1e-12);
         // Below-minimum marginal clamps to zero draw.
-        assert_eq!(
-            f.marginal_inverse(0.0).unwrap().as_kilowatt_hours(),
-            0.0
-        );
+        assert_eq!(f.marginal_inverse(0.0).unwrap().as_kilowatt_hours(), 0.0);
     }
 
     #[test]
@@ -206,7 +203,11 @@ mod tests {
                 0.5 / p.as_kilowatt_hours().sqrt().max(1e-9)
             }
         }
-        assert!(!debug_check(&Concave, Energy::from_kilowatt_hours(10.0), 100));
+        assert!(!debug_check(
+            &Concave,
+            Energy::from_kilowatt_hours(10.0),
+            100
+        ));
     }
 
     #[test]
@@ -219,6 +220,10 @@ mod tests {
     fn usable_as_trait_object() {
         let f: Box<dyn CostFn> = Box::new(QuadraticCost::paper_default());
         assert!(f.cost(Energy::from_kilowatt_hours(1.0)) > 0.0);
-        assert!(debug_check(f.as_ref(), Energy::from_kilowatt_hours(1.0), 10));
+        assert!(debug_check(
+            f.as_ref(),
+            Energy::from_kilowatt_hours(1.0),
+            10
+        ));
     }
 }

@@ -125,7 +125,11 @@ mod tests {
         // With (22) a node cannot both transmit and receive, but Eq. (23)
         // is written as a sum — the model stays faithful to the formula.
         let m = model();
-        let d = m.tx_energy(Some(Power::from_watts(2.0)), true, TimeDelta::from_seconds(30.0));
+        let d = m.tx_energy(
+            Some(Power::from_watts(2.0)),
+            true,
+            TimeDelta::from_seconds(30.0),
+        );
         assert!((d.as_joules() - (60.0 + 3.0)).abs() < 1e-12);
     }
 
@@ -140,10 +144,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_component_rejected() {
-        let _ = NodeEnergyModel::new(
-            Energy::from_joules(-1.0),
-            Energy::ZERO,
-            Power::ZERO,
-        );
+        let _ = NodeEnergyModel::new(Energy::from_joules(-1.0), Energy::ZERO, Power::ZERO);
     }
 }

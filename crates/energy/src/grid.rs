@@ -182,6 +182,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(GridError::Disconnected.to_string().contains("not connected"));
+        assert!(GridError::Disconnected
+            .to_string()
+            .contains("not connected"));
     }
 }

@@ -80,7 +80,9 @@ impl RenewableSplit {
         to_battery: Energy,
         curtailed: Energy,
     ) -> Result<Self, RenewableSplitError> {
-        if !to_demand.is_non_negative() || !to_battery.is_non_negative() || !curtailed.is_non_negative()
+        if !to_demand.is_non_negative()
+            || !to_battery.is_non_negative()
+            || !curtailed.is_non_negative()
         {
             return Err(RenewableSplitError::NegativeComponent);
         }

@@ -196,11 +196,7 @@ impl LinearProgram {
                 .zip(&self.lower)
                 .map(|(y, lo)| y + lo)
                 .collect();
-            let objective = values
-                .iter()
-                .zip(&self.objective)
-                .map(|(x, c)| x * c)
-                .sum();
+            let objective = values.iter().zip(&self.objective).map(|(x, c)| x * c).sum();
             Solution { objective, values }
         })
     }
@@ -397,7 +393,11 @@ impl Tableau {
         let rhs_col = width - 1;
         let mut degenerate_run = 0usize;
         for _ in 0..MAX_PIVOTS {
-            let limit = if phase1 { self.cols } else { self.first_artificial };
+            let limit = if phase1 {
+                self.cols
+            } else {
+                self.first_artificial
+            };
             let costs: &Vec<f64> = if phase1 { &self.art_cost } else { &self.cost };
             // Entering column: Dantzig, falling back to Bland when degenerate.
             let entering = if degenerate_run < DEGENERATE_SWITCH {
@@ -476,8 +476,8 @@ impl Tableau {
             // Drive any remaining basic artificials out.
             for r in 0..self.rows {
                 if self.basis[r] >= self.first_artificial {
-                    let pivot_col = (0..self.first_artificial)
-                        .find(|&j| self.a[r * width + j].abs() > TOL);
+                    let pivot_col =
+                        (0..self.first_artificial).find(|&j| self.a[r * width + j].abs() > TOL);
                     if let Some(col) = pivot_col {
                         self.pivot(r, col);
                     }
@@ -680,7 +680,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(LpError::Infeasible.to_string(), "linear program is infeasible");
+        assert_eq!(
+            LpError::Infeasible.to_string(),
+            "linear program is infeasible"
+        );
     }
 
     #[test]

@@ -47,9 +47,10 @@ fn feasible(lp_def: &RandomLp, x: &[f64]) -> bool {
             return false;
         }
     }
-    lp_def.rows.iter().all(|(coeffs, rhs)| {
-        coeffs.iter().zip(x).map(|(a, xi)| a * xi).sum::<f64>() <= rhs + 1e-6
-    })
+    lp_def
+        .rows
+        .iter()
+        .all(|(coeffs, rhs)| coeffs.iter().zip(x).map(|(a, xi)| a * xi).sum::<f64>() <= rhs + 1e-6)
 }
 
 fn objective(lp_def: &RandomLp, x: &[f64]) -> f64 {

@@ -87,9 +87,8 @@ impl NetworkBuilder {
     ///
     /// Later calls for the same pair override earlier ones.
     pub fn set_shadowing_db(&mut self, i: NodeId, j: NodeId, db: f64) -> &mut Self {
-        self.shadowing_db.retain(|&(a, b, _)| {
-            !((a == i && b == j) || (a == j && b == i))
-        });
+        self.shadowing_db
+            .retain(|&(a, b, _)| !((a == i && b == j) || (a == j && b == i)));
         self.shadowing_db.push((i, j, db));
         self
     }
@@ -123,9 +122,7 @@ impl NetworkBuilder {
         }
         for (idx, set) in self.bands.iter().enumerate() {
             if set.iter().any(|b| b.index() >= self.band_count) {
-                return Err(NetworkError::BandOutOfRange {
-                    node: NodeId(idx),
-                });
+                return Err(NetworkError::BandOutOfRange { node: NodeId(idx) });
             }
         }
         let mut sessions = Vec::with_capacity(self.sessions.len());
@@ -228,7 +225,10 @@ mod tests {
         b.set_bands(u, [BandId::from_index(1)].into_iter().collect());
         let net = b.build().unwrap();
         let common = net.link_bands(bs, u);
-        assert_eq!(common.iter().collect::<Vec<_>>(), vec![BandId::from_index(1)]);
+        assert_eq!(
+            common.iter().collect::<Vec<_>>(),
+            vec![BandId::from_index(1)]
+        );
     }
 
     #[test]

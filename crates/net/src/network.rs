@@ -128,7 +128,10 @@ impl fmt::Display for NetworkError {
                 write!(f, "session {session} destination is a base station")
             }
             Self::BandOutOfRange { node } => {
-                write!(f, "node {node} granted a band outside the declared band count")
+                write!(
+                    f,
+                    "node {node} granted a band outside the declared band count"
+                )
             }
         }
     }

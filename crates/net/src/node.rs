@@ -156,7 +156,11 @@ mod tests {
 
     #[test]
     fn node_accessors() {
-        let n = Node::new(NodeId::from_index(3), NodeKind::BaseStation, Point::new(1.0, 2.0));
+        let n = Node::new(
+            NodeId::from_index(3),
+            NodeKind::BaseStation,
+            Point::new(1.0, 2.0),
+        );
         assert_eq!(n.id().index(), 3);
         assert!(n.kind().is_base_station());
         assert!(!n.kind().is_user());

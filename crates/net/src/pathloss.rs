@@ -35,7 +35,10 @@ impl PathLossModel {
     #[must_use]
     pub fn new(c: f64, gamma: f64) -> Self {
         assert!(c > 0.0, "antenna constant must be positive, got {c}");
-        assert!(gamma >= 0.0, "path-loss exponent must be non-negative, got {gamma}");
+        assert!(
+            gamma >= 0.0,
+            "path-loss exponent must be non-negative, got {gamma}"
+        );
         Self { c, gamma }
     }
 

@@ -65,7 +65,10 @@ impl BandSet {
     /// Panics if `m > 64`.
     #[must_use]
     pub fn all(m: usize) -> Self {
-        assert!(m <= MAX_BANDS, "at most {MAX_BANDS} bands supported, got {m}");
+        assert!(
+            m <= MAX_BANDS,
+            "at most {MAX_BANDS} bands supported, got {m}"
+        );
         if m == MAX_BANDS {
             Self { mask: u64::MAX }
         } else {
@@ -209,7 +212,10 @@ mod tests {
     fn intersection_and_union() {
         let a: BandSet = [BandId(0), BandId(1)].into_iter().collect();
         let b: BandSet = [BandId(1), BandId(2)].into_iter().collect();
-        assert_eq!(a.intersection(b).iter().collect::<Vec<_>>(), vec![BandId(1)]);
+        assert_eq!(
+            a.intersection(b).iter().collect::<Vec<_>>(),
+            vec![BandId(1)]
+        );
         assert_eq!(a.union(b).len(), 3);
     }
 

@@ -206,6 +206,9 @@ mod tests {
     #[test]
     fn distance_lookup() {
         let t = tiny();
-        assert_eq!(t.distance(NodeId(1), NodeId(2)).as_meters(), (100.0f64.powi(2) + 200.0f64.powi(2)).sqrt());
+        assert_eq!(
+            t.distance(NodeId(1), NodeId(2)).as_meters(),
+            (100.0f64.powi(2) + 200.0f64.powi(2)).sqrt()
+        );
     }
 }

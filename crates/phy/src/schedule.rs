@@ -336,7 +336,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a link")]
     fn self_transmission_rejected() {
-        let _ = Transmission::new(NodeId::from_index(1), NodeId::from_index(1), BandId::from_index(0));
+        let _ = Transmission::new(
+            NodeId::from_index(1),
+            NodeId::from_index(1),
+            BandId::from_index(0),
+        );
     }
 
     #[test]

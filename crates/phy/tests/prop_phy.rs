@@ -15,12 +15,7 @@ fn random_instance(
     seed: u64,
     pairs: usize,
     bands: usize,
-) -> (
-    greencell_net::Network,
-    Schedule,
-    SpectrumState,
-    Vec<Power>,
-) {
+) -> (greencell_net::Network, Schedule, SpectrumState, Vec<Power>) {
     let mut rng = Rng::seed_from(seed);
     let mut builder = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), bands);
     let mut endpoints = Vec::new();

@@ -167,8 +167,7 @@ impl DataQueueBank {
                 let q = &mut self.queues[s_idx * self.nodes + i_idx];
                 let wasted_before = q.total_wasted();
                 q.advance(arrivals, service);
-                self.phantom_forwarded[s_idx] +=
-                    Packets::new(q.total_wasted() - wasted_before);
+                self.phantom_forwarded[s_idx] += Packets::new(q.total_wasted() - wasted_before);
             }
         }
         for &(s, source, k) in admissions {

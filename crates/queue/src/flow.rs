@@ -45,7 +45,10 @@ impl FlowPlan {
 
     fn idx(&self, s: SessionId, i: NodeId, j: NodeId) -> usize {
         debug_assert!(s.index() < self.sessions, "session out of range");
-        debug_assert!(i.index() < self.nodes && j.index() < self.nodes, "node out of range");
+        debug_assert!(
+            i.index() < self.nodes && j.index() < self.nodes,
+            "node out of range"
+        );
         s.index() * self.nodes * self.nodes + i.index() * self.nodes + j.index()
     }
 
@@ -167,7 +170,10 @@ mod tests {
         let mut p = FlowPlan::new(3, 1);
         p.set(SessionId::from_index(0), ids(1), ids(2), Packets::new(9));
         let entries: Vec<_> = p.iter_nonzero().collect();
-        assert_eq!(entries, vec![(SessionId::from_index(0), ids(1), ids(2), Packets::new(9))]);
+        assert_eq!(
+            entries,
+            vec![(SessionId::from_index(0), ids(1), ids(2), Packets::new(9))]
+        );
     }
 
     #[test]

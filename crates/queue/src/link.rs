@@ -209,10 +209,7 @@ mod tests {
         let mut bank = LinkQueueBank::new(2, 1.0);
         bank.advance(
             &FlowPlan::new(2, 1),
-            &[
-                (n(0), n(1), Packets::new(1)),
-                (n(0), n(1), Packets::new(2)),
-            ],
+            &[(n(0), n(1), Packets::new(1)), (n(0), n(1), Packets::new(2))],
         );
     }
 

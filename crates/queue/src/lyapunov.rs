@@ -13,11 +13,7 @@ use greencell_stochastic::Series;
 /// levels `z_i(t) = x_i(t) − Vγ_max − d^max_i` in joules (they can be
 /// negative — that is the point of the shift).
 #[must_use]
-pub fn lyapunov_value(
-    data: &DataQueueBank,
-    links: &LinkQueueBank,
-    shifted_energy: &[f64],
-) -> f64 {
+pub fn lyapunov_value(data: &DataQueueBank, links: &LinkQueueBank, shifted_energy: &[f64]) -> f64 {
     let mut total = 0.0;
     for s in 0..data.session_count() {
         for i in 0..data.node_count() {
@@ -134,7 +130,11 @@ mod tests {
         let mut data = DataQueueBank::new(2, &[NodeId::from_index(1)]);
         data.advance(
             &FlowPlan::new(2, 1),
-            &[(SessionId::from_index(0), NodeId::from_index(0), Packets::new(3))],
+            &[(
+                SessionId::from_index(0),
+                NodeId::from_index(0),
+                Packets::new(3),
+            )],
         );
         let mut links = LinkQueueBank::new(2, 2.0);
         let mut plan = FlowPlan::new(2, 1);

@@ -71,10 +71,7 @@ mod tests {
             Architecture::OneHopRenewable.relay_policy(),
             RelayPolicy::OneHop
         );
-        assert_eq!(
-            Architecture::Proposed.relay_policy(),
-            RelayPolicy::MultiHop
-        );
+        assert_eq!(Architecture::Proposed.relay_policy(), RelayPolicy::MultiHop);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! ```
 //!
 //! With `out_dir`, the rows are also written to `<out_dir>/fig2a.csv`.
+//! The `V` points fan across `GREENCELL_THREADS` workers (default: all
+//! cores) with bit-identical results; per-run telemetry lands in
+//! `results/fig2a_telemetry.{json,csv}`.
 
-use greencell_sim::{experiments, report, Scenario};
+use greencell_sim::{experiments, report, sweep, Scenario, SweepOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -20,9 +23,14 @@ fn main() {
     // The paper sweeps V = 1×10⁵ … 10×10⁵.
     let v_values: Vec<f64> = (1..=10).map(|k| k as f64 * 1e5).collect();
 
-    eprintln!("fig2a: paper scenario, seed {seed}, horizon {horizon}, {} V values", v_values.len());
-    match experiments::fig2a(&base, &v_values) {
-        Ok(rows) => {
+    let opts = SweepOptions::from_env();
+    eprintln!(
+        "fig2a: paper scenario, seed {seed}, horizon {horizon}, {} V values, {} worker(s)",
+        v_values.len(),
+        opts.threads
+    );
+    match experiments::fig2a_with(&base, &v_values, &opts) {
+        Ok((rows, telemetry)) => {
             println!("# Fig 2(a) — time-averaged expected energy cost bounds vs V");
             print!("{}", report::bounds_table(&rows));
             let tight = rows
@@ -46,6 +54,17 @@ fn main() {
                 } else {
                     eprintln!("wrote {}/fig2a.csv", dir.display());
                 }
+            }
+            match sweep::write_telemetry(&telemetry, "fig2a") {
+                Ok((json, csv)) => {
+                    eprintln!(
+                        "telemetry: {} and {} ({:.2}s total)",
+                        json.display(),
+                        csv.display(),
+                        telemetry.total_wall.as_secs_f64()
+                    );
+                }
+                Err(e) => eprintln!("could not write telemetry: {e}"),
             }
         }
         Err(e) => {

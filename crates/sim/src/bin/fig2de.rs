@@ -7,8 +7,11 @@
 //!
 //! With `out_dir`, the two CSV blocks are also written to
 //! `<out_dir>/fig2d.csv` and `<out_dir>/fig2e.csv`.
+//! The `V` points fan across `GREENCELL_THREADS` workers (default: all
+//! cores) with bit-identical results; per-run telemetry lands in
+//! `results/fig2de_telemetry.{json,csv}`.
 
-use greencell_sim::{experiments, report, Scenario};
+use greencell_sim::{experiments, report, sweep, Scenario, SweepOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -22,9 +25,13 @@ fn main() {
     base.initial_battery_fraction = 0.0;
     let v_values: Vec<f64> = (1..=5).map(|k| k as f64 * 1e5).collect();
 
-    eprintln!("fig2de: paper scenario, seed {seed}, horizon {horizon}");
-    match experiments::fig2de(&base, &v_values) {
-        Ok(rows) => {
+    let opts = SweepOptions::from_env();
+    eprintln!(
+        "fig2de: paper scenario, seed {seed}, horizon {horizon}, {} worker(s)",
+        opts.threads
+    );
+    match experiments::fig2de_with(&base, &v_values, &opts) {
+        Ok((rows, telemetry)) => {
             let (bs, users) = report::buffer_csv(&rows);
             println!("# Fig 2(d) — total energy buffer size of base stations (kWh)");
             print!("{bs}");
@@ -50,6 +57,17 @@ fn main() {
                 );
                 println!("#   BS    {}", report::sparkline(&r.bs_kwh));
                 println!("#   users {}", report::sparkline(&r.users_wh));
+            }
+            match sweep::write_telemetry(&telemetry, "fig2de") {
+                Ok((json, csv)) => {
+                    eprintln!(
+                        "telemetry: {} and {} ({:.2}s total)",
+                        json.display(),
+                        csv.display(),
+                        telemetry.total_wall.as_secs_f64()
+                    );
+                }
+                Err(e) => eprintln!("could not write telemetry: {e}"),
             }
         }
         Err(e) => {

@@ -6,8 +6,12 @@
 //! ```text
 //! cargo run --release -p greencell-sim --bin fig2f [seed] [horizon]
 //! ```
+//!
+//! All `architecture × V` cells fan across `GREENCELL_THREADS` workers
+//! (default: all cores) with bit-identical results; per-run telemetry
+//! lands in `results/fig2f_telemetry.{json,csv}`.
 
-use greencell_sim::{experiments, report, Scenario};
+use greencell_sim::{experiments, report, sweep, Scenario, SweepOptions};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -18,9 +22,13 @@ fn main() {
     base.horizon = horizon;
     let v_values = [1e5, 3e5, 5e5];
 
-    eprintln!("fig2f: paper scenario, seed {seed}, horizon {horizon}");
-    match experiments::fig2f(&base, &v_values) {
-        Ok(rows) => {
+    let opts = SweepOptions::from_env();
+    eprintln!(
+        "fig2f: paper scenario, seed {seed}, horizon {horizon}, {} worker(s)",
+        opts.threads
+    );
+    match experiments::fig2f_with(&base, &v_values, &opts) {
+        Ok((rows, telemetry)) => {
             println!("# Fig 2(f) — time-averaged expected energy cost by architecture");
             print!("{}", report::architecture_table(&rows, &v_values));
             let ours: f64 = rows[0].costs.iter().sum();
@@ -37,6 +45,17 @@ fn main() {
                     "baseline cost is zero".to_string()
                 }
             );
+            match sweep::write_telemetry(&telemetry, "fig2f") {
+                Ok((json, csv)) => {
+                    eprintln!(
+                        "telemetry: {} and {} ({:.2}s total)",
+                        json.display(),
+                        csv.display(),
+                        telemetry.total_wall.as_secs_f64()
+                    );
+                }
+                Err(e) => eprintln!("could not write telemetry: {e}"),
+            }
         }
         Err(e) => {
             eprintln!("fig2f failed: {e}");

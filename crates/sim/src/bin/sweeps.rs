@@ -6,8 +6,12 @@
 //! ```text
 //! cargo run --release -p greencell-sim --bin sweeps [seed] [horizon]
 //! ```
+//!
+//! Every sub-sweep fans its points across `GREENCELL_THREADS` workers
+//! (default: all cores) with bit-identical results; the combined per-run
+//! telemetry lands in `results/sweeps_telemetry.{json,csv}`.
 
-use greencell_sim::{experiments, Scenario};
+use greencell_sim::{experiments, sweep, Scenario, SweepOptions, SweepReport};
 
 fn print_points(title: &str, xlabel: &str, points: &[experiments::SweepPoint]) {
     println!("# {title}");
@@ -24,6 +28,12 @@ fn print_points(title: &str, xlabel: &str, points: &[experiments::SweepPoint]) {
     println!();
 }
 
+/// Folds a sub-sweep's telemetry into the combined report.
+fn absorb(combined: &mut SweepReport, part: SweepReport) {
+    combined.outcomes.extend(part.outcomes);
+    combined.total_wall += part.total_wall;
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
@@ -32,26 +42,59 @@ fn main() {
     let mut base = Scenario::paper(seed);
     base.horizon = horizon;
 
-    match experiments::sweep_users(&base, &[5, 10, 20, 40]) {
-        Ok(points) => print_points("user-count sweep (relay density)", "users", &points),
+    let opts = SweepOptions::from_env();
+    eprintln!(
+        "sweeps: paper scenario, seed {seed}, horizon {horizon}, {} worker(s)",
+        opts.threads
+    );
+    let mut combined = SweepReport {
+        outcomes: Vec::new(),
+        threads: opts.threads,
+        total_wall: std::time::Duration::ZERO,
+    };
+
+    match experiments::sweep_users_with(&base, &[5, 10, 20, 40], &opts) {
+        Ok((points, telemetry)) => {
+            print_points("user-count sweep (relay density)", "users", &points);
+            absorb(&mut combined, telemetry);
+        }
         Err(e) => eprintln!("user sweep failed: {e}"),
     }
-    match experiments::sweep_sessions(&base, &[2, 5, 10, 15]) {
-        Ok(points) => print_points("session-count sweep (offered load)", "sessions", &points),
+    match experiments::sweep_sessions_with(&base, &[2, 5, 10, 15], &opts) {
+        Ok((points, telemetry)) => {
+            print_points("session-count sweep (offered load)", "sessions", &points);
+            absorb(&mut combined, telemetry);
+        }
         Err(e) => eprintln!("session sweep failed: {e}"),
     }
-    match experiments::sweep_bands(&base, &[0, 2, 4, 8]) {
-        Ok(points) => print_points("extra-band sweep (spectrum supply)", "bands", &points),
+    match experiments::sweep_bands_with(&base, &[0, 2, 4, 8], &opts) {
+        Ok((points, telemetry)) => {
+            print_points("extra-band sweep (spectrum supply)", "bands", &points);
+            absorb(&mut combined, telemetry);
+        }
         Err(e) => eprintln!("band sweep failed: {e}"),
     }
-    match experiments::replicate(&base, &[1, 7, 13, 42, 99]) {
-        Ok(rep) => {
+    match experiments::replicate_with(&base, &[1, 7, 13, 42, 99], &opts) {
+        Ok((rep, telemetry)) => {
             println!("# replication across seeds {:?}", rep.seeds);
             println!(
                 "cost {:.6} ± {:.6}; delivered {:.0}; peak backlog {:.0}",
                 rep.mean_cost, rep.std_cost, rep.mean_delivered, rep.mean_peak_backlog
             );
+            absorb(&mut combined, telemetry);
         }
         Err(e) => eprintln!("replication failed: {e}"),
+    }
+
+    match sweep::write_telemetry(&combined, "sweeps") {
+        Ok((json, csv)) => {
+            eprintln!(
+                "telemetry: {} and {} ({:.2}s total)",
+                json.display(),
+                csv.display(),
+                combined.total_wall.as_secs_f64()
+            );
+        }
+        Err(e) => eprintln!("could not write telemetry: {e}"),
     }
 }

@@ -198,8 +198,7 @@ impl Simulator {
                 match s.demand_model {
                     crate::DemandModel::Constant => nominal,
                     crate::DemandModel::Poisson => {
-                        let poisson = Poisson::new(nominal.count_f64())
-                            .expect("non-negative mean");
+                        let poisson = Poisson::new(nominal.count_f64()).expect("non-negative mean");
                         Packets::new(poisson.sample(&mut self.demand_rng))
                     }
                 }
@@ -387,8 +386,14 @@ mod tests {
         scenario.horizon = 30;
         let mut sim = Simulator::new(&scenario).unwrap();
         let m = sim.run().unwrap();
-        assert!(m.admitted_series().values().iter().sum::<f64>() > 0.0, "nothing admitted");
-        assert!(m.routed_series().values().iter().sum::<f64>() > 0.0, "nothing routed");
+        assert!(
+            m.admitted_series().values().iter().sum::<f64>() > 0.0,
+            "nothing admitted"
+        );
+        assert!(
+            m.routed_series().values().iter().sum::<f64>() > 0.0,
+            "nothing routed"
+        );
         assert!(m.delivered() > 0, "nothing delivered");
     }
 

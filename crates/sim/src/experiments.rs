@@ -1,6 +1,7 @@
 //! One runner per paper figure. Each returns the exact series/rows the
 //! paper plots; the `fig2*` binaries print them via [`crate::report`].
 
+use crate::sweep::{run_sweep, PointOutcome, SweepOptions, SweepPoint as EnginePoint, SweepReport};
 use crate::{Architecture, RunMetrics, Scenario, SimError, Simulator};
 use greencell_stochastic::Series;
 
@@ -30,30 +31,52 @@ pub struct BoundsRow {
 ///
 /// Propagates simulation failures.
 pub fn fig2a(base: &Scenario, v_values: &[f64]) -> Result<Vec<BoundsRow>, SimError> {
-    let mut rows = Vec::with_capacity(v_values.len());
-    for &v in v_values {
-        let mut scenario = base.clone();
-        scenario.v = v;
-        scenario.track_lower_bound = true;
-        let mut sim = Simulator::new(&scenario)?;
-        let metrics = sim.run()?.clone();
-        let penalty_b = sim.controller().penalty_b();
-        let relaxed_cost = metrics.relaxed_cost_series().mean();
-        let lambda = scenario.lambda;
-        let upper_psi = metrics.average_cost() - lambda * metrics.admitted_series().mean();
-        let lower_psi =
-            relaxed_cost - lambda * sim.relaxed_average_admitted().unwrap_or(0.0) - penalty_b / v;
-        rows.push(BoundsRow {
-            v,
-            upper: metrics.average_cost(),
-            lower: metrics.lower_bound().expect("tracked"),
-            relaxed_cost,
-            gap: penalty_b / v,
-            upper_psi,
-            lower_psi,
-        });
-    }
-    Ok(rows)
+    fig2a_with(base, v_values, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`fig2a`] on the sweep engine: fans the `V` points across
+/// `opts.threads` workers and also returns the engine's telemetry report.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2a_with(
+    base: &Scenario,
+    v_values: &[f64],
+    opts: &SweepOptions,
+) -> Result<(Vec<BoundsRow>, SweepReport), SimError> {
+    let points: Vec<EnginePoint> = v_values
+        .iter()
+        .map(|&v| {
+            let mut scenario = base.clone();
+            scenario.v = v;
+            scenario.track_lower_bound = true;
+            EnginePoint::new(format!("V={v:e}"), scenario)
+        })
+        .collect();
+    let report = run_sweep(&points, opts)?;
+    let lambda = base.lambda;
+    let rows = v_values
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(&v, o)| {
+            let metrics = &o.metrics;
+            let relaxed_cost = metrics.relaxed_cost_series().mean();
+            let upper_psi = metrics.average_cost() - lambda * metrics.admitted_series().mean();
+            let lower_psi =
+                relaxed_cost - lambda * o.relaxed_admitted.unwrap_or(0.0) - o.penalty_b / v;
+            BoundsRow {
+                v,
+                upper: metrics.average_cost(),
+                lower: metrics.lower_bound().expect("tracked"),
+                relaxed_cost,
+                gap: o.penalty_b / v,
+                upper_psi,
+                lower_psi,
+            }
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// One V's backlog trajectories for Fig. 2(b) (BSs) and 2(c) (users).
@@ -73,19 +96,42 @@ pub struct BacklogRow {
 ///
 /// Propagates simulation failures.
 pub fn fig2bc(base: &Scenario, v_values: &[f64]) -> Result<Vec<BacklogRow>, SimError> {
-    let mut rows = Vec::with_capacity(v_values.len());
-    for &v in v_values {
-        let mut scenario = base.clone();
-        scenario.v = v;
-        let mut sim = Simulator::new(&scenario)?;
-        let metrics = sim.run()?;
-        rows.push(BacklogRow {
+    fig2bc_with(base, v_values, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`fig2bc`] on the sweep engine, with telemetry.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2bc_with(
+    base: &Scenario,
+    v_values: &[f64],
+    opts: &SweepOptions,
+) -> Result<(Vec<BacklogRow>, SweepReport), SimError> {
+    let report = run_sweep(&v_points(base, v_values), opts)?;
+    let rows = v_values
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(&v, o)| BacklogRow {
             v,
-            bs: metrics.backlog_bs_series().clone(),
-            users: metrics.backlog_users_series().clone(),
-        });
-    }
-    Ok(rows)
+            bs: o.metrics.backlog_bs_series().clone(),
+            users: o.metrics.backlog_users_series().clone(),
+        })
+        .collect();
+    Ok((rows, report))
+}
+
+/// One engine point per `V` value (shared by the Fig. 2 time-series runs).
+fn v_points(base: &Scenario, v_values: &[f64]) -> Vec<EnginePoint> {
+    v_values
+        .iter()
+        .map(|&v| {
+            let mut scenario = base.clone();
+            scenario.v = v;
+            EnginePoint::new(format!("V={v:e}"), scenario)
+        })
+        .collect()
 }
 
 /// One V's energy-buffer trajectories for Fig. 2(d) (BSs, kWh) and 2(e)
@@ -106,19 +152,30 @@ pub struct BufferRow {
 ///
 /// Propagates simulation failures.
 pub fn fig2de(base: &Scenario, v_values: &[f64]) -> Result<Vec<BufferRow>, SimError> {
-    let mut rows = Vec::with_capacity(v_values.len());
-    for &v in v_values {
-        let mut scenario = base.clone();
-        scenario.v = v;
-        let mut sim = Simulator::new(&scenario)?;
-        let metrics = sim.run()?;
-        rows.push(BufferRow {
+    fig2de_with(base, v_values, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`fig2de`] on the sweep engine, with telemetry.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2de_with(
+    base: &Scenario,
+    v_values: &[f64],
+    opts: &SweepOptions,
+) -> Result<(Vec<BufferRow>, SweepReport), SimError> {
+    let report = run_sweep(&v_points(base, v_values), opts)?;
+    let rows = v_values
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(&v, o)| BufferRow {
             v,
-            bs_kwh: metrics.buffer_bs_series().clone(),
-            users_wh: metrics.buffer_users_series().clone(),
-        });
-    }
-    Ok(rows)
+            bs_kwh: o.metrics.buffer_bs_series().clone(),
+            users_wh: o.metrics.buffer_users_series().clone(),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// One `(architecture, V, cost)` cell of Fig. 2(f).
@@ -137,22 +194,45 @@ pub struct ArchitectureRow {
 ///
 /// Propagates simulation failures.
 pub fn fig2f(base: &Scenario, v_values: &[f64]) -> Result<Vec<ArchitectureRow>, SimError> {
-    let mut rows = Vec::with_capacity(Architecture::ALL.len());
+    fig2f_with(base, v_values, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`fig2f`] on the sweep engine: all `architecture × V` cells become one
+/// flat point list, so a parallel run overlaps the whole grid.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig2f_with(
+    base: &Scenario,
+    v_values: &[f64],
+    opts: &SweepOptions,
+) -> Result<(Vec<ArchitectureRow>, SweepReport), SimError> {
+    let mut points = Vec::with_capacity(Architecture::ALL.len() * v_values.len());
     for architecture in Architecture::ALL {
-        let mut costs = Vec::with_capacity(v_values.len());
         for &v in v_values {
             let mut scenario = base.clone();
             scenario.v = v;
             scenario.architecture = architecture;
-            let mut sim = Simulator::new(&scenario)?;
-            costs.push(sim.run()?.average_cost());
+            points.push(EnginePoint::new(
+                format!("{architecture:?}/V={v:e}"),
+                scenario,
+            ));
         }
-        rows.push(ArchitectureRow {
-            architecture,
-            costs,
-        });
     }
-    Ok(rows)
+    let report = run_sweep(&points, opts)?;
+    let rows = Architecture::ALL
+        .iter()
+        .enumerate()
+        .map(|(a, &architecture)| ArchitectureRow {
+            architecture,
+            costs: report.outcomes[a * v_values.len()..(a + 1) * v_values.len()]
+                .iter()
+                .map(|o| o.metrics.average_cost())
+                .collect(),
+        })
+        .collect();
+    Ok((rows, report))
 }
 
 /// Convenience: run a single scenario and return its metrics.
@@ -192,27 +272,52 @@ pub struct Replication {
 ///
 /// Panics if `seeds` is empty.
 pub fn replicate(base: &Scenario, seeds: &[u64]) -> Result<Replication, SimError> {
+    replicate_with(base, seeds, &SweepOptions::serial()).map(|(rep, _)| rep)
+}
+
+/// [`replicate`] on the sweep engine: the seeds become independent points
+/// fanned across `opts.threads` workers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+///
+/// # Panics
+///
+/// Panics if `seeds` is empty.
+pub fn replicate_with(
+    base: &Scenario,
+    seeds: &[u64],
+    opts: &SweepOptions,
+) -> Result<(Replication, SweepReport), SimError> {
     assert!(!seeds.is_empty(), "need at least one seed");
+    let points: Vec<EnginePoint> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut scenario = base.clone();
+            scenario.seed = seed;
+            EnginePoint::new(format!("seed={seed}"), scenario)
+        })
+        .collect();
+    let report = run_sweep(&points, opts)?;
     let mut costs = greencell_stochastic::RunningMean::new();
     let mut delivered = greencell_stochastic::RunningMean::new();
     let mut peaks = greencell_stochastic::RunningMean::new();
-    for &seed in seeds {
-        let mut scenario = base.clone();
-        scenario.seed = seed;
-        let metrics = single_run(&scenario)?;
-        costs.record(metrics.average_cost());
-        delivered.record(metrics.delivered() as f64);
-        let peak = metrics.backlog_bs_series().max().unwrap_or(0.0)
-            + metrics.backlog_users_series().max().unwrap_or(0.0);
+    for o in &report.outcomes {
+        costs.record(o.metrics.average_cost());
+        delivered.record(o.metrics.delivered() as f64);
+        let peak = o.metrics.backlog_bs_series().max().unwrap_or(0.0)
+            + o.metrics.backlog_users_series().max().unwrap_or(0.0);
         peaks.record(peak);
     }
-    Ok(Replication {
+    let replication = Replication {
         seeds: seeds.to_vec(),
         mean_cost: costs.mean(),
         std_cost: costs.std_dev(),
         mean_delivered: delivered.mean(),
         mean_peak_backlog: peaks.mean(),
-    })
+    };
+    Ok((replication, report))
 }
 
 /// One point of a structural sweep (user count, session count, …).
@@ -230,16 +335,34 @@ pub struct SweepPoint {
     pub mean_scheduled: f64,
 }
 
-fn sweep_point(scenario: &Scenario, x: f64) -> Result<SweepPoint, SimError> {
-    let metrics = single_run(scenario)?;
-    Ok(SweepPoint {
+fn sweep_point_from(x: f64, o: &PointOutcome) -> SweepPoint {
+    SweepPoint {
         x,
-        avg_cost: metrics.average_cost(),
-        delivered: metrics.delivered(),
-        peak_backlog: metrics.backlog_bs_series().max().unwrap_or(0.0)
-            + metrics.backlog_users_series().max().unwrap_or(0.0),
-        mean_scheduled: metrics.scheduled_series().mean(),
-    })
+        avg_cost: o.metrics.average_cost(),
+        delivered: o.metrics.delivered(),
+        peak_backlog: o.metrics.backlog_bs_series().max().unwrap_or(0.0)
+            + o.metrics.backlog_users_series().max().unwrap_or(0.0),
+        mean_scheduled: o.metrics.scheduled_series().mean(),
+    }
+}
+
+/// Runs one engine point per `(x, scenario)` pair and maps the outcomes.
+fn structural_sweep(
+    label: &str,
+    specs: Vec<(f64, Scenario)>,
+    opts: &SweepOptions,
+) -> Result<(Vec<SweepPoint>, SweepReport), SimError> {
+    let points: Vec<EnginePoint> = specs
+        .iter()
+        .map(|(x, scenario)| EnginePoint::new(format!("{label}={x}"), scenario.clone()))
+        .collect();
+    let report = run_sweep(&points, opts)?;
+    let rows = specs
+        .iter()
+        .zip(&report.outcomes)
+        .map(|(&(x, _), o)| sweep_point_from(x, o))
+        .collect();
+    Ok((rows, report))
 }
 
 /// Sweeps the number of users (relay density) — more relays should help
@@ -249,14 +372,28 @@ fn sweep_point(scenario: &Scenario, x: f64) -> Result<SweepPoint, SimError> {
 ///
 /// Propagates simulation failures.
 pub fn sweep_users(base: &Scenario, counts: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
-    counts
+    sweep_users_with(base, counts, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`sweep_users`] on the sweep engine, with telemetry.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_users_with(
+    base: &Scenario,
+    counts: &[usize],
+    opts: &SweepOptions,
+) -> Result<(Vec<SweepPoint>, SweepReport), SimError> {
+    let specs = counts
         .iter()
         .map(|&users| {
             let mut scenario = base.clone();
             scenario.users = users.max(scenario.sessions);
-            sweep_point(&scenario, users as f64)
+            (users as f64, scenario)
         })
-        .collect()
+        .collect();
+    structural_sweep("users", specs, opts)
 }
 
 /// Sweeps the number of sessions (offered load).
@@ -265,14 +402,28 @@ pub fn sweep_users(base: &Scenario, counts: &[usize]) -> Result<Vec<SweepPoint>,
 ///
 /// Propagates simulation failures.
 pub fn sweep_sessions(base: &Scenario, counts: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
-    counts
+    sweep_sessions_with(base, counts, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`sweep_sessions`] on the sweep engine, with telemetry.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_sessions_with(
+    base: &Scenario,
+    counts: &[usize],
+    opts: &SweepOptions,
+) -> Result<(Vec<SweepPoint>, SweepReport), SimError> {
+    let specs = counts
         .iter()
         .map(|&sessions| {
             let mut scenario = base.clone();
             scenario.sessions = sessions;
-            sweep_point(&scenario, sessions as f64)
+            (sessions as f64, scenario)
         })
-        .collect()
+        .collect();
+    structural_sweep("sessions", specs, opts)
 }
 
 /// Head-to-head comparison of the two S1 schedulers on the *same*
@@ -360,14 +511,28 @@ pub fn energy_policy_comparison(base: &Scenario) -> Result<EnergyPolicyCompariso
 ///
 /// Propagates simulation failures.
 pub fn sweep_bands(base: &Scenario, extra_bands: &[usize]) -> Result<Vec<SweepPoint>, SimError> {
-    extra_bands
+    sweep_bands_with(base, extra_bands, &SweepOptions::serial()).map(|(rows, _)| rows)
+}
+
+/// [`sweep_bands`] on the sweep engine, with telemetry.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn sweep_bands_with(
+    base: &Scenario,
+    extra_bands: &[usize],
+    opts: &SweepOptions,
+) -> Result<(Vec<SweepPoint>, SweepReport), SimError> {
+    let specs = extra_bands
         .iter()
         .map(|&extra| {
             let mut scenario = base.clone();
             scenario.random_bands = vec![(1.0, 2.0); extra];
-            sweep_point(&scenario, extra as f64)
+            (extra as f64, scenario)
         })
-        .collect()
+        .collect();
+    structural_sweep("extra_bands", specs, opts)
 }
 
 #[cfg(test)]

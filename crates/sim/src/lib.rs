@@ -36,8 +36,13 @@ pub mod experiments;
 mod metrics;
 pub mod report;
 mod scenario;
+pub mod sweep;
 
 pub use arch::Architecture;
 pub use engine::{SimError, Simulator};
 pub use metrics::RunMetrics;
 pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};
+pub use sweep::{
+    derive_point_seed, run_sweep, run_sweep_reseeded, write_telemetry, PointOutcome, RunTelemetry,
+    SweepOptions, SweepPoint, SweepReport,
+};

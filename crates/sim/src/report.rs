@@ -31,7 +31,11 @@ pub fn bounds_table(rows: &[BoundsRow]) -> String {
 /// Panics if the series lengths differ.
 #[must_use]
 pub fn series_csv(header: &[&str], series: &[&Series]) -> String {
-    assert_eq!(header.len(), series.len() + 1, "one header per column + slot");
+    assert_eq!(
+        header.len(),
+        series.len() + 1,
+        "one header per column + slot"
+    );
     let len = series.first().map_or(0, |s| s.len());
     assert!(
         series.iter().all(|s| s.len() == len),

@@ -8,9 +8,7 @@ use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{BandId, BandSet, Network, NetworkBuilder, NetworkError, PathLossModel, Point};
 use greencell_phy::PhyConfig;
 use greencell_stochastic::Rng;
-use greencell_units::{
-    Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta,
-};
+use greencell_units::{Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta};
 
 /// How the per-slot session demand `v_s(t)` is generated.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -379,8 +377,7 @@ impl Scenario {
                 for j in (i + 1)..n {
                     let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
                     let u2 = rng.next_f64();
-                    let normal =
-                        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                    let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                     b.set_shadowing_db(
                         greencell_net::NodeId::from_index(i),
                         greencell_net::NodeId::from_index(j),
@@ -402,7 +399,11 @@ impl Scenario {
             .map(|node| {
                 let is_bs = node.kind().is_base_station();
                 let (capacity, limit, max_power) = if is_bs {
-                    (self.bs_battery_capacity, self.bs_charge_limit, self.bs_max_power)
+                    (
+                        self.bs_battery_capacity,
+                        self.bs_charge_limit,
+                        self.bs_max_power,
+                    )
                 } else {
                     (
                         self.user_battery_capacity,
@@ -415,19 +416,15 @@ impl Scenario {
                 } else {
                     self.user_overhead_power
                 };
-                let mut battery = Battery::with_efficiency(
-                    capacity,
-                    limit,
-                    limit,
-                    self.battery_efficiency,
-                );
+                let mut battery =
+                    Battery::with_efficiency(capacity, limit, limit, self.battery_efficiency);
                 // Pre-charge to the configured fraction through the law so
                 // the level is consistent with the efficiency model.
                 let target = capacity * self.initial_battery_fraction;
                 while battery.level().as_joules() + 1e-6 < target.as_joules() {
-                    let draw = battery.max_charge_now().min(
-                        (target - battery.level()) / self.battery_efficiency,
-                    );
+                    let draw = battery
+                        .max_charge_now()
+                        .min((target - battery.level()) / self.battery_efficiency);
                     if draw.as_joules() <= 1e-6 {
                         break;
                     }
@@ -554,7 +551,10 @@ mod tests {
         assert_eq!(cfg.nodes[bs.index()].max_power.as_watts(), 20.0);
         assert_eq!(cfg.nodes[user.index()].max_power.as_watts(), 1.0);
         assert_eq!(
-            cfg.nodes[bs.index()].battery.charge_limit().as_kilowatt_hours(),
+            cfg.nodes[bs.index()]
+                .battery
+                .charge_limit()
+                .as_kilowatt_hours(),
             0.1
         );
     }

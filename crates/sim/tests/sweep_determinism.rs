@@ -1,0 +1,74 @@
+//! The sweep engine's core promise: results are bit-identical regardless
+//! of worker count or scheduling, because every point's randomness is
+//! sealed inside its own scenario seed and outcomes land in
+//! submission-order slots.
+
+use greencell_sim::{run_sweep, run_sweep_reseeded, Scenario, SweepOptions, SweepPoint};
+
+fn points() -> Vec<SweepPoint> {
+    // ≥ 8 points mixing scenario shapes and seeds so scheduling-order bugs
+    // would have many chances to show.
+    let mut out = Vec::new();
+    for i in 0..6 {
+        out.push(SweepPoint::new(
+            format!("tiny{i}"),
+            Scenario::tiny(1000 + i as u64),
+        ));
+    }
+    for i in 0..3 {
+        let mut s = Scenario::tiny(2000 + i as u64);
+        s.horizon = 10 + 2 * i;
+        s.sessions = 1 + i % 2;
+        out.push(SweepPoint::new(format!("shaped{i}"), s));
+    }
+    out
+}
+
+/// Serializes everything determinism covers — the full metric series and
+/// run identity, but *not* wall-clock telemetry (timing is inherently
+/// run-dependent).
+fn deterministic_bytes(report: &greencell_sim::SweepReport) -> Vec<u8> {
+    let mut buf = String::new();
+    for o in &report.outcomes {
+        buf.push_str(&format!(
+            "{}|{}|{}|{:?}|{:?}\n",
+            o.label, o.seed, o.penalty_b, o.relaxed_admitted, o.metrics
+        ));
+    }
+    buf.into_bytes()
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_bit_identical() {
+    let pts = points();
+    assert!(pts.len() >= 8);
+    let serial = run_sweep(&pts, &SweepOptions::serial()).unwrap();
+    let parallel = run_sweep(&pts, &SweepOptions::with_threads(4)).unwrap();
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(
+        deterministic_bytes(&serial),
+        deterministic_bytes(&parallel),
+        "parallel sweep diverged from the serial baseline"
+    );
+}
+
+#[test]
+fn reseeded_sweeps_are_bit_identical_across_thread_counts() {
+    let pts = points();
+    let serial = run_sweep_reseeded(99, &pts, &SweepOptions::serial()).unwrap();
+    let parallel = run_sweep_reseeded(99, &pts, &SweepOptions::with_threads(4)).unwrap();
+    assert_eq!(deterministic_bytes(&serial), deterministic_bytes(&parallel),);
+    // Reseeding actually replaced the submitted seeds.
+    for (o, p) in serial.outcomes.iter().zip(&pts) {
+        assert_ne!(o.seed, p.scenario.seed);
+    }
+}
+
+#[test]
+fn repeated_runs_reproduce_exactly() {
+    let pts = points();
+    let a = run_sweep(&pts, &SweepOptions::with_threads(3)).unwrap();
+    let b = run_sweep(&pts, &SweepOptions::with_threads(3)).unwrap();
+    assert_eq!(deterministic_bytes(&a), deterministic_bytes(&b));
+}

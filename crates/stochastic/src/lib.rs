@@ -46,9 +46,7 @@ mod process;
 mod rng;
 mod stats;
 
-pub use dist::{
-    Bernoulli, Constant, DiscreteUniform, Distribution, DistributionError, UniformF64,
-};
+pub use dist::{Bernoulli, Constant, DiscreteUniform, Distribution, DistributionError, UniformF64};
 pub use markov::MarkovOnOff;
 pub use poisson::Poisson;
 pub use process::{ConstantProcess, IidProcess, Process, Recorder, TraceProcess};

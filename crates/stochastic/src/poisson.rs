@@ -88,11 +88,7 @@ mod tests {
         let mut rng = Rng::seed_from(42);
         let samples: Vec<u64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
         let m = samples.iter().sum::<u64>() as f64 / f64::from(n);
-        let var = samples
-            .iter()
-            .map(|&x| (x as f64 - m).powi(2))
-            .sum::<f64>()
-            / f64::from(n);
+        let var = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / f64::from(n);
         (m, var)
     }
 

@@ -270,9 +270,10 @@ impl Series {
     /// Largest value; `None` when empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.values.iter().copied().fold(None, |acc, x| {
-            Some(acc.map_or(x, |m: f64| m.max(x)))
-        })
+        self.values
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
     }
 
     /// Last value; `None` when empty.
@@ -313,7 +314,10 @@ impl Series {
     /// Panics if `tail` is outside `(0, 1]`.
     #[must_use]
     pub fn tail_mean(&self, tail: f64) -> f64 {
-        assert!(tail > 0.0 && tail <= 1.0, "tail fraction {tail} outside (0, 1]");
+        assert!(
+            tail > 0.0 && tail <= 1.0,
+            "tail fraction {tail} outside (0, 1]"
+        );
         if self.values.is_empty() {
             return 0.0;
         }

@@ -97,7 +97,9 @@ mod tests {
         let e = Energy::from_kilowatt_hours(0.06);
         assert!((e.as_watt_hours() - 60.0).abs() < 1e-9);
         assert!((e.as_joules() - 216_000.0).abs() < 1e-6);
-        assert!((Energy::from_watt_hours(e.as_watt_hours()).as_joules() - e.as_joules()).abs() < 1e-9);
+        assert!(
+            (Energy::from_watt_hours(e.as_watt_hours()).as_joules() - e.as_joules()).abs() < 1e-9
+        );
     }
 
     #[test]

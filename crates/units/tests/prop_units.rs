@@ -1,8 +1,9 @@
 //! Property tests: quantity arithmetic obeys the expected algebraic laws
 //! and conversions round-trip.
 
-use greencell_units::{Bandwidth, Bits, DataRate, Distance, Energy, PacketSize, Packets, Power,
-                      TimeDelta};
+use greencell_units::{
+    Bandwidth, Bits, DataRate, Distance, Energy, PacketSize, Packets, Power, TimeDelta,
+};
 use proptest::prelude::*;
 
 proptest! {

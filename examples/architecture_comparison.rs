@@ -18,14 +18,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_values = [1e5, 3e5, 5e5];
 
     println!("=== architecture comparison (seed {seed}) ===");
-    println!("calibration: batteries start full; η = {:.0e} W/Hz (see EXPERIMENTS.md)", base.noise_density);
+    println!(
+        "calibration: batteries start full; η = {:.0e} W/Hz (see EXPERIMENTS.md)",
+        base.noise_density
+    );
     println!();
 
     let rows = experiments::fig2f(&base, &v_values)?;
-    let ours_avg: f64 =
-        rows[0].costs.iter().sum::<f64>() / rows[0].costs.len() as f64;
+    let ours_avg: f64 = rows[0].costs.iter().sum::<f64>() / rows[0].costs.len() as f64;
 
-    println!("{:<42} {:>12} {:>12} {:>12} {:>10}", "architecture", "V=1e5", "V=3e5", "V=5e5", "vs ours");
+    println!(
+        "{:<42} {:>12} {:>12} {:>12} {:>10}",
+        "architecture", "V=1e5", "V=3e5", "V=5e5", "vs ours"
+    );
     for row in &rows {
         let avg: f64 = row.costs.iter().sum::<f64>() / row.costs.len() as f64;
         println!(
@@ -34,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.costs[0],
             row.costs[1],
             row.costs[2],
-            if ours_avg > 0.0 { avg / ours_avg } else { f64::NAN },
+            if ours_avg > 0.0 {
+                avg / ours_avg
+            } else {
+                f64::NAN
+            },
         );
     }
 

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("--- Fig 2(a) inputs ---");
-    println!("upper bound ψ_P3 (avg f-cost): {:.6}", metrics.average_cost());
+    println!(
+        "upper bound ψ_P3 (avg f-cost): {:.6}",
+        metrics.average_cost()
+    );
     println!(
         "relaxed controller avg f-cost: {:.6}",
         metrics.relaxed_cost_series().mean()
@@ -89,14 +92,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Peek at a few per-node states.
     println!();
-    println!("--- sample node states after {} slots ---", scenario.horizon);
+    println!(
+        "--- sample node states after {} slots ---",
+        scenario.horizon
+    );
     let topo = sim.network().topology().clone();
     for id in topo.ids().take(4) {
         let node = topo.node(id);
         println!(
             "{}: battery {:.3} kWh, backlog {} ",
             node,
-            sim.controller().battery(NodeId::from_index(id.index())).level().as_kilowatt_hours(),
+            sim.controller()
+                .battery(NodeId::from_index(id.index()))
+                .level()
+                .as_kilowatt_hours(),
             sim.controller().data().node_backlog(id),
         );
     }

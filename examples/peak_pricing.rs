@@ -55,19 +55,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Quantify the shift.
     let split = |s: &Series| -> (f64, f64) {
-        s.values().iter().enumerate().fold((0.0, 0.0), |(p, o), (t, &v)| {
-            if t % 12 < 6 {
-                (p + v, o)
-            } else {
-                (p, o + v)
-            }
-        })
+        s.values()
+            .iter()
+            .enumerate()
+            .fold(
+                (0.0, 0.0),
+                |(p, o), (t, &v)| {
+                    if t % 12 < 6 {
+                        (p + v, o)
+                    } else {
+                        (p, o + v)
+                    }
+                },
+            )
     };
     let (flat_peak, flat_off) = split(&flat_series);
     let (tou_peak, tou_off) = split(&tou_series);
     println!();
-    println!("peak-slot share of purchases: flat {:.0}%, ToU {:.0}%",
+    println!(
+        "peak-slot share of purchases: flat {:.0}%, ToU {:.0}%",
         100.0 * flat_peak / (flat_peak + flat_off).max(1e-12),
-        100.0 * tou_peak / (tou_peak + tou_off).max(1e-12));
+        100.0 * tou_peak / (tou_peak + tou_off).max(1e-12)
+    );
     Ok(())
 }

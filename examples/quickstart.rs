@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("horizon: {} one-minute slots", scenario.horizon);
     println!();
-    println!("time-averaged energy cost f(P): {:.6}", metrics.average_cost());
+    println!(
+        "time-averaged energy cost f(P): {:.6}",
+        metrics.average_cost()
+    );
     println!(
         "total grid energy drawn:        {:.4} kWh",
         metrics.grid_series().values().iter().sum::<f64>()
@@ -45,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "final BS battery level:         {:.3} kWh",
         metrics.buffer_bs_series().last().unwrap_or(0.0)
     );
-    println!(
-        "transmissions shed (energy):    {}",
-        metrics.shed()
-    );
+    println!("transmissions shed (energy):    {}", metrics.shed());
 
     // Strong stability in action: backlogs are bounded, not growing.
     let peak = metrics.backlog_bs_series().max().unwrap_or(0.0);

@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut heavy = nominal.clone();
     heavy.session_demand = DataRate::from_kilobits_per_second(400.0);
     heavy.k_max = greencell::units::Packets::new(4000);
-    run_case("4x demand (valve throttles, queues cap at λV + K_max)", &heavy)?;
+    run_case(
+        "4x demand (valve throttles, queues cap at λV + K_max)",
+        &heavy,
+    )?;
 
     // Small V: tighter valve, smaller queues (the V-tradeoff of Fig. 2(b)).
     let mut small_v = nominal.clone();

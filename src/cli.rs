@@ -132,9 +132,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             "--v-values" => {
                 let raw: String = parse_flag_value(flag, it.next())?;
                 let parsed: Result<Vec<f64>, _> = raw.split(',').map(str::parse).collect();
-                v_values = Some(
-                    parsed.map_err(|_| ParseError(format!("invalid V list: {raw}")))?,
-                );
+                v_values = Some(parsed.map_err(|_| ParseError(format!("invalid V list: {raw}")))?);
             }
             "--horizon" | "--v" | "--lambda" | "--users" | "--sessions" | "--scheduler"
             | "--arch" | "--demand" | "--grid" | "--tou" => {
@@ -298,10 +296,25 @@ mod tests {
 
     #[test]
     fn errors_are_informative() {
-        assert!(parse(&argv("explode")).unwrap_err().0.contains("unknown action"));
-        assert!(parse(&argv("run --bogus 1")).unwrap_err().0.contains("unknown flag"));
-        assert!(parse(&argv("run --v")).unwrap_err().0.contains("needs a value"));
-        assert!(parse(&argv("run --v abc")).unwrap_err().0.contains("invalid value"));
-        assert!(parse(&argv("run --scheduler magic")).unwrap_err().0.contains("unknown scheduler"));
+        assert!(parse(&argv("explode"))
+            .unwrap_err()
+            .0
+            .contains("unknown action"));
+        assert!(parse(&argv("run --bogus 1"))
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(parse(&argv("run --v"))
+            .unwrap_err()
+            .0
+            .contains("needs a value"));
+        assert!(parse(&argv("run --v abc"))
+            .unwrap_err()
+            .0
+            .contains("invalid value"));
+        assert!(parse(&argv("run --scheduler magic"))
+            .unwrap_err()
+            .0
+            .contains("unknown scheduler"));
     }
 }

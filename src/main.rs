@@ -62,8 +62,14 @@ fn run_once(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
         metrics.backlog_bs_series().max().unwrap_or(0.0),
         metrics.backlog_users_series().max().unwrap_or(0.0)
     );
-    println!("cost per slot:        {}", report::sparkline(metrics.cost_series()));
-    println!("BS backlog:           {}", report::sparkline(metrics.backlog_bs_series()));
+    println!(
+        "cost per slot:        {}",
+        report::sparkline(metrics.cost_series())
+    );
+    println!(
+        "BS backlog:           {}",
+        report::sparkline(metrics.backlog_bs_series())
+    );
     if let Some(bound) = metrics.lower_bound() {
         println!("lower bound ψ̄ − B/V:  {bound:.3e}");
     }
@@ -136,8 +142,14 @@ fn sweeps(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
     let base = &cmd.scenario;
     for (title, points) in [
         ("users", experiments::sweep_users(base, &[5, 10, 20, 40])?),
-        ("sessions", experiments::sweep_sessions(base, &[2, 5, 10, 15])?),
-        ("extra bands", experiments::sweep_bands(base, &[0, 2, 4, 8])?),
+        (
+            "sessions",
+            experiments::sweep_sessions(base, &[2, 5, 10, 15])?,
+        ),
+        (
+            "extra bands",
+            experiments::sweep_bands(base, &[0, 2, 4, 8])?,
+        ),
     ] {
         println!("# sweep: {title}");
         println!(

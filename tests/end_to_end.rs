@@ -69,11 +69,18 @@ fn batteries_stay_within_capacity() {
 fn bounds_are_ordered_and_tighten() {
     let mut base = Scenario::paper(5);
     base.horizon = 40;
-    let rows =
-        greencell::sim::experiments::fig2a(&base, &[1e5, 3e5, 1e6]).expect("fig2a");
+    let rows = greencell::sim::experiments::fig2a(&base, &[1e5, 3e5, 1e6]).expect("fig2a");
     for row in &rows {
-        assert!(row.lower <= row.upper, "V={}: bound ordering violated", row.v);
-        assert!(row.lower_psi <= row.upper_psi, "V={}: ψ ordering violated", row.v);
+        assert!(
+            row.lower <= row.upper,
+            "V={}: bound ordering violated",
+            row.v
+        );
+        assert!(
+            row.lower_psi <= row.upper_psi,
+            "V={}: ψ ordering violated",
+            row.v
+        );
     }
     assert!(rows[0].gap > rows[1].gap && rows[1].gap > rows[2].gap);
 }
@@ -106,7 +113,10 @@ fn architecture_ordering_matches_paper_claims() {
     assert!(ours <= mh_no_re, "renewables must not hurt (multi-hop)");
     assert!(oh_re <= oh_no_re, "renewables must not hurt (one-hop)");
     assert!(ours <= oh_re, "relaying must not hurt (with renewables)");
-    assert!(mh_no_re <= oh_no_re, "relaying must not hurt (without renewables)");
+    assert!(
+        mh_no_re <= oh_no_re,
+        "relaying must not hurt (without renewables)"
+    );
     assert!(
         oh_no_re >= ours * 2.0,
         "the worst architecture should cost at least 2x the proposed"

@@ -25,16 +25,17 @@ fn fifty_users_ten_sessions_runs_and_stays_stable() {
     for bs in net.topology().base_stations() {
         for session in net.sessions() {
             assert!(
-                sim.controller().data().backlog(bs, session.id()).count_f64() <= valve,
+                sim.controller()
+                    .data()
+                    .backlog(bs, session.id())
+                    .count_f64()
+                    <= valve,
                 "valve violated at scale"
             );
         }
     }
     // 52 nodes × 40 slots should stay well under a minute even in debug.
-    assert!(
-        elapsed.as_secs() < 60,
-        "scale run too slow: {elapsed:?}"
-    );
+    assert!(elapsed.as_secs() < 60, "scale run too slow: {elapsed:?}");
 }
 
 #[test]

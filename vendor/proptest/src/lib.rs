@@ -1,0 +1,935 @@
+//! Minimal, std-only, offline re-implementation of the subset of the
+//! `proptest` API used by this workspace.
+//!
+//! The real `proptest` crate is unavailable in the build environment (the
+//! registry is unreachable), so this shim provides source compatibility for:
+//!
+//! - `proptest!` blocks with an optional `#![proptest_config(..)]` header and
+//!   parameters of the form `name in strategy` (with optional `mut`),
+//! - numeric range strategies (`0u64..5_000`, `0.0..1.0`, inclusive ranges),
+//! - `any::<T>()` for primitive types,
+//! - `prop::collection::vec(strategy, size)` with exact or ranged sizes,
+//! - tuple strategies, `Just`, and `.prop_map(..)`,
+//! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`,
+//! - replay of `*.proptest-regressions` files. Upstream's `cc` hash encodes
+//!   an RNG seed we cannot reproduce, but every entry also carries a
+//!   `# shrinks to name = value, ...` comment with the concrete shrunk
+//!   inputs; the shim parses those values and replays them before running
+//!   fresh random cases. New failures are appended in the same format.
+//!
+//! Shrinking is intentionally not implemented: on failure the concrete
+//! failing inputs are printed (and persisted) instead.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::io::Write as _;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (xoshiro256** seeded via SplitMix64, self-contained).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer below `bound` (Lemire-style rejection).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= bound || lo >= x.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and implementations.
+// ---------------------------------------------------------------------------
+
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Parse a value recorded in a `# shrinks to` regression comment.
+    /// Strategies that cannot round-trip their values return `None`, in
+    /// which case the regression entry is skipped for that parameter.
+    fn parse_regression(&self, _s: &str) -> Option<Self::Value> {
+        None
+    }
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn parse_regression(&self, s: &str) -> Option<Self::Value> {
+        (**self).parse_regression(s)
+    }
+}
+
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn StrategyObject<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+trait StrategyObject<T> {
+    fn generate_obj(&self, rng: &mut TestRng) -> T;
+    fn parse_obj(&self, s: &str) -> Option<T>;
+}
+
+impl<S: Strategy> StrategyObject<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+    fn parse_obj(&self, s: &str) -> Option<S::Value> {
+        self.parse_regression(s)
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_obj(rng)
+    }
+    fn parse_regression(&self, s: &str) -> Option<T> {
+        self.inner.parse_obj(s)
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- integer ranges --------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Bias toward the boundaries (as upstream proptest does):
+                // edge cases are where properties break.
+                match rng.below(16) {
+                    0 => return self.start,
+                    1 => return (self.end as i128 - 1) as $t,
+                    _ => {}
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn parse_regression(&self, s: &str) -> Option<$t> {
+                <$t as FromStr>::from_str(s).ok()
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $t
+            }
+            fn parse_regression(&self, s: &str) -> Option<$t> {
+                <$t as FromStr>::from_str(s).ok()
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --- float ranges ----------------------------------------------------------
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Bias toward boundary and special values (as upstream
+                // proptest's shrinking converges to): exact endpoints and
+                // exact zero are where float properties break.
+                match rng.below(16) {
+                    0 => return self.start,
+                    1 if self.start <= 0.0 && 0.0 < self.end => return 0.0,
+                    2 => {
+                        let tiny = (self.end - self.start) * 1e-12;
+                        return self.start + tiny;
+                    }
+                    _ => {}
+                }
+                let u = rng.next_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+            fn parse_regression(&self, s: &str) -> Option<$t> {
+                <$t as FromStr>::from_str(s).ok()
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let u = rng.next_f64() as $t;
+                start + u * (end - start)
+            }
+            fn parse_regression(&self, s: &str) -> Option<$t> {
+                <$t as FromStr>::from_str(s).ok()
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// --- any::<T>() ------------------------------------------------------------
+
+pub trait Arbitrary: Clone + Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    fn parse(s: &str) -> Option<Self>;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+            fn parse(s: &str) -> Option<$t> {
+                <$t as FromStr>::from_str(s).ok()
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+    fn parse(s: &str) -> Option<bool> {
+        s.parse().ok()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.next_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+    fn parse(s: &str) -> Option<f64> {
+        s.parse().ok()
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn parse_regression(&self, s: &str) -> Option<T> {
+        T::parse(s)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// --- collections -----------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max_exclusive - self.size.min) as u64;
+        let len = self.size.min
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span) as usize
+            };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, VecStrategy};
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(..)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+// ---------------------------------------------------------------------------
+// Test-case plumbing.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "assertion failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Present for source compatibility with struct-update syntax.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-of-strategies helper used by the `proptest!` macro expansion.
+// ---------------------------------------------------------------------------
+
+pub trait StrategyTuple {
+    type Values: Clone + Debug;
+
+    fn generate_all(&self, rng: &mut TestRng) -> Self::Values;
+
+    /// Build a full value tuple from a parsed regression entry, or `None` if
+    /// any parameter is missing or unparseable.
+    fn parse_all(&self, names: &[&str], entry: &HashMap<String, String>) -> Option<Self::Values>;
+
+    /// Render each component for failure reporting / regression persistence.
+    fn debug_all(&self, values: &Self::Values) -> Vec<String>;
+}
+
+macro_rules! strategy_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> StrategyTuple for ($($name,)+) {
+            type Values = ($($name::Value,)+);
+
+            fn generate_all(&self, rng: &mut TestRng) -> Self::Values {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn parse_all(
+                &self,
+                names: &[&str],
+                entry: &HashMap<String, String>,
+            ) -> Option<Self::Values> {
+                Some(($(
+                    self.$idx.parse_regression(entry.get(names[$idx])?)?,
+                )+))
+            }
+
+            fn debug_all(&self, values: &Self::Values) -> Vec<String> {
+                vec![$(format!("{:?}", values.$idx)),+]
+            }
+        }
+    )*};
+}
+
+strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+// ---------------------------------------------------------------------------
+// Regression-file handling.
+// ---------------------------------------------------------------------------
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> Option<PathBuf> {
+    // `file!()` is workspace-relative (e.g. `crates/core/tests/prop_s1.rs`);
+    // the manifest dir is absolute (e.g. `/root/repo/crates/core`). Try the
+    // source path against the manifest dir and each of its ancestors.
+    let rel = Path::new(source_file).with_extension("proptest-regressions");
+    let mut dir = Some(Path::new(manifest_dir));
+    while let Some(d) = dir {
+        let candidate = d.join(&rel);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        dir = d.parent();
+    }
+    // Fall back to <manifest>/tests/<stem>.proptest-regressions for writes.
+    let stem = rel.file_name()?.to_owned();
+    Some(Path::new(manifest_dir).join("tests").join(stem))
+}
+
+/// Parse `# shrinks to name = value, name2 = value2` comments from `cc` lines.
+fn parse_regression_file(path: &Path) -> Vec<HashMap<String, String>> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with("cc ") {
+            continue;
+        }
+        let Some(comment) = line.split('#').nth(1) else {
+            continue;
+        };
+        let Some(rest) = comment.trim().strip_prefix("shrinks to ") else {
+            continue;
+        };
+        let mut entry = HashMap::new();
+        for pair in rest.split(',') {
+            if let Some((name, value)) = pair.split_once('=') {
+                entry.insert(name.trim().to_string(), value.trim().to_string());
+            }
+        }
+        if !entry.is_empty() {
+            entries.push(entry);
+        }
+    }
+    entries
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn persist_failure(path: &Path, names: &[&str], rendered: &[String]) {
+    let shrunk: Vec<String> = names
+        .iter()
+        .zip(rendered)
+        .map(|(n, v)| format!("{n} = {v}"))
+        .collect();
+    let comment = shrunk.join(", ");
+    let hash = fnv1a(comment.as_bytes());
+    let line = format!("cc {hash:016x}{hash:016x}{hash:016x}{hash:016x} # shrinks to {comment}\n");
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        if existing.contains(comment.as_str()) {
+            return;
+        }
+    }
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# Seeds for failure cases proptest has generated in the past. It is\n\
+         # automatically read and these particular cases re-run before any\n\
+         # novel cases are generated.\n\
+         #\n\
+         # It is recommended to check this file in to source control so that\n\
+         # everyone who runs the test benefits from these saved cases.\n"
+            .to_string()
+    };
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(header.as_bytes());
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Execute one property test: regression replay first, then fresh cases.
+///
+/// Called from the `proptest!` macro expansion; not part of the public
+/// upstream API.
+#[allow(clippy::too_many_arguments)]
+pub fn run_property_test<S, F>(
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    config: &ProptestConfig,
+    names: &[&str],
+    strategies: &S,
+    run: F,
+) where
+    S: StrategyTuple,
+    F: Fn(S::Values) -> TestCaseResult + std::panic::RefUnwindSafe,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    let reg_path = regression_path(manifest_dir, source_file);
+
+    let run_case = |values: S::Values, origin: &str| -> Result<(), String> {
+        let rendered = strategies.debug_all(&values);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(values)));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(TestCaseError::Reject(_))) => None,
+            Ok(Err(TestCaseError::Fail(msg))) => Some(msg),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "test panicked".to_string());
+                Some(msg)
+            }
+        };
+        if let Some(msg) = failure {
+            let detail: Vec<String> = names
+                .iter()
+                .zip(&rendered)
+                .map(|(n, v)| format!("{} = {}", n.trim_start_matches("mut "), v))
+                .collect();
+            if origin == "random" {
+                if let Some(path) = &reg_path {
+                    let clean: Vec<&str> =
+                        names.iter().map(|n| n.trim_start_matches("mut ")).collect();
+                    persist_failure(path, &clean, &rendered);
+                }
+            }
+            return Err(format!(
+                "proptest case failed ({origin}): {msg}\n  inputs: {}",
+                detail.join(", ")
+            ));
+        }
+        Ok(())
+    };
+
+    let clean_names: Vec<&str> = names.iter().map(|n| n.trim_start_matches("mut ")).collect();
+
+    // 1. Replay persisted regressions whose parameter sets match this test.
+    if let Some(path) = &reg_path {
+        for entry in parse_regression_file(path) {
+            let entry_names: Vec<&str> = entry.keys().map(|k| k.as_str()).collect();
+            let matches_test = entry_names.len() == clean_names.len()
+                && clean_names.iter().all(|n| entry.contains_key(*n));
+            if !matches_test {
+                continue;
+            }
+            if let Some(values) = strategies.parse_all(&clean_names, &entry) {
+                if std::env::var_os("PROPTEST_VERBOSE").is_some() {
+                    eprintln!(
+                        "[proptest shim] {test_name}: replaying regression {:?}",
+                        strategies.debug_all(&values)
+                    );
+                }
+                if let Err(msg) = run_case(values, "regression replay") {
+                    panic!("{msg}");
+                }
+            } else if std::env::var_os("PROPTEST_VERBOSE").is_some() {
+                eprintln!(
+                    "[proptest shim] {test_name}: could not parse regression entry {entry:?}"
+                );
+            }
+        }
+    }
+
+    // 2. Fresh deterministic cases. The stream depends only on the test's
+    //    identity, never on thread scheduling or other tests.
+    let stream_seed = fnv1a(format!("{source_file}::{test_name}").as_bytes());
+    let mut rng = TestRng::seed_from(stream_seed);
+    for case in 0..cases {
+        let values = strategies.generate_all(&mut rng);
+        if let Err(msg) = run_case(values, "random") {
+            panic!("{msg} (case {case}/{cases})");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    // With config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($param:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __strategies = ($($strategy,)+);
+                $crate::run_property_test(
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    stringify!($name),
+                    &__config,
+                    &[$(stringify!($param)),+],
+                    &__strategies,
+                    |__values| {
+                        let ($($param,)+) = __values;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    // Without config header.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($param:pat_param in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($param in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Shim self-tests.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod shim_tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::seed_from(7);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-4i32..=4).generate(&mut rng);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = collection::vec((0u64..100, 0.0f64..1.0), 0..10);
+        let a: Vec<_> = {
+            let mut rng = TestRng::seed_from(99);
+            (0..20).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::seed_from(99);
+            (0..20).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regression_comment_parsing() {
+        let dir = std::env::temp_dir().join("proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# header comment\n\
+             cc deadbeef # shrinks to seed = 3319\n\
+             cc cafebabe # shrinks to z = 0.0, demand = 0.25, v = 0.5\n",
+        )
+        .unwrap();
+        let entries = parse_regression_file(&path);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].get("seed").unwrap(), "3319");
+        assert_eq!(entries[1].get("demand").unwrap(), "0.25");
+        let strategies = (0u64..5_000,);
+        let parsed = strategies.parse_all(&["seed"], &entries[0]).unwrap();
+        assert_eq!(parsed.0, 3319);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_smoke(x in 0u64..100, mut v in prop::collection::vec(any::<i32>(), 0..5)) {
+            v.push(x as i32);
+            prop_assert!(v.last() == Some(&(x as i32)));
+            prop_assert_eq!(v.is_empty(), false);
+        }
+    }
+}
