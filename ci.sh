@@ -18,10 +18,19 @@ echo "== cargo test -q =="
 # so a bare `cargo test` would only cover the root `greencell` crate.
 cargo test -q --workspace $CARGO_FLAGS
 
+echo "== chaos tests (fault injection) =="
+cargo test -p greencell-sim --test chaos -q $CARGO_FLAGS
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace $CARGO_FLAGS -- -D warnings
+
+echo "== cargo clippy (no unwrap in core/sim library code) =="
+# Library and binary targets only: test code may unwrap freely, the
+# controller/simulator production path must not.
+cargo clippy -p greencell-core -p greencell-sim --lib --bins $CARGO_FLAGS -- \
+  -D warnings -D clippy::unwrap_used
 
 echo "ci: all checks passed"

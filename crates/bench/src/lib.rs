@@ -52,6 +52,7 @@ pub fn warmed_controller(warmup: usize) -> (Controller, SlotObservation) {
         grid_connected: vec![true; nodes],
         session_demand: vec![Packets::new(600); net.session_count()],
         price_multiplier: 1.0,
+        node_available: vec![],
     };
     (controller, obs)
 }

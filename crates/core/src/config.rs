@@ -49,6 +49,23 @@ pub enum EnergyPolicy {
     GridOnly,
 }
 
+/// What the controller does when S4 cannot source a node's demand even
+/// after shedding every transmission (the degradation ladder's last rungs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Degrade instead of aborting: shed transmissions, then fall back to
+    /// grid-only sourcing, then enter a bounded safe mode that serves as
+    /// much of each node's demand as physics allows and reports the
+    /// shortfall as a [`crate::DegradationEvent`]. The run always
+    /// continues.
+    #[default]
+    Graceful,
+    /// The pre-fault behavior: return
+    /// [`crate::ControllerError::IdleDeficit`] and abort the slot. Useful
+    /// in tests that assert a configuration is inconsistent.
+    Strict,
+}
+
 /// The Lyapunov controller's scalar knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControllerConfig {
@@ -75,6 +92,8 @@ pub struct ControllerConfig {
     /// constants `β` and `B` (the paper's `c^max_ij`); the simulator must
     /// never observe a larger `W_m(t)`.
     pub w_max: Bandwidth,
+    /// What to do when S4 stays infeasible after shedding (fault handling).
+    pub degradation: DegradationPolicy,
 }
 
 impl ControllerConfig {
@@ -140,6 +159,7 @@ mod tests {
             relay: RelayPolicy::MultiHop,
             energy_policy: EnergyPolicy::MarginalPrice,
             w_max: Bandwidth::from_megahertz(2.0),
+            degradation: DegradationPolicy::Graceful,
         }
     }
 

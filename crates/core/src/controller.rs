@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 /// Error from [`Controller::new`] or [`Controller::step`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ControllerError {
     /// The energy configuration does not cover every node.
     EnergyConfigMismatch {
@@ -49,6 +50,44 @@ impl fmt::Display for ControllerError {
 
 impl Error for ControllerError {}
 
+impl From<EnergyManagementError> for ControllerError {
+    /// The strict-policy mapping: any S4 failure that survives shedding
+    /// means some node cannot source its idle demand.
+    fn from(e: EnergyManagementError) -> Self {
+        match e {
+            EnergyManagementError::Deficit { node, .. } => Self::IdleDeficit { node },
+            _ => Self::IdleDeficit { node: 0 },
+        }
+    }
+}
+
+/// One rung of the graceful-degradation ladder taken during a slot,
+/// recorded in [`SlotReport::degradation`] (under
+/// [`crate::DegradationPolicy::Graceful`]; the strict policy aborts
+/// instead).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DegradationEvent {
+    /// Transmissions touching a starving node were shed before S4 retried.
+    Shed {
+        /// The node whose energy deficit triggered the shedding.
+        node: usize,
+        /// How many transmissions were dropped.
+        dropped: usize,
+    },
+    /// The marginal-price solver failed on an idle schedule; the slot ran
+    /// on the storage-oblivious grid-only solver instead.
+    GridOnlyFallback,
+    /// Even grid-only sourcing was infeasible: the slot ran in safe mode
+    /// and this node browned out by `deficit`.
+    SafeMode {
+        /// The browned-out node.
+        node: usize,
+        /// The unserved energy.
+        deficit: Energy,
+    },
+}
+
 /// What one controller step did — everything the simulator records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotReport {
@@ -77,8 +116,10 @@ pub struct SlotReport {
     /// The Lyapunov function `L(Θ(t+1))` after this slot's updates.
     pub lyapunov_after: f64,
     /// Transmissions shed because their transmitter could not source the
-    /// energy (should stay 0; counted for diagnostics).
+    /// energy (should stay 0 in fault-free runs; counted for diagnostics).
     pub shed_transmissions: usize,
+    /// Degradation-ladder rungs taken this slot (empty on a clean slot).
+    pub degradation: Vec<DegradationEvent>,
 }
 
 impl SlotReport {
@@ -247,6 +288,17 @@ impl Controller {
         &self.batteries[i.index()]
     }
 
+    /// Mutable battery of node `i`, for hardware fault injection (capacity
+    /// fade, charge-path failure) between slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn battery_mut(&mut self, i: NodeId) -> &mut Battery {
+        &mut self.batteries[i.index()]
+    }
+
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> &ControllerConfig {
@@ -339,6 +391,7 @@ impl Controller {
             max_powers: &max_powers,
             energy_models: &models,
             traffic_budget: &traffic_budget,
+            available: &obs.node_available,
             slot: self.config.slot,
             packet_size: self.config.packet_size,
         };
@@ -349,29 +402,41 @@ impl Controller {
         };
         self.timings.s1 += s1_start.elapsed();
 
-        // S2 — source selection and admission control.
+        // S2 — source selection and admission control. A down source BS
+        // admits nothing (fault injection; the session waits the outage
+        // out rather than being handed to a farther BS mid-fault).
         let s2_start = Instant::now();
-        let admissions = resource_allocation(
+        let mut admissions = resource_allocation(
             &self.net,
             &self.data,
             self.config.lambda,
             self.config.v,
             self.config.k_max,
         );
+        if !obs.node_available.is_empty() {
+            admissions.retain(|a| obs.is_node_available(a.source.index()));
+        }
         self.timings.s2 += s2_start.elapsed();
 
-        // S3 + S4, with a shedding retry loop in case S4 reports a deficit
-        // the worst-case precheck missed.
+        // S3 + S4, with a degradation ladder in case S4 reports a deficit
+        // the worst-case precheck missed (or a fault made the observation
+        // inconsistent): shed transmissions touching the starving node,
+        // then fall back to grid-only sourcing, then enter a bounded safe
+        // mode. The strict policy aborts instead of descending past
+        // shedding.
         let mut shed = 0usize;
+        let mut degradation: Vec<DegradationEvent> = Vec::new();
         // Routing capacity: every link that could ever carry traffic
-        // (common band at both ends), capped at β packets per slot — the
-        // two-layer reading of constraint (25); see `s3` module docs.
+        // (common band at both ends, both endpoints up), capped at β
+        // packets per slot — the two-layer reading of constraint (25); see
+        // `s3` module docs.
         let beta_cap = Packets::new(self.beta.floor() as u64);
         let routing_caps: Vec<(NodeId, NodeId, Packets)> = self
             .net
             .topology()
             .ordered_pairs()
             .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
+            .filter(|&(i, j)| obs.is_node_available(i.index()) && obs.is_node_available(j.index()))
             .filter(|&(i, _)| match self.config.relay {
                 crate::RelayPolicy::MultiHop => true,
                 crate::RelayPolicy::OneHop => self.net.topology().node(i).kind().is_base_station(),
@@ -441,41 +506,76 @@ impl Controller {
             self.timings.s4 += s4_start.elapsed();
             match solved {
                 Ok(out) => break (flows, link_service, out),
-                Err(err) if !outcome.schedule.is_empty() => {
+                Err(err) => {
                     #[cfg(feature = "shed-debug")]
                     eprintln!("slot {}: S4 error {err:?}", self.slot);
-                    // Shed every transmission touching the starving node
-                    // and retry; an Invalid decision is treated the same
-                    // way (drop load, stay safe).
-                    let node = match &err {
-                        EnergyManagementError::Deficit { node, .. } => {
-                            NodeId::from_index((*node).min(nodes - 1))
+                    // Rung 1 — shed every transmission touching the
+                    // starving node and retry; an Invalid decision is
+                    // treated the same way (drop load, stay safe).
+                    if !outcome.schedule.is_empty() {
+                        let node = match &err {
+                            EnergyManagementError::Deficit { node, .. } => {
+                                NodeId::from_index((*node).min(nodes - 1))
+                            }
+                            _ => outcome.schedule.transmissions()[0].tx(),
+                        };
+                        let before = outcome.schedule.len();
+                        let reduced = shed_node(
+                            &self.net,
+                            &outcome,
+                            node,
+                            &obs.spectrum,
+                            &self.phy,
+                            &max_powers,
+                        );
+                        let dropped = before - reduced.schedule.len();
+                        if dropped > 0 {
+                            outcome = reduced;
+                            shed += dropped;
+                            degradation.push(DegradationEvent::Shed {
+                                node: node.index(),
+                                dropped,
+                            });
+                            continue;
                         }
-                        EnergyManagementError::Invalid(_) => {
-                            outcome.schedule.transmissions()[0].tx()
-                        }
-                    };
-                    let before = outcome.schedule.len();
-                    outcome = shed_node(
-                        &self.net,
-                        &outcome,
-                        node,
-                        &obs.spectrum,
-                        &self.phy,
-                        &max_powers,
-                    );
-                    shed += before - outcome.schedule.len();
-                    if before == outcome.schedule.len() {
-                        // Node not in schedule: its *idle* demand is
-                        // unservable.
-                        return Err(ControllerError::IdleDeficit { node: node.index() });
+                        // The starving node is already idle: shedding its
+                        // links cannot help. Fall through the ladder.
                     }
-                }
-                Err(EnergyManagementError::Deficit { node, .. }) => {
-                    return Err(ControllerError::IdleDeficit { node });
-                }
-                Err(EnergyManagementError::Invalid(_)) => {
-                    return Err(ControllerError::IdleDeficit { node: 0 });
+                    if self.config.degradation == crate::DegradationPolicy::Strict {
+                        return Err(err.into());
+                    }
+                    // Rung 2 — the storage-oblivious grid-only solver;
+                    // catches marginal-price internal failures and any
+                    // case where abandoning the Lyapunov objective
+                    // restores feasibility.
+                    if let Ok(out) = crate::solve_grid_only(&input) {
+                        degradation.push(DegradationEvent::GridOnlyFallback);
+                        break (flows, link_service, out);
+                    }
+                    // Rung 3a — still infeasible with traffic on the air:
+                    // drop the whole schedule and retry on idle demand.
+                    if !outcome.schedule.is_empty() {
+                        let dropped = outcome.schedule.len();
+                        shed += dropped;
+                        degradation.push(DegradationEvent::Shed {
+                            node: nodes, // sentinel: whole-schedule drop
+                            dropped,
+                        });
+                        outcome = crate::ScheduleOutcome::empty();
+                        continue;
+                    }
+                    // Rung 3b — safe mode: serve what physics allows,
+                    // record each brown-out, admit and route nothing.
+                    let safe = crate::solve_safe_mode(&input);
+                    for &(node, deficit) in &safe.deficits {
+                        degradation.push(DegradationEvent::SafeMode { node, deficit });
+                    }
+                    admissions.clear();
+                    break (
+                        greencell_queue::FlowPlan::new(nodes, self.net.session_count()),
+                        Vec::new(),
+                        safe.outcome,
+                    );
                 }
             }
         };
@@ -539,6 +639,7 @@ impl Controller {
             lyapunov_before,
             lyapunov_after,
             shed_transmissions: shed,
+            degradation,
         };
         self.slot += 1;
         self.timings.slots += 1;

@@ -172,6 +172,7 @@ mod tests {
             relay: RelayPolicy::MultiHop,
             energy_policy: crate::EnergyPolicy::MarginalPrice,
             w_max: Bandwidth::from_megahertz(2.0),
+            degradation: Default::default(),
         };
         (net, energy, config, PhyConfig::new(1.0, 1e-20))
     }

@@ -64,6 +64,7 @@
 //!     relay: RelayPolicy::MultiHop,
 //!     energy_policy: EnergyPolicy::MarginalPrice,
 //!     w_max: Bandwidth::from_megahertz(2.0),
+//!     degradation: Default::default(),
 //! };
 //! let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy, config)?;
 //!
@@ -73,6 +74,7 @@
 //!     grid_connected: vec![true, true],
 //!     session_demand: vec![Packets::new(600)],
 //!     price_multiplier: 1.0,
+//!     node_available: vec![],
 //! };
 //! let report = ctl.step(&obs)?;
 //! assert!(report.cost >= 0.0);
@@ -93,15 +95,16 @@ mod s4;
 mod state;
 
 pub use config::{
-    ControllerConfig, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelayPolicy, SchedulerKind,
+    ControllerConfig, DegradationPolicy, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelayPolicy,
+    SchedulerKind,
 };
-pub use controller::{Controller, ControllerError, SlotReport, StageTimings};
+pub use controller::{Controller, ControllerError, DegradationEvent, SlotReport, StageTimings};
 pub use lower_bound::{LowerBoundSeries, RelaxedController};
 pub use s1::{greedy_schedule, sequential_fix_schedule, S1Inputs, ScheduleOutcome};
 pub use s2::{resource_allocation, Admission};
 pub use s3::route_flows;
 pub use s4::{
-    solve_energy_management, solve_grid_only, EnergyManagementError, EnergyManagementInput,
-    EnergyOutcome,
+    solve_energy_management, solve_grid_only, solve_safe_mode, EnergyManagementError,
+    EnergyManagementInput, EnergyOutcome, SafeModeOutcome,
 };
 pub use state::SlotObservation;

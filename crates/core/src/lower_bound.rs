@@ -238,8 +238,7 @@ impl RelaxedController {
                 .base_stations()
                 .min_by(|a, b| {
                     self.qi(s, a.index())
-                        .partial_cmp(&self.qi(s, b.index()))
-                        .unwrap()
+                        .total_cmp(&self.qi(s, b.index()))
                         .then(a.cmp(b))
                 })
                 .expect("at least one BS");
@@ -268,7 +267,7 @@ impl RelaxedController {
                     continue;
                 }
                 let coeff = -self.qi(s, i) + self.beta * self.beta * self.g[i * n + dest];
-                if best.is_none() || coeff < best.unwrap().1 {
+                if best.is_none_or(|(_, c)| coeff < c) {
                     best = Some((i, coeff));
                 }
             }
@@ -293,7 +292,7 @@ impl RelaxedController {
                     }
                     let coeff =
                         -self.qi(s, i) + self.qi(s, j) + self.beta * self.beta * self.g[i * n + j];
-                    if coeff < 0.0 && (best.is_none() || coeff < best.unwrap().1) {
+                    if coeff < 0.0 && best.is_none_or(|(_, c)| coeff < c) {
                         best = Some((s, coeff));
                     }
                 }
@@ -362,8 +361,14 @@ impl RelaxedController {
             cost: &scaled_cost,
             v: self.config.v,
         };
+        // Relaxed demand is below the admission budget by construction in
+        // fault-free runs; under injected faults (outages, droughts) fall
+        // back down the same ladder as the exact controller — serving less
+        // (or nothing) only lowers the relaxed cost, so the Theorem 5
+        // bound stays a lower bound.
         let outcome = solve_energy_management(&input)
-            .expect("relaxed demand is below the admission budget by construction");
+            .or_else(|_| crate::solve_grid_only(&input))
+            .unwrap_or_else(|_| crate::solve_safe_mode(&input).outcome);
 
         // Advance real-valued state.
         for (lvl, d) in self.levels.iter_mut().zip(&outcome.decisions) {

@@ -77,6 +77,9 @@ pub struct S1Inputs<'a> {
     pub energy_models: &'a [NodeEnergyModel],
     /// Max energy each node can source this slot beyond fixed overheads.
     pub traffic_budget: &'a [Energy],
+    /// Per-node availability (fault injection): a down node is excluded
+    /// from every candidate activation. Empty means all nodes are up.
+    pub available: &'a [bool],
     /// The slot duration `Δt`.
     pub slot: TimeDelta,
     /// Fixed packet size used to quantize per-slot service.
@@ -85,8 +88,12 @@ pub struct S1Inputs<'a> {
 
 fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
     let topo = inp.net.topology();
+    let up = |node: NodeId| inp.available.get(node.index()).copied().unwrap_or(true);
     let mut out = Vec::new();
     for (i, j) in topo.ordered_pairs() {
+        if !up(i) || !up(j) {
+            continue; // fault injection: a down node never transmits/receives
+        }
         let h = inp.links.h(i, j);
         if h <= 0.0 {
             continue; // paper: fix α to 0 where H_ij = 0
@@ -115,8 +122,7 @@ fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
     // Deterministic order: weight desc, then ids.
     out.sort_by(|a, b| {
         b.weight
-            .partial_cmp(&a.weight)
-            .unwrap()
+            .total_cmp(&a.weight)
             .then(a.tx.cmp(&b.tx))
             .then(a.rx.cmp(&b.rx))
             .then(a.band.cmp(&b.band))
@@ -203,7 +209,7 @@ pub fn sequential_fix_schedule(inp: &S1Inputs<'_>) -> ScheduleOutcome {
             .enumerate()
             .filter(|(_, (&a, _))| a >= max_alpha - 1e-6)
             .map(|(k, (_, c))| (k, c.weight))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty active set");
         let cand = active.swap_remove(best_idx);
         let t = Transmission::new(cand.tx, cand.rx, cand.band);
@@ -397,6 +403,7 @@ mod tests {
             max_powers: &f.max_powers,
             energy_models: &f.models,
             traffic_budget: &f.budget,
+            available: &[],
             slot: TimeDelta::from_minutes(1.0),
             packet_size: PacketSize::from_bits(10_000),
         }
@@ -490,6 +497,25 @@ mod tests {
             assert!(seen.insert(t.rx()));
         }
         assert!(!out.schedule.is_empty());
+    }
+
+    #[test]
+    fn down_node_is_never_scheduled() {
+        let f = fixture(&[(0, 1, 50), (1, 2, 50)]);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let spectrum = spectrum2();
+        // Node 1 down: both backlogged links touch it, so nothing runs.
+        let mut inp = inputs(&f, &spectrum, &phy);
+        let avail = [true, false, true];
+        inp.available = &avail;
+        assert!(greedy_schedule(&inp).schedule.is_empty());
+        assert!(sequential_fix_schedule(&inp).schedule.is_empty());
+        // Node 2 down: (0→1) still runs.
+        let avail = [true, true, false];
+        inp.available = &avail;
+        let out = greedy_schedule(&inp);
+        assert_eq!(out.schedule.len(), 1);
+        assert_eq!(out.schedule.transmissions()[0].rx(), NodeId::from_index(1));
     }
 
     #[test]

@@ -98,8 +98,7 @@ pub fn route_flows(
             })
             .min_by(|(_, &(i1, j1, _)), (_, &(i2, j2, _))| {
                 coeff(s, i1, j1)
-                    .partial_cmp(&coeff(s, i2, j2))
-                    .unwrap()
+                    .total_cmp(&coeff(s, i2, j2))
                     .then(i1.cmp(&i2))
             })
             .map(|(idx, _)| idx);
@@ -137,12 +136,7 @@ pub fn route_flows(
             }
         }
     }
-    combos.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap()
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    combos.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut link_used = vec![false; cap.len()];
     for (_, s, idx) in combos {
         if link_used[idx] {

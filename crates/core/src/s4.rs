@@ -32,6 +32,7 @@ use std::fmt;
 
 /// Error from [`solve_energy_management`].
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EnergyManagementError {
     /// A node's demand exceeds every feasible supply combination — the
     /// scheduler admitted a transmission the node cannot power. The
@@ -58,6 +59,12 @@ impl fmt::Display for EnergyManagementError {
 }
 
 impl Error for EnergyManagementError {}
+
+impl From<EnergyDecisionError> for EnergyManagementError {
+    fn from(e: EnergyDecisionError) -> Self {
+        Self::Invalid(e)
+    }
+}
 
 /// Inputs to S4 for one slot, all indexed by node.
 #[derive(Debug)]
@@ -170,7 +177,7 @@ fn mode_discharge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
         (-env.z, 1u8, env.d_max),
         (price, 2u8, env.g_max),
     ];
-    sources.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    sources.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let mut need = env.demand;
     let mut taken = [0.0f64; 3];
     for &(_, which, cap) in &sources {
@@ -249,8 +256,7 @@ fn mode_charge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
     }
     candidates.into_iter().map(build).min_by(|a, b| {
         a.objective(env.z, price, env.eta)
-            .partial_cmp(&b.objective(env.z, price, env.eta))
-            .unwrap()
+            .total_cmp(&b.objective(env.z, price, env.eta))
     })
 }
 
@@ -339,6 +345,89 @@ pub fn solve_grid_only(
         cost,
         objective: z_terms + input.v * cost,
     })
+}
+
+/// The safe-mode S4 result: the decisions plus which nodes browned out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafeModeOutcome {
+    /// The (validated) decisions, grid draw, cost, and objective for the
+    /// *served* portion of each node's demand.
+    pub outcome: EnergyOutcome,
+    /// `(node, unserved energy)` for every node whose demand exceeded its
+    /// combined renewable + grid + battery supply this slot.
+    pub deficits: Vec<(usize, Energy)>,
+}
+
+/// The degradation ladder's last rung: serve as much of each node's demand
+/// as physics allows — renewable first, then grid, then battery — and
+/// report the remainder as a brown-out instead of failing. Never charges,
+/// never optimizes the Lyapunov term, **never errors**: a node whose
+/// demand exceeds every supply simply runs a deficit, which the caller
+/// records as a [`crate::DegradationEvent::SafeMode`].
+///
+/// The returned decisions balance against the *served* demand, so they
+/// still apply cleanly to the batteries and the cost accounting stays
+/// conservative (the provider pays for every kWh actually drawn).
+///
+/// # Panics
+///
+/// Panics only on an internal invariant violation (a by-construction
+/// balanced decision failing validation).
+#[must_use]
+pub fn solve_safe_mode(input: &EnergyManagementInput<'_>) -> SafeModeOutcome {
+    let n = input.z.len();
+    assert_eq!(input.demand.len(), n, "one demand per node");
+    let mut decisions = Vec::with_capacity(n);
+    let mut deficits = Vec::new();
+    let mut grid_draw = Energy::ZERO;
+    let mut z_terms = 0.0;
+    for i in 0..n {
+        let env = NodeEnv::from_input(input, i);
+        let r_dem = env.renewable.min(env.demand);
+        let g = env.g_max.min(env.demand - r_dem);
+        let d = env.d_max.min(env.demand - r_dem - g);
+        let served = r_dem + g + d;
+        let deficit = (env.demand - served).max(0.0);
+        if deficit > FEAS_EPS {
+            deficits.push((i, Energy::from_kilowatt_hours(deficit)));
+        }
+        let split = RenewableSplit::new(
+            input.renewable[i],
+            Energy::from_kilowatt_hours(r_dem),
+            Energy::ZERO,
+            Energy::from_kilowatt_hours((env.renewable - r_dem).max(0.0)),
+        )
+        .expect("safe-mode renewable split is conserving by construction");
+        let decision = EnergyDecision::new(
+            Energy::from_kilowatt_hours(g),
+            Energy::ZERO,
+            split,
+            Energy::from_kilowatt_hours(d.max(0.0)),
+        );
+        let grid = GridConnection::new(input.grid_connected[i], input.grid_limits[i]);
+        decision
+            .validate(
+                Energy::from_kilowatt_hours(served),
+                &input.batteries[i],
+                &grid,
+            )
+            .expect("safe-mode decision balances its served demand by construction");
+        if input.is_base_station[i] {
+            grid_draw += decision.grid_total();
+        }
+        z_terms -= input.z[i] * decision.discharge().as_kilowatt_hours();
+        decisions.push(decision);
+    }
+    let cost = input.cost.cost(grid_draw);
+    SafeModeOutcome {
+        outcome: EnergyOutcome {
+            decisions,
+            grid_draw,
+            cost,
+            objective: z_terms + input.v * cost,
+        },
+        deficits,
+    }
 }
 
 /// Solves S4 exactly. See the module docs for the algorithm.
@@ -838,6 +927,55 @@ mod tests {
         let f2 = one_bs(-1.0, 0.1, 0.0);
         let out2 = solve_grid_only(&f2.input()).unwrap();
         assert_eq!(out2.decisions[0].discharge(), Energy::ZERO);
+    }
+
+    #[test]
+    fn safe_mode_reports_brownout_instead_of_failing() {
+        // Disconnected node with an empty battery: marginal-price and
+        // grid-only both error; safe mode serves the renewable sliver and
+        // reports the rest as a deficit.
+        let f = Fixture {
+            z: vec![0.0],
+            demand: vec![kwh(0.5)],
+            renewable: vec![kwh(0.02)],
+            batteries: vec![Battery::new(kwh(1.0), kwh(0.06), kwh(0.06))],
+            grid_connected: vec![false],
+            grid_limits: vec![kwh(0.2)],
+            is_bs: vec![false],
+            cost: QuadraticCost::paper_default(),
+            v: 1.0,
+        };
+        assert!(solve_energy_management(&f.input()).is_err());
+        assert!(solve_grid_only(&f.input()).is_err());
+        let safe = solve_safe_mode(&f.input());
+        assert_eq!(safe.deficits.len(), 1);
+        let (node, short) = safe.deficits[0];
+        assert_eq!(node, 0);
+        assert!((short.as_kilowatt_hours() - 0.48).abs() < 1e-9);
+        let d = &safe.outcome.decisions[0];
+        assert_eq!(d.renewable().to_demand(), kwh(0.02));
+        assert_eq!(d.grid_total(), Energy::ZERO);
+        assert_eq!(safe.outcome.cost, 0.0);
+    }
+
+    #[test]
+    fn safe_mode_matches_grid_only_when_feasible() {
+        // Feasible instance: safe mode reports no deficit and draws exactly
+        // what grid-only would (renewable → grid → battery fill order).
+        let f = one_bs(-1.0, 0.25, 0.0);
+        let safe = solve_safe_mode(&f.input());
+        let naive = solve_grid_only(&f.input()).unwrap();
+        assert!(safe.deficits.is_empty());
+        assert_eq!(safe.outcome.decisions, naive.decisions);
+        assert_eq!(safe.outcome.grid_draw, naive.grid_draw);
+    }
+
+    #[test]
+    fn decision_error_converts_into_invalid() {
+        assert!(matches!(
+            EnergyManagementError::from(EnergyDecisionError::NegativeAmount),
+            EnergyManagementError::Invalid(EnergyDecisionError::NegativeAmount)
+        ));
     }
 
     /// Brute-force check: discretize one BS's decision space and verify the

@@ -24,6 +24,12 @@ pub struct SlotObservation {
     /// is `1.0`; peak/off-peak tariffs are an extension (see
     /// `greencell-sim`'s `TouPricing`).
     pub price_multiplier: f64,
+    /// Per-node availability for fault injection: `false` marks a node
+    /// (typically a BS) as down this slot — it neither transmits, receives,
+    /// admits, nor relays. An **empty** vector means every node is up (the
+    /// paper's fault-free model), so existing call sites need no per-slot
+    /// allocation.
+    pub node_available: Vec<bool>,
 }
 
 impl SlotObservation {
@@ -50,6 +56,17 @@ impl SlotObservation {
             "session demand vector length"
         );
         assert_eq!(self.spectrum.band_count(), bands, "spectrum band count");
+        assert!(
+            self.node_available.is_empty() || self.node_available.len() == nodes,
+            "node availability vector length"
+        );
+    }
+
+    /// Whether node `i` is up this slot (`true` when no availability
+    /// vector was supplied).
+    #[must_use]
+    pub fn is_node_available(&self, i: usize) -> bool {
+        self.node_available.get(i).copied().unwrap_or(true)
     }
 }
 
@@ -66,8 +83,30 @@ mod tests {
             grid_connected: vec![true; 3],
             session_demand: vec![Packets::new(600); 2],
             price_multiplier: 1.0,
+            node_available: vec![],
         };
         obs.validate(3, 2, 1);
+        assert!(obs.is_node_available(0));
+        let partial = SlotObservation {
+            node_available: vec![true, false, true],
+            ..obs
+        };
+        partial.validate(3, 2, 1);
+        assert!(!partial.is_node_available(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "node availability vector length")]
+    fn wrong_availability_length_panics() {
+        let obs = SlotObservation {
+            spectrum: SpectrumState::new(vec![]),
+            renewable: vec![Energy::ZERO; 3],
+            grid_connected: vec![true; 3],
+            session_demand: vec![],
+            price_multiplier: 1.0,
+            node_available: vec![true; 2],
+        };
+        obs.validate(3, 0, 0);
     }
 
     #[test]
@@ -79,6 +118,7 @@ mod tests {
             grid_connected: vec![true; 3],
             session_demand: vec![],
             price_multiplier: 1.0,
+            node_available: vec![],
         };
         obs.validate(3, 0, 0);
     }

@@ -55,6 +55,7 @@ fn config(v: f64) -> ControllerConfig {
         relay: RelayPolicy::MultiHop,
         energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
+        degradation: Default::default(),
     }
 }
 
@@ -68,6 +69,7 @@ fn obs(nodes: usize, sessions: usize) -> SlotObservation {
         grid_connected: vec![true; nodes],
         session_demand: vec![Packets::new(600); sessions],
         price_multiplier: 1.0,
+        node_available: vec![],
     }
 }
 

@@ -2,8 +2,8 @@
 //! unrecoverable deficits as typed errors instead of panicking.
 
 use greencell_core::{
-    Controller, ControllerConfig, ControllerError, EnergyConfig, NodeEnergyConfig, RelayPolicy,
-    SchedulerKind, SlotObservation,
+    Controller, ControllerConfig, ControllerError, DegradationEvent, DegradationPolicy,
+    EnergyConfig, NodeEnergyConfig, RelayPolicy, SchedulerKind, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{Network, NetworkBuilder, PathLossModel, Point};
@@ -46,6 +46,14 @@ fn config() -> ControllerConfig {
         relay: RelayPolicy::MultiHop,
         energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
+        degradation: DegradationPolicy::Graceful,
+    }
+}
+
+fn strict_config() -> ControllerConfig {
+    ControllerConfig {
+        degradation: DegradationPolicy::Strict,
+        ..config()
     }
 }
 
@@ -67,27 +75,103 @@ fn mismatched_energy_config_is_reported() {
     assert!(err.to_string().contains("energy config covers 5"));
 }
 
-#[test]
-fn unservable_idle_demand_is_reported() {
-    // The user's fixed overhead (5 kW per minute ≈ 0.083 kWh) exceeds its
-    // renewable (0) + battery (empty) + grid… grid covers 0.2 kWh, so push
-    // overhead beyond even the grid: 20 kW ⇒ 0.33 kWh > 0.2 kWh cap.
-    let net = tiny_net();
-    let energy = EnergyConfig {
+/// An energy config whose user node's fixed overhead (20 kW per minute
+/// ≈ 0.33 kWh) exceeds renewable (0) + battery (empty) + the 0.2 kWh grid
+/// cap — the idle demand is unservable by any sourcing.
+fn idle_deficit_energy() -> EnergyConfig {
+    EnergyConfig {
         nodes: vec![node_config(0.0), node_config(20_000.0)],
         cost: QuadraticCost::paper_default(),
-    };
-    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy, config()).unwrap();
-    let obs = SlotObservation {
+    }
+}
+
+fn zero_renewable_obs() -> SlotObservation {
+    SlotObservation {
         spectrum: SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]),
         renewable: vec![Energy::ZERO; 2],
         grid_connected: vec![true, true],
         session_demand: vec![Packets::new(600)],
         price_multiplier: 1.0,
-    };
-    let err = ctl.step(&obs).unwrap_err();
+        node_available: vec![],
+    }
+}
+
+#[test]
+fn unservable_idle_demand_is_reported_under_strict_policy() {
+    let mut ctl = Controller::new(
+        tiny_net(),
+        PhyConfig::new(1.0, 1e-20),
+        idle_deficit_energy(),
+        strict_config(),
+    )
+    .unwrap();
+    let err = ctl.step(&zero_renewable_obs()).unwrap_err();
     assert_eq!(err, ControllerError::IdleDeficit { node: 1 });
     assert!(err.to_string().contains("idle energy demand"));
+}
+
+#[test]
+fn unservable_idle_demand_degrades_to_safe_mode_under_graceful_policy() {
+    let mut ctl = Controller::new(
+        tiny_net(),
+        PhyConfig::new(1.0, 1e-20),
+        idle_deficit_energy(),
+        config(),
+    )
+    .unwrap();
+    let obs = zero_renewable_obs();
+    for _ in 0..3 {
+        let report = ctl.step(&obs).expect("graceful policy never aborts");
+        // The starving user browns out by exactly overhead − grid cap
+        // (the battery is empty): 0.33̄ − 0.2 = 0.13̄ kWh.
+        let deficit = report
+            .degradation
+            .iter()
+            .find_map(|e| match e {
+                DegradationEvent::SafeMode { node: 1, deficit } => Some(*deficit),
+                _ => None,
+            })
+            .expect("node 1 must report a safe-mode brown-out");
+        assert!((deficit.as_kilowatt_hours() - (20.0 / 60.0 - 0.2)).abs() < 1e-6);
+        // Safe mode drops the slot's load entirely.
+        assert_eq!(report.admitted, Packets::ZERO);
+        assert_eq!(report.routed, Packets::ZERO);
+        assert_eq!(report.scheduled_links, 0);
+        // The healthy BS still pays only for what it draws.
+        assert!(report.cost >= 0.0);
+        assert!(report.grid_draw <= Energy::from_kilowatt_hours(0.4));
+    }
+}
+
+#[test]
+fn down_base_station_blocks_admission_and_scheduling() {
+    let net = tiny_net();
+    let energy = EnergyConfig {
+        nodes: vec![node_config(0.0), node_config(0.0)],
+        cost: QuadraticCost::paper_default(),
+    };
+    let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy, config()).unwrap();
+    let outage = SlotObservation {
+        renewable: vec![Energy::from_joules(600.0); 2],
+        node_available: vec![false, true],
+        ..zero_renewable_obs()
+    };
+    for _ in 0..5 {
+        let report = ctl.step(&outage).expect("outage slots still run");
+        assert_eq!(report.admitted, Packets::ZERO, "down BS must not admit");
+        assert_eq!(report.scheduled_links, 0, "down BS must not transmit");
+    }
+    // Recovery: the BS comes back and traffic flows again.
+    let healthy = SlotObservation {
+        node_available: vec![],
+        ..outage
+    };
+    let mut delivered_any = false;
+    for _ in 0..10 {
+        let report = ctl.step(&healthy).expect("recovers");
+        delivered_any |= report.routed > Packets::ZERO;
+    }
+    assert!(delivered_any, "traffic should flow after the outage clears");
 }
 
 #[test]
@@ -105,6 +189,7 @@ fn malformed_observation_panics_loudly() {
         grid_connected: vec![true, true],
         session_demand: vec![Packets::new(600)],
         price_multiplier: 1.0,
+        node_available: vec![],
     };
     let _ = ctl.step(&obs);
 }
@@ -127,6 +212,7 @@ fn controller_recovers_after_transient_energy_shortage() {
         grid_connected: vec![true, false],
         session_demand: vec![Packets::new(600)],
         price_multiplier: 1.0,
+        node_available: vec![],
     };
     for _ in 0..5 {
         ctl.step(&lean).expect("lean slots still run");

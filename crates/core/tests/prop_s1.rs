@@ -90,6 +90,7 @@ fn inputs<'a>(inst: &'a Instance, phy: &'a PhyConfig) -> S1Inputs<'a> {
         max_powers: &inst.max_powers,
         energy_models: &inst.models,
         traffic_budget: &inst.budget,
+        available: &[],
         slot: TimeDelta::from_minutes(1.0),
         packet_size: PacketSize::from_bits(10_000),
     }

@@ -53,6 +53,7 @@ fn config() -> ControllerConfig {
         relay: RelayPolicy::MultiHop,
         energy_policy: EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
+        degradation: Default::default(),
     }
 }
 
@@ -66,6 +67,7 @@ fn obs() -> SlotObservation {
         grid_connected: vec![true; 3],
         session_demand: vec![Packets::new(600)],
         price_multiplier: 1.0,
+        node_available: vec![],
     }
 }
 

@@ -80,6 +80,7 @@ pub struct Battery {
     charge_limit: Energy,
     discharge_limit: Energy,
     charge_efficiency: f64,
+    charge_blocked: bool,
 }
 
 impl Battery {
@@ -107,6 +108,7 @@ impl Battery {
             charge_limit,
             discharge_limit,
             charge_efficiency: 1.0,
+            charge_blocked: false,
         }
     }
 
@@ -189,11 +191,49 @@ impl Battery {
     /// The largest charge *drawable* this slot:
     /// `min{c^max, (x^max − x(t))/η}` — the generalization of constraint
     /// (11) under charge efficiency `η` (at `η = 1` it is exactly (11)).
+    /// Zero while the charge path is blocked (see
+    /// [`Battery::set_charge_blocked`]).
     #[must_use]
     pub fn max_charge_now(&self) -> Energy {
+        if self.charge_blocked {
+            return Energy::ZERO;
+        }
         self.charge_limit
             .min((self.capacity - self.level) / self.charge_efficiency)
             .max(Energy::ZERO)
+    }
+
+    /// Whether the charge path is currently failed.
+    #[must_use]
+    pub fn charge_blocked(&self) -> bool {
+        self.charge_blocked
+    }
+
+    /// Fails (`true`) or repairs (`false`) the charge path — a transient
+    /// hardware fault: while blocked the battery accepts no charge
+    /// ([`Battery::max_charge_now`] reports zero) but discharges normally.
+    pub fn set_charge_blocked(&mut self, blocked: bool) {
+        self.charge_blocked = blocked;
+    }
+
+    /// Permanently fades the capacity to `factor · x^max` (battery aging or
+    /// cell failure). The per-slot charge/discharge limits are scaled by
+    /// the same factor so the sizing constraint (13),
+    /// `c^max + d^max ≤ x^max`, keeps holding, and the level is clamped
+    /// into the new capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor ∉ (0, 1]`.
+    pub fn fade_capacity(&mut self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "fade factor {factor} outside (0, 1]"
+        );
+        self.capacity = self.capacity * factor;
+        self.charge_limit = self.charge_limit * factor;
+        self.discharge_limit = self.discharge_limit * factor;
+        self.level = self.level.min(self.capacity);
     }
 
     /// The largest discharge available this slot:
@@ -360,5 +400,46 @@ mod tests {
     #[should_panic(expected = "outside (0, 1]")]
     fn zero_efficiency_rejected() {
         let _ = Battery::with_efficiency(kwh(1.0), kwh(0.1), kwh(0.06), 0.0);
+    }
+
+    #[test]
+    fn charge_block_zeroes_headroom_and_is_reversible() {
+        let mut b = battery();
+        assert!(!b.charge_blocked());
+        assert!(b.max_charge_now() > Energy::ZERO);
+        b.set_charge_blocked(true);
+        assert!(b.charge_blocked());
+        assert_eq!(b.max_charge_now(), Energy::ZERO);
+        // Discharge is unaffected by a failed charge path.
+        b.set_charge_blocked(false);
+        b.apply(kwh(0.1), Energy::ZERO).unwrap();
+        b.set_charge_blocked(true);
+        assert_eq!(b.max_discharge_now(), kwh(0.06));
+        b.apply(Energy::ZERO, kwh(0.06)).unwrap();
+        b.set_charge_blocked(false);
+        assert!(b.max_charge_now() > Energy::ZERO);
+    }
+
+    #[test]
+    fn fade_scales_limits_and_clamps_level() {
+        let mut b = Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.06), kwh(0.9));
+        b.fade_capacity(0.5);
+        assert!((b.capacity().as_kilowatt_hours() - 0.5).abs() < 1e-12);
+        // Level clamped into the new capacity.
+        assert!((b.level().as_kilowatt_hours() - 0.5).abs() < 1e-12);
+        // Sizing constraint (13) still holds after fading.
+        assert!(
+            b.max_charge_now().as_joules() + b.max_discharge_now().as_joules()
+                <= b.capacity().as_joules() + 1e-9
+        );
+        // Faded battery still charges/discharges within the scaled limits.
+        b.apply(Energy::ZERO, b.max_discharge_now()).unwrap();
+        b.apply(b.max_charge_now(), Energy::ZERO).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn fade_factor_above_one_rejected() {
+        battery().fade_capacity(1.5);
     }
 }

@@ -1,0 +1,96 @@
+//! Robustness sweep: the paper scenario under injected faults.
+//!
+//! Runs a fault-free baseline plus four fault scenarios — bursty BS
+//! outages, a renewable drought, a grid price spike, and spectrum band
+//! loss — through the graceful-degradation controller, and reports how
+//! much each disturbance costs and whether the queues stay strongly
+//! stable (watchdog verdict).
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin fault_sweep [seed] [horizon]
+//! ```
+//!
+//! Scenarios fan across `GREENCELL_THREADS` workers (default: all cores).
+//! Wall-clock telemetry lands in `results/fault_sweep_telemetry.{json,csv}`
+//! and the deterministic robustness record — byte-identical across worker
+//! counts — in `results/fault_sweep_stability.json`.
+
+use greencell_sim::faults::FaultSpec;
+use greencell_sim::{run_sweep, sweep, Scenario, SweepOptions, SweepPoint};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(42);
+    let horizon: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+
+    let scenarios: Vec<(&str, Option<FaultSpec>)> = vec![
+        ("baseline", None),
+        ("bs_outage", Some(FaultSpec::bs_outage())),
+        (
+            "renewable_drought",
+            Some(FaultSpec::renewable_drought(horizon / 4, horizon / 2)),
+        ),
+        (
+            "price_spike",
+            Some(FaultSpec::price_spike(horizon / 4, horizon / 2, 6.0)),
+        ),
+        ("band_loss", Some(FaultSpec::band_loss())),
+    ];
+    let points: Vec<SweepPoint> = scenarios
+        .into_iter()
+        .map(|(label, faults)| {
+            let mut s = Scenario::paper(seed);
+            s.horizon = horizon;
+            s.faults = faults;
+            SweepPoint::new(label, s)
+        })
+        .collect();
+
+    let opts = SweepOptions::from_env();
+    eprintln!(
+        "fault_sweep: paper scenario, seed {seed}, horizon {horizon}, {} worker(s)",
+        opts.threads
+    );
+    let report = match run_sweep(&points, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fault_sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:<20} {:>10} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "scenario", "degraded", "events", "shed", "avg cost", "slope", "verdict"
+    );
+    let mut all_stable = true;
+    for o in &report.outcomes {
+        let t = &o.telemetry;
+        let w = &t.watchdog;
+        all_stable &= w.stable;
+        println!(
+            "{:<20} {:>10} {:>10} {:>8} {:>12.6} {:>12.3} {:>10}",
+            o.label,
+            t.degraded_slots,
+            t.degradation_events,
+            o.metrics.shed(),
+            o.metrics.average_cost(),
+            w.trailing_slope,
+            if w.stable { "stable" } else { "DIVERGENT" },
+        );
+    }
+
+    match sweep::write_telemetry(&report, "fault_sweep") {
+        Ok((json, csv)) => eprintln!("telemetry: {} and {}", json.display(), csv.display()),
+        Err(e) => eprintln!("could not write telemetry: {e}"),
+    }
+    let stability = std::path::Path::new("results").join("fault_sweep_stability.json");
+    match report.write_stability_json(&stability) {
+        Ok(()) => eprintln!("stability record: {}", stability.display()),
+        Err(e) => eprintln!("could not write stability record: {e}"),
+    }
+    if !all_stable {
+        eprintln!("fault_sweep: watchdog flagged divergence");
+        std::process::exit(2);
+    }
+}

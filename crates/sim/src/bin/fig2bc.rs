@@ -30,7 +30,13 @@ fn main() {
     );
     match experiments::fig2bc_with(&base, &v_values, &opts) {
         Ok((rows, telemetry)) => {
-            let (bs, users) = report::backlog_csv(&rows);
+            let (bs, users) = match report::backlog_csv(&rows) {
+                Ok(csvs) => csvs,
+                Err(e) => {
+                    eprintln!("fig2bc failed: {e}");
+                    std::process::exit(1);
+                }
+            };
             println!("# Fig 2(b) — total data queue backlog of base stations (packets)");
             print!("{bs}");
             println!("# Fig 2(c) — total data queue backlog of mobile users (packets)");

@@ -32,7 +32,13 @@ fn main() {
     );
     match experiments::fig2de_with(&base, &v_values, &opts) {
         Ok((rows, telemetry)) => {
-            let (bs, users) = report::buffer_csv(&rows);
+            let (bs, users) = match report::buffer_csv(&rows) {
+                Ok(csvs) => csvs,
+                Err(e) => {
+                    eprintln!("fig2de failed: {e}");
+                    std::process::exit(1);
+                }
+            };
             println!("# Fig 2(d) — total energy buffer size of base stations (kWh)");
             print!("{bs}");
             println!("# Fig 2(e) — total energy buffer size of mobile users (Wh)");

@@ -1,5 +1,6 @@
 //! The time-slotted simulation engine.
 
+use crate::faults::{FaultPlan, SlotFaults, StabilityWatchdog};
 use crate::{GridModel, RunMetrics, Scenario};
 use greencell_core::{Controller, ControllerError, RelaxedController, SlotObservation};
 use greencell_net::{Network, NetworkError, NodeId};
@@ -9,14 +10,22 @@ use greencell_units::{Bandwidth, Energy, Packets};
 use std::error::Error;
 use std::fmt;
 
-/// Error constructing or running a [`Simulator`].
+/// Error constructing or running a [`Simulator`], or persisting its
+/// results.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The scenario produced an invalid network.
     Network(NetworkError),
     /// The controller rejected the configuration or hit an unrecoverable
     /// energy deficit.
     Controller(ControllerError),
+    /// A file read or write failed (the message carries the OS error;
+    /// `std::io::Error` itself is neither `Clone` nor `PartialEq`).
+    Io(String),
+    /// Results could not be serialized (e.g. mismatched series lengths in
+    /// a CSV block).
+    Serialize(String),
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +33,8 @@ impl fmt::Display for SimError {
         match self {
             Self::Network(e) => write!(f, "network construction failed: {e}"),
             Self::Controller(e) => write!(f, "controller failed: {e}"),
+            Self::Io(msg) => write!(f, "I/O failed: {msg}"),
+            Self::Serialize(msg) => write!(f, "serialization failed: {msg}"),
         }
     }
 }
@@ -33,6 +44,7 @@ impl Error for SimError {
         match self {
             Self::Network(e) => Some(e),
             Self::Controller(e) => Some(e),
+            Self::Io(_) | Self::Serialize(_) => None,
         }
     }
 }
@@ -46,6 +58,12 @@ impl From<NetworkError> for SimError {
 impl From<ControllerError> for SimError {
     fn from(e: ControllerError) -> Self {
         Self::Controller(e)
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
     }
 }
 
@@ -70,6 +88,9 @@ pub struct Simulator {
     /// One sticky connectivity chain per node (used under
     /// [`GridModel::Markov`]; base stations' entries are ignored).
     grid_chains: Vec<MarkovOnOff>,
+    /// The pre-expanded fault schedule, when the scenario injects faults.
+    fault_plan: Option<FaultPlan>,
+    watchdog: StabilityWatchdog,
     metrics: RunMetrics,
     slots_run: usize,
 }
@@ -91,6 +112,24 @@ impl Simulator {
         let renewable_rng = master.split();
         let mut grid_rng = master.split();
         let demand_rng = master.split();
+        // The fault stream splits *after* every pre-existing stream, so a
+        // fault-free scenario keeps its historical sample paths bit-exact.
+        let mut fault_rng = master.split();
+        let fault_plan = scenario.faults.as_ref().map(|spec| {
+            let is_bs: Vec<bool> = net
+                .topology()
+                .nodes()
+                .iter()
+                .map(|n| n.kind().is_base_station())
+                .collect();
+            FaultPlan::generate(
+                spec,
+                &is_bs,
+                scenario.band_count(),
+                scenario.horizon,
+                &mut fault_rng,
+            )
+        });
         let grid_chains = match scenario.grid_model {
             GridModel::Iid => Vec::new(),
             GridModel::Markov { stay_on, stay_off } => (0..net.topology().len())
@@ -107,6 +146,10 @@ impl Simulator {
         let relaxed = scenario
             .track_lower_bound
             .then(|| RelaxedController::new(net.clone(), phy, energy.clone(), config));
+        let total_demand: f64 = (0..scenario.sessions)
+            .map(|_| scenario.demand_packets_per_slot().count_f64())
+            .sum();
+        let watchdog = StabilityWatchdog::for_demand(total_demand);
         let controller = Controller::new(net, phy, energy, config)?;
         Ok(Self {
             scenario: scenario.clone(),
@@ -117,6 +160,8 @@ impl Simulator {
             grid_rng,
             demand_rng,
             grid_chains,
+            fault_plan,
+            watchdog,
             metrics: RunMetrics::new(),
             slots_run: 0,
         })
@@ -146,17 +191,45 @@ impl Simulator {
         self.relaxed.as_ref().map(|r| r.average_admitted())
     }
 
-    /// Samples one slot's random observation.
+    /// The strong-stability watchdog's view of the run so far.
+    #[must_use]
+    pub fn watchdog(&self) -> &StabilityWatchdog {
+        &self.watchdog
+    }
+
+    /// The expanded fault schedule, when the scenario injects faults.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Samples one slot's random observation, overlaying any faults the
+    /// plan schedules for this slot. Faults are applied *after* the
+    /// healthy draws, so a faulted run consumes exactly the random stream
+    /// a fault-free run would — common random numbers across fault
+    /// scenarios.
     fn observe(&mut self) -> SlotObservation {
+        let faults: Option<SlotFaults> = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.slot(self.slots_run))
+            .cloned();
         let s = &self.scenario;
         let mut bandwidths = Vec::with_capacity(s.band_count());
         bandwidths.push(Bandwidth::from_megahertz(s.cellular_band_mhz));
         for &(lo, hi) in &s.random_bands {
             bandwidths.push(Bandwidth::from_megahertz(self.band_rng.range_f64(lo, hi)));
         }
+        if let Some(f) = &faults {
+            for (m, &down) in f.band_down.iter().enumerate() {
+                if down {
+                    bandwidths[m] = Bandwidth::from_megahertz(0.0);
+                }
+            }
+        }
         let net = self.controller.network();
         let renewables_on = s.architecture.renewables_enabled();
-        let renewable: Vec<Energy> = net
+        let mut renewable: Vec<Energy> = net
             .topology()
             .nodes()
             .iter()
@@ -176,7 +249,7 @@ impl Simulator {
                 }
             })
             .collect();
-        let grid_connected: Vec<bool> = net
+        let mut grid_connected: Vec<bool> = net
             .topology()
             .nodes()
             .iter()
@@ -204,13 +277,34 @@ impl Simulator {
                 }
             })
             .collect();
-        let price_multiplier = s.pricing.multiplier(self.slots_run);
+        let mut price_multiplier = s.pricing.multiplier(self.slots_run);
+        let mut node_available = vec![];
+        if let Some(f) = &faults {
+            // Drought zeroes the harvest; an observation dropout replaces
+            // the lost reading with the conservative one (no renewables,
+            // users assumed off-grid) so the controller under-commits.
+            if f.drought || f.dropout {
+                renewable.iter_mut().for_each(|r| *r = Energy::ZERO);
+            }
+            if f.dropout {
+                for (idx, node) in net.topology().nodes().iter().enumerate() {
+                    if !node.kind().is_base_station() {
+                        grid_connected[idx] = false;
+                    }
+                }
+            }
+            price_multiplier *= f.price_multiplier;
+            if f.node_down.iter().any(|&d| d) {
+                node_available = f.node_down.iter().map(|&d| !d).collect();
+            }
+        }
         SlotObservation {
             spectrum: SpectrumState::new(bandwidths),
             renewable,
             grid_connected,
             session_demand,
             price_multiplier,
+            node_available,
         }
     }
 
@@ -251,6 +345,28 @@ impl Simulator {
         obs: &SlotObservation,
     ) -> Result<greencell_core::SlotReport, SimError> {
         let obs = obs.clone();
+        // Battery faults strike the hardware directly, before the
+        // controller plans the slot: one-shot capacity fades, then the
+        // charge-path state (idempotent per slot, so a window's end
+        // restores charging without extra bookkeeping).
+        let faults: Option<SlotFaults> = self
+            .fault_plan
+            .as_ref()
+            .and_then(|p| p.slot(self.slots_run))
+            .cloned();
+        if let Some(f) = &faults {
+            for &(node, factor) in &f.fades {
+                self.controller
+                    .battery_mut(NodeId::from_index(node))
+                    .fade_capacity(factor);
+            }
+            let nodes = self.controller.network().topology().len();
+            for i in 0..nodes {
+                self.controller
+                    .battery_mut(NodeId::from_index(i))
+                    .set_charge_blocked(f.charge_blocked);
+            }
+        }
         if let Some(relaxed) = &mut self.relaxed {
             let cost = relaxed.step(&obs);
             self.metrics.record_relaxed(cost);
@@ -276,6 +392,14 @@ impl Simulator {
             .iter()
             .map(|&i| self.controller.battery(i).level().as_watt_hours())
             .sum();
+        self.watchdog.record(
+            backlog_bs + backlog_users,
+            buffer_bs_kwh + buffer_users_wh / 1000.0,
+        );
+        self.metrics.record_degradation(
+            faults.as_ref().is_some_and(SlotFaults::is_degraded) || !report.degradation.is_empty(),
+            report.degradation.len() as u64,
+        );
         self.metrics.record_lyapunov(report.lyapunov_after);
         self.metrics.record_slot(
             report.cost,

@@ -33,6 +33,7 @@
 mod arch;
 mod engine;
 pub mod experiments;
+pub mod faults;
 mod metrics;
 pub mod report;
 mod scenario;
@@ -40,6 +41,7 @@ pub mod sweep;
 
 pub use arch::Architecture;
 pub use engine::{SimError, Simulator};
+pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport};
 pub use metrics::RunMetrics;
 pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};
 pub use sweep::{

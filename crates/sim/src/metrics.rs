@@ -23,6 +23,8 @@ pub struct RunMetrics {
     delivered_total: u64,
     delivered_per_session: Vec<u64>,
     shed_total: u64,
+    degraded_slots: u64,
+    degradation_events: u64,
     lower_bound: Option<f64>,
 }
 
@@ -57,6 +59,11 @@ impl RunMetrics {
         self.routed.push(routed);
         self.scheduled_links.push(scheduled_links);
         self.shed_total += shed;
+    }
+
+    pub(crate) fn record_degradation(&mut self, degraded: bool, events: u64) {
+        self.degraded_slots += u64::from(degraded);
+        self.degradation_events += events;
     }
 
     pub(crate) fn record_relaxed(&mut self, cost: f64) {
@@ -195,6 +202,18 @@ impl RunMetrics {
     #[must_use]
     pub fn shed(&self) -> u64 {
         self.shed_total
+    }
+
+    /// Slots where a fault was active or the controller degraded service.
+    #[must_use]
+    pub fn degraded_slots(&self) -> u64 {
+        self.degraded_slots
+    }
+
+    /// Total [`greencell_core::DegradationEvent`]s the controller emitted.
+    #[must_use]
+    pub fn degradation_events(&self) -> u64 {
+        self.degradation_events
     }
 }
 

@@ -2,6 +2,7 @@
 //! CSV-ready series for each figure.
 
 use crate::experiments::{ArchitectureRow, BacklogRow, BoundsRow, BufferRow};
+use crate::SimError;
 use greencell_stochastic::Series;
 use std::fmt::Write as _;
 
@@ -26,59 +27,72 @@ pub fn bounds_table(rows: &[BoundsRow]) -> String {
 
 /// Renders a set of same-length series as CSV with a slot column.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the series lengths differ.
-#[must_use]
-pub fn series_csv(header: &[&str], series: &[&Series]) -> String {
-    assert_eq!(
-        header.len(),
-        series.len() + 1,
-        "one header per column + slot"
-    );
+/// Returns [`SimError::Serialize`] if the header does not cover every
+/// column or the series lengths differ.
+pub fn series_csv(header: &[&str], series: &[&Series]) -> Result<String, SimError> {
+    if header.len() != series.len() + 1 {
+        return Err(SimError::Serialize(format!(
+            "one header per column + slot: got {} headers for {} series",
+            header.len(),
+            series.len()
+        )));
+    }
     let len = series.first().map_or(0, |s| s.len());
-    assert!(
-        series.iter().all(|s| s.len() == len),
-        "series lengths differ"
-    );
+    if let Some(bad) = series.iter().find(|s| s.len() != len) {
+        return Err(SimError::Serialize(format!(
+            "series lengths differ: expected {len}, got {}",
+            bad.len()
+        )));
+    }
     let mut out = String::new();
     let _ = writeln!(out, "{}", header.join(","));
     for t in 0..len {
         let _ = write!(out, "{t}");
         for s in series {
-            let _ = write!(out, ",{}", s.at(t).unwrap());
+            let v = s.at(t).ok_or_else(|| {
+                SimError::Serialize(format!("series shorter than its stated length at slot {t}"))
+            })?;
+            let _ = write!(out, ",{v}");
         }
         let _ = writeln!(out);
     }
-    out
+    Ok(out)
 }
 
 /// Renders Fig. 2(b)/(c) trajectories as two CSV blocks.
-#[must_use]
-pub fn backlog_csv(rows: &[BacklogRow]) -> (String, String) {
+///
+/// # Errors
+///
+/// Returns [`SimError::Serialize`] if the rows' series lengths differ.
+pub fn backlog_csv(rows: &[BacklogRow]) -> Result<(String, String), SimError> {
     let mut header = vec!["slot".to_string()];
     header.extend(rows.iter().map(|r| format!("V={:.0e}", r.v)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let bs: Vec<&Series> = rows.iter().map(|r| &r.bs).collect();
     let users: Vec<&Series> = rows.iter().map(|r| &r.users).collect();
-    (
-        series_csv(&header_refs, &bs),
-        series_csv(&header_refs, &users),
-    )
+    Ok((
+        series_csv(&header_refs, &bs)?,
+        series_csv(&header_refs, &users)?,
+    ))
 }
 
 /// Renders Fig. 2(d)/(e) trajectories as two CSV blocks.
-#[must_use]
-pub fn buffer_csv(rows: &[BufferRow]) -> (String, String) {
+///
+/// # Errors
+///
+/// Returns [`SimError::Serialize`] if the rows' series lengths differ.
+pub fn buffer_csv(rows: &[BufferRow]) -> Result<(String, String), SimError> {
     let mut header = vec!["slot".to_string()];
     header.extend(rows.iter().map(|r| format!("V={:.0e}", r.v)));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let bs: Vec<&Series> = rows.iter().map(|r| &r.bs_kwh).collect();
     let users: Vec<&Series> = rows.iter().map(|r| &r.users_wh).collect();
-    (
-        series_csv(&header_refs, &bs),
-        series_csv(&header_refs, &users),
-    )
+    Ok((
+        series_csv(&header_refs, &bs)?,
+        series_csv(&header_refs, &users)?,
+    ))
 }
 
 /// Renders Fig. 2(f)'s comparison as an aligned table.
@@ -160,16 +174,24 @@ mod tests {
     fn series_csv_layout() {
         let a: Series = [1.0, 2.0].into_iter().collect();
         let b: Series = [3.0, 4.0].into_iter().collect();
-        let csv = series_csv(&["slot", "a", "b"], &[&a, &b]);
+        let csv = series_csv(&["slot", "a", "b"], &[&a, &b]).unwrap();
         assert_eq!(csv, "slot,a,b\n0,1,3\n1,2,4\n");
     }
 
     #[test]
-    #[should_panic(expected = "series lengths differ")]
     fn mismatched_series_rejected() {
         let a: Series = [1.0].into_iter().collect();
         let b: Series = [1.0, 2.0].into_iter().collect();
-        let _ = series_csv(&["slot", "a", "b"], &[&a, &b]);
+        let err = series_csv(&["slot", "a", "b"], &[&a, &b]).unwrap_err();
+        assert!(matches!(err, SimError::Serialize(_)));
+        assert!(err.to_string().contains("series lengths differ"));
+    }
+
+    #[test]
+    fn short_header_rejected() {
+        let a: Series = [1.0].into_iter().collect();
+        let err = series_csv(&["slot"], &[&a]).unwrap_err();
+        assert!(matches!(err, SimError::Serialize(_)));
     }
 
     #[test]

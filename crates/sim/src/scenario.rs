@@ -204,6 +204,10 @@ pub struct Scenario {
     /// Which S4 energy policy to run (ablation knob; default the paper's
     /// marginal-price equilibrium).
     pub energy_policy: greencell_core::EnergyPolicy,
+    /// Deterministic fault injection (robustness knob; default `None` =
+    /// fault-free). The plan expands from the scenario seed, so faulted
+    /// runs replay bit-identically.
+    pub faults: Option<crate::faults::FaultSpec>,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -256,6 +260,7 @@ impl Scenario {
             shadowing_sigma_db: 0.0,
             pricing: TouPricing::Flat,
             energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
+            faults: None,
             seed,
         }
     }
@@ -463,6 +468,7 @@ impl Scenario {
             relay: self.architecture.relay_policy(),
             energy_policy: self.energy_policy,
             w_max: self.max_bandwidth(),
+            degradation: greencell_core::DegradationPolicy::Graceful,
         }
     }
 

@@ -19,6 +19,7 @@
 //! serializes to JSON or CSV under `results/` via
 //! [`SweepReport::write_json`] / [`SweepReport::write_csv`].
 
+use crate::faults::WatchdogReport;
 use crate::{RunMetrics, Scenario, SimError, Simulator};
 use greencell_core::StageTimings;
 use std::io::Write;
@@ -129,6 +130,12 @@ pub struct RunTelemetry {
     pub final_buffer_bs_kwh: f64,
     /// Final total user battery level (Wh).
     pub final_buffer_users_wh: f64,
+    /// Slots where a fault was active or the controller degraded service.
+    pub degraded_slots: u64,
+    /// Total controller degradation events across the run.
+    pub degradation_events: u64,
+    /// The strong-stability watchdog's end-of-run verdict.
+    pub watchdog: WatchdogReport,
 }
 
 /// Everything one sweep point produced.
@@ -181,6 +188,9 @@ pub fn run_point(label: &str, scenario: &Scenario) -> Result<PointOutcome, SimEr
         final_backlog_users: metrics.backlog_users_series().last().unwrap_or(0.0),
         final_buffer_bs_kwh: metrics.buffer_bs_series().last().unwrap_or(0.0),
         final_buffer_users_wh: metrics.buffer_users_series().last().unwrap_or(0.0),
+        degraded_slots: metrics.degraded_slots(),
+        degradation_events: metrics.degradation_events(),
+        watchdog: sim.watchdog().report(),
     };
     Ok(PointOutcome {
         label: label.to_string(),
@@ -345,7 +355,9 @@ impl SweepReport {
                  \"s1_s\": {}, \"s2_s\": {}, \"s3_s\": {}, \"s4_s\": {}, \
                  \"avg_cost\": {}, \"delivered\": {}, \"shed\": {}, \
                  \"final_backlog_bs\": {}, \"final_backlog_users\": {}, \
-                 \"final_buffer_bs_kwh\": {}, \"final_buffer_users_wh\": {}}}{}\n",
+                 \"final_buffer_bs_kwh\": {}, \"final_buffer_users_wh\": {}, \
+                 \"degraded_slots\": {}, \"degradation_events\": {}, \
+                 \"watchdog_slope\": {}, \"watchdog_stable\": {}}}{}\n",
                 json_escape(&o.label),
                 o.seed,
                 t.slots,
@@ -362,6 +374,10 @@ impl SweepReport {
                 json_f64(t.final_backlog_users),
                 json_f64(t.final_buffer_bs_kwh),
                 json_f64(t.final_buffer_users_wh),
+                t.degraded_slots,
+                t.degradation_events,
+                json_f64(t.watchdog.trailing_slope),
+                t.watchdog.stable,
                 if i + 1 < self.outcomes.len() { "," } else { "" },
             ));
         }
@@ -375,7 +391,8 @@ impl SweepReport {
         let mut out = String::from(
             "label,seed,slots,wall_s,slots_per_sec,s1_s,s2_s,s3_s,s4_s,\
              avg_cost,delivered,shed,final_backlog_bs,final_backlog_users,\
-             final_buffer_bs_kwh,final_buffer_users_wh\n",
+             final_buffer_bs_kwh,final_buffer_users_wh,\
+             degraded_slots,degradation_events,watchdog_slope,watchdog_stable\n",
         );
         for o in &self.outcomes {
             let t = &o.telemetry;
@@ -386,7 +403,7 @@ impl SweepReport {
                 o.label.clone()
             };
             out.push_str(&format!(
-                "{label},{},{},{:.6},{:.2},{:.6},{:.6},{:.6},{:.6},{:.9},{},{},{:.3},{:.3},{:.6},{:.6}\n",
+                "{label},{},{},{:.6},{:.2},{:.6},{:.6},{:.6},{:.6},{:.9},{},{},{:.3},{:.3},{:.6},{:.6},{},{},{:.6},{}\n",
                 o.seed,
                 t.slots,
                 t.wall.as_secs_f64(),
@@ -402,8 +419,54 @@ impl SweepReport {
                 t.final_backlog_users,
                 t.final_buffer_bs_kwh,
                 t.final_buffer_users_wh,
+                t.degraded_slots,
+                t.degradation_events,
+                t.watchdog.trailing_slope,
+                t.watchdog.stable,
             ));
         }
+        out
+    }
+
+    /// The *deterministic* robustness telemetry as JSON: everything
+    /// wall-clock-dependent (timings, throughput) is excluded, so two runs
+    /// of the same seeded fault plan produce byte-identical output
+    /// regardless of worker count — the replay/audit artifact.
+    #[must_use]
+    pub fn stability_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"points\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let t = &o.telemetry;
+            let w = &t.watchdog;
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"seed\": {}, \"slots\": {}, \
+                 \"avg_cost\": {}, \"delivered\": {}, \"shed\": {}, \
+                 \"degraded_slots\": {}, \"degradation_events\": {}, \
+                 \"final_backlog_bs\": {}, \"final_backlog_users\": {}, \
+                 \"watchdog\": {{\"trailing_slope\": {}, \"peak_backlog\": {}, \
+                 \"final_backlog\": {}, \"battery_floor_kwh\": {}, \
+                 \"divergent_slots\": {}, \"stable\": {}}}}}{}\n",
+                json_escape(&o.label),
+                o.seed,
+                t.slots,
+                json_f64(o.metrics.average_cost()),
+                o.metrics.delivered(),
+                o.metrics.shed(),
+                t.degraded_slots,
+                t.degradation_events,
+                json_f64(t.final_backlog_bs),
+                json_f64(t.final_backlog_users),
+                json_f64(w.trailing_slope),
+                json_f64(w.peak_backlog),
+                json_f64(w.final_backlog),
+                json_f64(w.battery_floor_kwh),
+                w.divergent_slots,
+                w.stable,
+                if i + 1 < self.outcomes.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
         out
     }
 
@@ -412,8 +475,8 @@ impl SweepReport {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
-    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    /// Returns [`SimError::Io`] on I/O failure.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> Result<(), SimError> {
         write_text(path.as_ref(), &self.telemetry_json())
     }
 
@@ -422,9 +485,19 @@ impl SweepReport {
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
-    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+    /// Returns [`SimError::Io`] on I/O failure.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), SimError> {
         write_text(path.as_ref(), &self.telemetry_csv())
+    }
+
+    /// Writes [`SweepReport::stability_json`] to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Io`] on I/O failure.
+    pub fn write_stability_json(&self, path: impl AsRef<Path>) -> Result<(), SimError> {
+        write_text(path.as_ref(), &self.stability_json())
     }
 }
 
@@ -433,11 +506,11 @@ impl SweepReport {
 ///
 /// # Errors
 ///
-/// Propagates I/O failures.
+/// Returns [`SimError::Io`] on I/O failure.
 pub fn write_telemetry(
     report: &SweepReport,
     stem: &str,
-) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+) -> Result<(std::path::PathBuf, std::path::PathBuf), SimError> {
     let dir = Path::new("results");
     let json = dir.join(format!("{stem}_telemetry.json"));
     let csv = dir.join(format!("{stem}_telemetry.csv"));
@@ -446,14 +519,17 @@ pub fn write_telemetry(
     Ok((json, csv))
 }
 
-fn write_text(path: &Path, text: &str) -> std::io::Result<()> {
+fn write_text(path: &Path, text: &str) -> Result<(), SimError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
+            std::fs::create_dir_all(parent)
+                .map_err(|e| SimError::Io(format!("{}: {e}", parent.display())))?;
         }
     }
-    let mut f = std::fs::File::create(path)?;
+    let mut f = std::fs::File::create(path)
+        .map_err(|e| SimError::Io(format!("{}: {e}", path.display())))?;
     f.write_all(text.as_bytes())
+        .map_err(|e| SimError::Io(format!("{}: {e}", path.display())))
 }
 
 #[cfg(test)]

@@ -96,7 +96,7 @@ fn fig2bc(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
         .clone()
         .unwrap_or_else(|| (1..=5).map(|k| k as f64 * 1e5).collect());
     let rows = experiments::fig2bc(&cmd.scenario, &v_values)?;
-    let (bs, users) = report::backlog_csv(&rows);
+    let (bs, users) = report::backlog_csv(&rows)?;
     println!("# Fig 2(b) — total data queue backlog of base stations (packets)");
     print!("{bs}");
     println!("# Fig 2(c) — total data queue backlog of mobile users (packets)");
@@ -112,7 +112,7 @@ fn fig2de(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
     let mut scenario = cmd.scenario.clone();
     scenario.initial_battery_fraction = 0.0;
     let rows = experiments::fig2de(&scenario, &v_values)?;
-    let (bs, users) = report::buffer_csv(&rows);
+    let (bs, users) = report::buffer_csv(&rows)?;
     println!("# Fig 2(d) — total energy buffer size of base stations (kWh)");
     print!("{bs}");
     println!("# Fig 2(e) — total energy buffer size of mobile users (Wh)");
