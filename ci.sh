@@ -21,16 +21,27 @@ cargo test -q --workspace $CARGO_FLAGS
 echo "== chaos tests (fault injection) =="
 cargo test -p greencell-sim --test chaos -q $CARGO_FLAGS
 
+echo "== trace determinism gate =="
+# Short paper-scenario traced run. --check re-parses the chrome-trace JSON
+# with the workspace's strict parser and byte-compares the deterministic
+# trace section across 1 vs 4 workers.
+cargo run --release -q -p greencell-sim --bin trace_run $CARGO_FLAGS -- \
+  --horizon 20 --workers 4 --check --out results >/dev/null
+
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q $CARGO_FLAGS
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 
-echo "== cargo clippy (no unwrap in core/sim library code) =="
+echo "== cargo clippy (no unwrap in core/sim/trace library code) =="
 # Library and binary targets only: test code may unwrap freely, the
-# controller/simulator production path must not.
-cargo clippy -p greencell-core -p greencell-sim --lib --bins $CARGO_FLAGS -- \
+# controller/simulator/tracing production path must not.
+cargo clippy -p greencell-core -p greencell-sim -p greencell-trace \
+  --lib --bins $CARGO_FLAGS -- \
   -D warnings -D clippy::unwrap_used
 
 echo "ci: all checks passed"

@@ -2,11 +2,21 @@
 //! serial and fanned out, checks the results stayed bit-identical, and
 //! writes the numbers to `BENCH_sweep.json` for trajectory tracking.
 //!
+//! A `threads == 1` run cannot measure fan-out speedup at all — it only
+//! compares the serial path against itself. Such a run is labelled
+//! `"degenerate": true` in the JSON and warned about loudly so nobody
+//! mistakes a 1.0x "speedup" for a parallelism regression (or a win).
+//!
+//! The record also carries the per-stage latency histogram (p50/p90/p99/
+//! max in nanoseconds) from a traced run of the same batch, so the
+//! baseline pins where the time goes, not just how much there is.
+//!
 //! ```text
 //! cargo run --release -p greencell-bench --bin perf_baseline [points] [threads] [reps]
 //! ```
 
-use greencell_sim::{run_sweep, Scenario, SweepOptions, SweepPoint, SweepReport};
+use greencell_sim::{run_sweep, trace_points, Scenario, SweepOptions, SweepPoint, SweepReport};
+use greencell_trace::{RingSink, Stage};
 use std::time::{Duration, Instant};
 
 fn batch(n: usize) -> Vec<SweepPoint> {
@@ -48,6 +58,15 @@ fn main() {
 
     let points = batch(n_points);
     let slots: usize = points.iter().map(|p| p.scenario.horizon).sum();
+    let degenerate = threads <= 1;
+    if degenerate {
+        eprintln!(
+            "WARNING: perf_baseline invoked with threads == 1 — this measures the \
+             serial path against itself and says NOTHING about fan-out speedup. \
+             The record will be labelled \"degenerate\": true. Re-run with \
+             threads > 1 (or no thread argument) for a meaningful baseline."
+        );
+    }
 
     eprintln!("perf_baseline: {n_points} points, best of {reps} reps, 1 vs {threads} worker(s)");
     let (serial_wall, serial_report) = measure(&points, &SweepOptions::serial(), reps);
@@ -72,16 +91,47 @@ fn main() {
         slots as f64 / parallel_s
     );
     println!("speedup:  {speedup:.2}x at {threads} worker(s); results bit-identical");
+    if degenerate {
+        println!("WARNING:  degenerate record (threads == 1): speedup is meaningless");
+    }
+
+    // Trace the same batch once to pin per-stage latency in the record.
+    let traced = trace_points(
+        &points,
+        &SweepOptions::with_threads(threads),
+        RingSink::DEFAULT_CAPACITY,
+    )
+    .expect("traced sweep runs");
+    let summary = traced.bundle.summary();
+    let stage_rows: Vec<String> = Stage::ALL
+        .iter()
+        .filter_map(|&stage| {
+            summary.stage(stage).map(|h| {
+                format!(
+                    "    \"{}\": {{ \"count\": {}, \"p50_ns\": {:.0}, \"p90_ns\": {:.0}, \
+                     \"p99_ns\": {:.0}, \"max_ns\": {:.0} }}",
+                    stage.name(),
+                    h.count(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max()
+                )
+            })
+        })
+        .collect();
 
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
          \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
+         \"degenerate\": {degenerate},\n  \
          \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
-         \"bit_identical\": true\n}}\n",
+         \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }}\n}}\n",
         slots as f64 / serial_s,
         slots as f64 / parallel_s,
+        stage_rows.join(",\n"),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),

@@ -9,6 +9,7 @@ use greencell_energy::Battery;
 use greencell_net::{Network, NodeId};
 use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig, Schedule};
 use greencell_queue::{DataQueueBank, LinkQueueBank};
+use greencell_trace::{names, NoopSink, Sink, Stage, TraceEvent};
 use greencell_units::{Energy, Packets, Power};
 use std::error::Error;
 use std::fmt;
@@ -357,6 +358,33 @@ impl Controller {
     ///
     /// Panics if `obs` has the wrong dimensions for this network.
     pub fn step(&mut self, obs: &SlotObservation) -> Result<SlotReport, ControllerError> {
+        self.step_traced(obs, &mut NoopSink)
+    }
+
+    /// [`Controller::step`] with instrumentation: emits stage spans
+    /// (S1–S4, per retry attempt, plus the state advance and the whole
+    /// slot), degradation marks, and drift/penalty/Ψ̂ gauges into `sink`.
+    ///
+    /// Every gauge and counter payload is derived from the slot index and
+    /// the deterministic decisions, never from wall-clock — only the
+    /// spans are nondeterministic. With [`NoopSink`] the instrumentation
+    /// reduces to one `enabled()` branch per site.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::IdleDeficit`] if a node cannot source even its
+    /// fixed overhead energy (configuration inconsistency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` has the wrong dimensions for this network.
+    pub fn step_traced(
+        &mut self,
+        obs: &SlotObservation,
+        sink: &mut dyn Sink,
+    ) -> Result<SlotReport, ControllerError> {
+        let traced = sink.enabled();
+        let slot_start = traced.then(Instant::now);
         let nodes = self.net.topology().len();
         obs.validate(nodes, self.net.session_count(), self.net.band_count());
 
@@ -400,7 +428,16 @@ impl Controller {
             SchedulerKind::Greedy => greedy_schedule(&s1_inputs),
             SchedulerKind::SequentialFix => sequential_fix_schedule(&s1_inputs),
         };
-        self.timings.s1 += s1_start.elapsed();
+        let s1_elapsed = s1_start.elapsed();
+        self.timings.s1 += s1_elapsed;
+        if traced {
+            sink.record(TraceEvent::span_ended(
+                self.slot,
+                Stage::S1,
+                sink.now_nanos(),
+                s1_elapsed,
+            ));
+        }
 
         // S2 — source selection and admission control. A down source BS
         // admits nothing (fault injection; the session waits the outage
@@ -416,7 +453,16 @@ impl Controller {
         if !obs.node_available.is_empty() {
             admissions.retain(|a| obs.is_node_available(a.source.index()));
         }
-        self.timings.s2 += s2_start.elapsed();
+        let s2_elapsed = s2_start.elapsed();
+        self.timings.s2 += s2_elapsed;
+        if traced {
+            sink.record(TraceEvent::span_ended(
+                self.slot,
+                Stage::S2,
+                sink.now_nanos(),
+                s2_elapsed,
+            ));
+        }
 
         // S3 + S4, with a degradation ladder in case S4 reports a deficit
         // the worst-case precheck missed (or a fault made the observation
@@ -455,7 +501,16 @@ impl Controller {
                 &admissions,
                 &obs.session_demand,
             );
-            self.timings.s3 += s3_start.elapsed();
+            let s3_elapsed = s3_start.elapsed();
+            self.timings.s3 += s3_elapsed;
+            if traced {
+                sink.record(TraceEvent::span_ended(
+                    self.slot,
+                    Stage::S3,
+                    sink.now_nanos(),
+                    s3_elapsed,
+                ));
+            }
             let demand: Vec<Energy> = (0..nodes)
                 .map(|i| {
                     let node = NodeId::from_index(i);
@@ -503,7 +558,16 @@ impl Controller {
                 crate::EnergyPolicy::MarginalPrice => solve_energy_management(&input),
                 crate::EnergyPolicy::GridOnly => crate::solve_grid_only(&input),
             };
-            self.timings.s4 += s4_start.elapsed();
+            let s4_elapsed = s4_start.elapsed();
+            self.timings.s4 += s4_elapsed;
+            if traced {
+                sink.record(TraceEvent::span_ended(
+                    self.slot,
+                    Stage::S4,
+                    sink.now_nanos(),
+                    s4_elapsed,
+                ));
+            }
             match solved {
                 Ok(out) => break (flows, link_service, out),
                 Err(err) => {
@@ -536,6 +600,12 @@ impl Controller {
                                 node: node.index(),
                                 dropped,
                             });
+                            if traced {
+                                sink.record(TraceEvent::Mark {
+                                    slot: self.slot,
+                                    name: "degrade_shed",
+                                });
+                            }
                             continue;
                         }
                         // The starving node is already idle: shedding its
@@ -550,6 +620,12 @@ impl Controller {
                     // restores feasibility.
                     if let Ok(out) = crate::solve_grid_only(&input) {
                         degradation.push(DegradationEvent::GridOnlyFallback);
+                        if traced {
+                            sink.record(TraceEvent::Mark {
+                                slot: self.slot,
+                                name: "degrade_grid_only",
+                            });
+                        }
                         break (flows, link_service, out);
                     }
                     // Rung 3a — still infeasible with traffic on the air:
@@ -561,6 +637,12 @@ impl Controller {
                             node: nodes, // sentinel: whole-schedule drop
                             dropped,
                         });
+                        if traced {
+                            sink.record(TraceEvent::Mark {
+                                slot: self.slot,
+                                name: "degrade_shed",
+                            });
+                        }
                         outcome = crate::ScheduleOutcome::empty();
                         continue;
                     }
@@ -569,6 +651,12 @@ impl Controller {
                     let safe = crate::solve_safe_mode(&input);
                     for &(node, deficit) in &safe.deficits {
                         degradation.push(DegradationEvent::SafeMode { node, deficit });
+                        if traced {
+                            sink.record(TraceEvent::Mark {
+                                slot: self.slot,
+                                name: "degrade_safe_mode",
+                            });
+                        }
                     }
                     admissions.clear();
                     break (
@@ -607,6 +695,7 @@ impl Controller {
         }));
 
         // Advance state: queues by their laws, batteries by the decisions.
+        let advance_start = traced.then(Instant::now);
         let admission_triples: Vec<(greencell_net::SessionId, NodeId, Packets)> = admissions
             .iter()
             .filter(|a| a.packets > Packets::ZERO)
@@ -624,6 +713,14 @@ impl Controller {
             .map(|i| self.shifted_level(NodeId::from_index(i)))
             .collect();
         let lyapunov_after = self.lyapunov_value(&z_after);
+        if let Some(start) = advance_start {
+            sink.record(TraceEvent::span_ended(
+                self.slot,
+                Stage::Advance,
+                sink.now_nanos(),
+                start.elapsed(),
+            ));
+        }
 
         let report = SlotReport {
             slot: self.slot,
@@ -641,6 +738,39 @@ impl Controller {
             shed_transmissions: shed,
             degradation,
         };
+        if traced {
+            let slot = self.slot;
+            for (name, value) in [
+                ("psi1", report.psi1),
+                ("psi2", report.psi2),
+                ("psi3", report.psi3),
+                ("psi4", report.psi4),
+                (names::DRIFT, report.lyapunov_after - report.lyapunov_before),
+                (
+                    names::PENALTY,
+                    self.config.v
+                        * (report.cost - self.config.lambda * report.admitted.count_f64()),
+                ),
+            ] {
+                sink.record(TraceEvent::Gauge { slot, name, value });
+            }
+            for (name, value) in [
+                ("scheduled_links", report.scheduled_links as u64),
+                ("admitted", report.admitted.count()),
+                ("routed", report.routed.count()),
+                ("shed", report.shed_transmissions as u64),
+            ] {
+                sink.record(TraceEvent::Counter { slot, name, value });
+            }
+            if let Some(start) = slot_start {
+                sink.record(TraceEvent::span_ended(
+                    slot,
+                    Stage::Slot,
+                    sink.now_nanos(),
+                    start.elapsed(),
+                ));
+            }
+        }
         self.slot += 1;
         self.timings.slots += 1;
         Ok(report)

@@ -1,0 +1,123 @@
+//! Traces a paper-scenario run end to end: runs the S1–S4 pipeline with
+//! the structured trace sink on, writes the chrome://tracing JSON
+//! (loadable in Perfetto), the byte-stable deterministic event dump, and
+//! the Fig. 2 time-series CSV under `results/`, and prints the
+//! stage-latency histogram summary.
+//!
+//! ```text
+//! cargo run --release -p greencell-sim --bin trace_run -- \
+//!     [--tiny] [--horizon N] [--seed N] [--out DIR] [--workers N] [--check]
+//! ```
+//!
+//! With `--check`, also verifies the determinism contract: the exported
+//! chrome-trace JSON parses, and the deterministic trace section is
+//! byte-identical between 1 worker and `--workers` (default 4) workers.
+//! Exits non-zero on any violation — the CI gate.
+
+use greencell_sim::{check_trace_determinism, write_trace_artifacts, Scenario, SweepPoint};
+use greencell_trace::RingSink;
+
+fn main() {
+    let mut horizon: usize = 40;
+    let mut seed: u64 = 42;
+    let mut tiny = false;
+    let mut out_dir = String::from("results");
+    let mut workers: usize = 4;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--horizon" => horizon = value("--horizon").parse().expect("invalid --horizon"),
+            "--seed" => seed = value("--seed").parse().expect("invalid --seed"),
+            "--tiny" => tiny = true,
+            "--out" => out_dir = value("--out"),
+            "--workers" => workers = value("--workers").parse().expect("invalid --workers"),
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut scenario = if tiny {
+        Scenario::tiny(seed)
+    } else {
+        Scenario::paper(seed)
+    };
+    scenario.horizon = horizon;
+    let label = if tiny { "tiny" } else { "paper" };
+    // A second point exercises the merge path even in the quick run.
+    let mut alt = scenario.clone();
+    alt.seed = seed.wrapping_add(1);
+    let points = vec![
+        SweepPoint::new(format!("{label}_seed{seed}"), scenario),
+        SweepPoint::new(format!("{label}_seed{}", seed.wrapping_add(1)), alt),
+    ];
+
+    eprintln!(
+        "trace_run: {label} scenario, horizon {horizon}, seed {seed}, \
+         determinism check {}",
+        if check {
+            format!("on (1 vs {workers} workers)")
+        } else {
+            "off".to_string()
+        }
+    );
+
+    let run = if check {
+        match check_trace_determinism(&points, workers, RingSink::DEFAULT_CAPACITY) {
+            Ok(run) => {
+                eprintln!(
+                    "determinism check passed: deterministic section byte-identical \
+                     at 1 and {workers} workers; chrome trace JSON parses"
+                );
+                run
+            }
+            Err(e) => {
+                eprintln!("determinism check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match greencell_sim::trace_points(
+            &points,
+            &greencell_sim::SweepOptions::default(),
+            RingSink::DEFAULT_CAPACITY,
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                eprintln!("trace run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    match write_trace_artifacts(&run.bundle, &out_dir, label) {
+        Ok(paths) => {
+            for p in &paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("could not write trace artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    println!("{}", run.bundle.summary().render());
+    for o in &run.report.outcomes {
+        println!(
+            "{}: avg cost {:.6}, delivered {}, {:.0} slots/s",
+            o.label,
+            o.metrics.average_cost(),
+            o.metrics.delivered(),
+            o.telemetry.slots_per_sec
+        );
+    }
+}

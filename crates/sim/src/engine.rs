@@ -6,6 +6,7 @@ use greencell_core::{Controller, ControllerError, RelaxedController, SlotObserva
 use greencell_net::{Network, NetworkError, NodeId};
 use greencell_phy::SpectrumState;
 use greencell_stochastic::{Distribution, MarkovOnOff, Poisson, Process, Rng};
+use greencell_trace::{names, NoopSink, Sink, TraceEvent};
 use greencell_units::{Bandwidth, Energy, Packets};
 use std::error::Error;
 use std::fmt;
@@ -344,6 +345,27 @@ impl Simulator {
         &mut self,
         obs: &SlotObservation,
     ) -> Result<greencell_core::SlotReport, SimError> {
+        self.step_with_observation_traced(obs, &mut NoopSink)
+    }
+
+    /// [`Simulator::step_with_observation`] with instrumentation: the
+    /// controller emits its stage spans and decision gauges into `sink`,
+    /// and the engine adds the Fig. 2 per-slot series (cost, grid draw,
+    /// backlogs, battery buffers), fault/degradation marks, and the
+    /// stability watchdog's trailing slope.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` has the wrong dimensions for this network.
+    pub fn step_with_observation_traced(
+        &mut self,
+        obs: &SlotObservation,
+        sink: &mut dyn Sink,
+    ) -> Result<greencell_core::SlotReport, SimError> {
         let obs = obs.clone();
         // Battery faults strike the hardware directly, before the
         // controller plans the slot: one-shot capacity fades, then the
@@ -371,7 +393,7 @@ impl Simulator {
             let cost = relaxed.step(&obs);
             self.metrics.record_relaxed(cost);
         }
-        let report = self.controller.step(&obs)?;
+        let report = self.controller.step_traced(&obs, sink)?;
 
         let net = self.controller.network();
         let topo = net.topology();
@@ -413,8 +435,57 @@ impl Simulator {
             report.scheduled_links as f64,
             report.shed_transmissions as u64,
         );
+        if sink.enabled() {
+            let slot = report.slot;
+            for (name, value) in [
+                (names::COST, report.cost),
+                (names::GRID_KWH, report.grid_draw.as_kilowatt_hours()),
+                (names::BACKLOG_BS, backlog_bs),
+                (names::BACKLOG_USERS, backlog_users),
+                (names::BUFFER_BS_KWH, buffer_bs_kwh),
+                (names::BUFFER_USERS_WH, buffer_users_wh),
+                (names::WATCHDOG_SLOPE, self.watchdog.trailing_slope()),
+            ] {
+                sink.record(TraceEvent::Gauge { slot, name, value });
+            }
+            if faults.as_ref().is_some_and(SlotFaults::is_degraded) {
+                sink.record(TraceEvent::Mark {
+                    slot,
+                    name: "fault_active",
+                });
+            }
+            if self.watchdog.is_divergent() {
+                sink.record(TraceEvent::Mark {
+                    slot,
+                    name: "watchdog_divergent",
+                });
+            }
+            if !report.degradation.is_empty() {
+                sink.record(TraceEvent::Counter {
+                    slot,
+                    name: "degradation_events",
+                    value: report.degradation.len() as u64,
+                });
+            }
+        }
         self.slots_run += 1;
         Ok(report)
+    }
+
+    /// [`Simulator::run`] with instrumentation: every slot is stepped
+    /// through [`Simulator::step_with_observation_traced`] so the whole
+    /// horizon's spans, gauges, and marks land in `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn run_traced(&mut self, sink: &mut dyn Sink) -> Result<&RunMetrics, SimError> {
+        while self.slots_run < self.scenario.horizon {
+            let obs = self.observe();
+            self.step_with_observation_traced(&obs, sink)?;
+        }
+        self.finalize();
+        Ok(&self.metrics)
     }
 
     /// Runs the whole horizon, returning the collected metrics.

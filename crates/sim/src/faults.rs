@@ -446,8 +446,13 @@ impl StabilityWatchdog {
         }
     }
 
-    /// A watchdog scaled to a scenario's load: 16-slot window, threshold
-    /// at 5% of the nominal per-slot demand (at least 1 packet/slot).
+    /// A watchdog scaled to a scenario's load: the trailing window is
+    /// **16 slots**, and the divergence threshold sits at 5% of the
+    /// nominal per-slot demand (at least 1 packet/slot).
+    ///
+    /// Divergence uses a strict comparison — a trailing slope *exactly at*
+    /// the threshold still counts as stable; only slopes strictly above it
+    /// flag divergence.
     #[must_use]
     pub fn for_demand(total_demand_packets_per_slot: f64) -> Self {
         Self::new(16, (0.05 * total_demand_packets_per_slot).max(1.0))
@@ -637,6 +642,45 @@ mod tests {
         assert!(end.stable, "watchdog must report recovery after drain");
         assert!((end.battery_floor_kwh - 0.4).abs() < 1e-12);
         assert_eq!(end.peak_backlog, 1100.0);
+    }
+
+    #[test]
+    fn watchdog_constant_backlog_has_zero_slope_and_stays_stable() {
+        // A saturated-but-flat queue is the textbook strongly-stable case:
+        // the OLS slope of a constant series is exactly zero.
+        let mut w = StabilityWatchdog::for_demand(100.0);
+        for _ in 0..64 {
+            w.record(5000.0, 1.0);
+        }
+        assert_eq!(w.trailing_slope(), 0.0);
+        assert!(!w.is_divergent());
+        let report = w.report();
+        assert!(report.stable);
+        assert_eq!(report.divergent_slots, 0);
+    }
+
+    #[test]
+    fn watchdog_slope_exactly_at_threshold_is_stable() {
+        // The divergence test is a strict `>`: growth at precisely the
+        // threshold rate must not trip the watchdog. An exactly-linear
+        // ramp gives an exact OLS slope, so no tolerance games here.
+        let threshold = 5.0;
+        let mut w = StabilityWatchdog::new(8, threshold);
+        for t in 0..40 {
+            w.record(threshold * t as f64, 1.0);
+        }
+        assert!((w.trailing_slope() - threshold).abs() < 1e-12);
+        assert!(!w.is_divergent());
+        let report = w.report();
+        assert!(report.stable);
+        assert_eq!(report.divergent_slots, 0);
+
+        // One packet/slot faster and it must flag.
+        let mut hot = StabilityWatchdog::new(8, threshold);
+        for t in 0..40 {
+            hot.record((threshold + 1.0) * t as f64, 1.0);
+        }
+        assert!(hot.is_divergent());
     }
 
     #[test]

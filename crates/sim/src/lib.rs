@@ -38,6 +38,7 @@ mod metrics;
 pub mod report;
 mod scenario;
 pub mod sweep;
+pub mod trace;
 
 pub use arch::Architecture;
 pub use engine::{SimError, Simulator};
@@ -45,6 +46,10 @@ pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport};
 pub use metrics::RunMetrics;
 pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};
 pub use sweep::{
-    derive_point_seed, run_sweep, run_sweep_reseeded, write_telemetry, PointOutcome, RunTelemetry,
-    SweepOptions, SweepPoint, SweepReport,
+    derive_point_seed, run_point, run_point_traced, run_sweep, run_sweep_reseeded,
+    run_sweep_traced, write_telemetry, PointOutcome, RunTelemetry, SweepOptions, SweepPoint,
+    SweepReport,
+};
+pub use trace::{
+    check_trace_determinism, trace_points, trace_scenario, write_trace_artifacts, TracedRun,
 };

@@ -22,6 +22,7 @@
 use crate::faults::WatchdogReport;
 use crate::{RunMetrics, Scenario, SimError, Simulator};
 use greencell_core::StageTimings;
+use greencell_trace::{RingSink, TraceBundle, Track};
 use std::io::Write;
 use std::num::NonZeroUsize;
 use std::path::Path;
@@ -178,7 +179,49 @@ pub fn run_point(label: &str, scenario: &Scenario) -> Result<PointOutcome, SimEr
     let start = Instant::now();
     let mut sim = Simulator::new(scenario)?;
     let metrics = sim.run()?.clone();
-    let wall = start.elapsed();
+    Ok(package_outcome(
+        label,
+        scenario,
+        &sim,
+        metrics,
+        start.elapsed(),
+    ))
+}
+
+/// Like [`run_point`], but runs the scenario with a per-point
+/// [`RingSink`] of `capacity` events and returns the recorded track
+/// alongside the outcome.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn run_point_traced(
+    label: &str,
+    scenario: &Scenario,
+    capacity: usize,
+) -> Result<(PointOutcome, Track), SimError> {
+    let mut sink = RingSink::new(capacity);
+    let start = Instant::now();
+    let mut sim = Simulator::new(scenario)?;
+    let metrics = sim.run_traced(&mut sink)?.clone();
+    let outcome = package_outcome(label, scenario, &sim, metrics, start.elapsed());
+    let track = Track {
+        label: label.to_string(),
+        dropped: sink.dropped(),
+        events: sink.into_events(),
+    };
+    Ok((outcome, track))
+}
+
+/// Packages a finished run into a [`PointOutcome`] (shared by the plain
+/// and traced point runners).
+fn package_outcome(
+    label: &str,
+    scenario: &Scenario,
+    sim: &Simulator,
+    metrics: RunMetrics,
+    wall: Duration,
+) -> PointOutcome {
     let telemetry = RunTelemetry {
         slots: scenario.horizon,
         wall,
@@ -192,14 +235,14 @@ pub fn run_point(label: &str, scenario: &Scenario) -> Result<PointOutcome, SimEr
         degradation_events: metrics.degradation_events(),
         watchdog: sim.watchdog().report(),
     };
-    Ok(PointOutcome {
+    PointOutcome {
         label: label.to_string(),
         seed: scenario.seed,
         metrics,
         telemetry,
         penalty_b: sim.controller().penalty_b(),
         relaxed_admitted: sim.relaxed_average_admitted(),
-    })
+    }
 }
 
 /// Fans `items` across `threads` scoped workers, applying `f` to each and
@@ -279,6 +322,42 @@ pub fn run_sweep(points: &[SweepPoint], opts: &SweepOptions) -> Result<SweepRepo
         threads: opts.threads,
         total_wall: start.elapsed(),
     })
+}
+
+/// Like [`run_sweep`], but every worker traces its points into its own
+/// [`RingSink`] of `capacity` events. The per-worker sinks are merged
+/// into a [`TraceBundle`] **in submission (point) order**, never in
+/// completion order — so the bundle's deterministic section
+/// ([`TraceBundle::deterministic_json`]) is byte-identical at any worker
+/// count, while the span/profile section rides along for Perfetto.
+///
+/// # Errors
+///
+/// Returns the first (by submission order) point failure.
+pub fn run_sweep_traced(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    capacity: usize,
+) -> Result<(SweepReport, TraceBundle), SimError> {
+    let start = Instant::now();
+    let results = parallel_map_ordered(points.to_vec(), opts.threads, |_, point| {
+        run_point_traced(&point.label, &point.scenario, capacity)
+    });
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut bundle = TraceBundle::new();
+    for result in results {
+        let (outcome, track) = result?;
+        outcomes.push(outcome);
+        bundle.push(track);
+    }
+    Ok((
+        SweepReport {
+            outcomes,
+            threads: opts.threads,
+            total_wall: start.elapsed(),
+        },
+        bundle,
+    ))
 }
 
 /// Like [`run_sweep`], but first reseeds each point with
@@ -519,7 +598,7 @@ pub fn write_telemetry(
     Ok((json, csv))
 }
 
-fn write_text(path: &Path, text: &str) -> Result<(), SimError> {
+pub(crate) fn write_text(path: &Path, text: &str) -> Result<(), SimError> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)

@@ -1,0 +1,211 @@
+//! Round-trip tests for the sweep telemetry artifacts: every exported
+//! JSON/CSV row must parse back and reproduce the in-memory
+//! [`PointOutcome`] values — including the robustness columns
+//! (`degraded_slots`, `degradation_events`, and the watchdog verdict)
+//! added by the fault-injection subsystem.
+//!
+//! The JSON side uses the workspace's own strict parser
+//! ([`greencell_trace::json`]), so these tests also exercise the parser
+//! against real artifacts rather than synthetic fixtures.
+
+use greencell_sim::faults::FaultSpec;
+use greencell_sim::{run_sweep, Scenario, SweepOptions, SweepPoint, SweepReport};
+use greencell_trace::json::{parse, Value};
+
+/// A small two-point sweep where one point runs under chaos faults, so the
+/// robustness columns carry nonzero values worth round-tripping.
+fn report() -> SweepReport {
+    let clean = Scenario::tiny(41);
+    let mut faulty = Scenario::tiny(43);
+    faulty.faults = Some(FaultSpec::chaos(faulty.horizon));
+    let points = vec![
+        SweepPoint::new("clean", clean),
+        SweepPoint::new("chaos", faulty),
+    ];
+    run_sweep(&points, &SweepOptions::serial()).expect("sweep runs")
+}
+
+fn field_f64(point: &Value, key: &str) -> f64 {
+    point
+        .get(key)
+        .and_then(Value::as_f64)
+        .unwrap_or_else(|| panic!("field {key} missing or not a number"))
+}
+
+fn field_bool(point: &Value, key: &str) -> bool {
+    point
+        .get(key)
+        .and_then(Value::as_bool)
+        .unwrap_or_else(|| panic!("field {key} missing or not a bool"))
+}
+
+#[test]
+fn telemetry_json_round_trips() {
+    let report = report();
+    let doc = parse(&report.telemetry_json()).expect("telemetry JSON parses");
+
+    assert_eq!(field_f64(&doc, "threads"), report.threads as f64);
+    let points = doc
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("points array");
+    assert_eq!(points.len(), report.outcomes.len());
+
+    for (p, o) in points.iter().zip(&report.outcomes) {
+        let t = &o.telemetry;
+        assert_eq!(
+            p.get("label").and_then(Value::as_str),
+            Some(o.label.as_str())
+        );
+        assert_eq!(field_f64(p, "seed"), o.seed as f64);
+        assert_eq!(field_f64(p, "slots"), t.slots as f64);
+        // json_f64 emits Rust's shortest round-trip repr, so floats come
+        // back bit-exact.
+        assert_eq!(field_f64(p, "avg_cost"), o.metrics.average_cost());
+        assert_eq!(field_f64(p, "delivered"), o.metrics.delivered() as f64);
+        assert_eq!(field_f64(p, "shed"), o.metrics.shed() as f64);
+        assert_eq!(field_f64(p, "final_backlog_bs"), t.final_backlog_bs);
+        assert_eq!(field_f64(p, "final_backlog_users"), t.final_backlog_users);
+        assert_eq!(field_f64(p, "final_buffer_bs_kwh"), t.final_buffer_bs_kwh);
+        assert_eq!(
+            field_f64(p, "final_buffer_users_wh"),
+            t.final_buffer_users_wh
+        );
+        assert_eq!(field_f64(p, "degraded_slots"), t.degraded_slots as f64);
+        assert_eq!(
+            field_f64(p, "degradation_events"),
+            t.degradation_events as f64
+        );
+        assert_eq!(field_f64(p, "watchdog_slope"), t.watchdog.trailing_slope);
+        assert_eq!(field_bool(p, "watchdog_stable"), t.watchdog.stable);
+        // Wall-clock fields are nondeterministic but must still be valid
+        // non-negative numbers.
+        assert!(field_f64(p, "wall_s") >= 0.0);
+        assert!(field_f64(p, "slots_per_sec") >= 0.0);
+        for stage in ["s1_s", "s2_s", "s3_s", "s4_s"] {
+            assert!(field_f64(p, stage) >= 0.0);
+        }
+    }
+
+    // The chaos point must actually exercise the robustness columns.
+    let chaos = &report.outcomes[1];
+    assert!(
+        chaos.telemetry.degraded_slots > 0,
+        "chaos spec injected nothing"
+    );
+}
+
+#[test]
+fn stability_json_round_trips() {
+    let report = report();
+    let doc = parse(&report.stability_json()).expect("stability JSON parses");
+    let points = doc
+        .get("points")
+        .and_then(Value::as_array)
+        .expect("points array");
+    assert_eq!(points.len(), report.outcomes.len());
+
+    for (p, o) in points.iter().zip(&report.outcomes) {
+        let t = &o.telemetry;
+        let w = p.get("watchdog").expect("nested watchdog object");
+        assert_eq!(
+            p.get("label").and_then(Value::as_str),
+            Some(o.label.as_str())
+        );
+        assert_eq!(field_f64(p, "degraded_slots"), t.degraded_slots as f64);
+        assert_eq!(
+            field_f64(p, "degradation_events"),
+            t.degradation_events as f64
+        );
+        assert_eq!(field_f64(w, "trailing_slope"), t.watchdog.trailing_slope);
+        assert_eq!(field_f64(w, "peak_backlog"), t.watchdog.peak_backlog);
+        assert_eq!(field_f64(w, "final_backlog"), t.watchdog.final_backlog);
+        assert_eq!(
+            field_f64(w, "battery_floor_kwh"),
+            t.watchdog.battery_floor_kwh
+        );
+        assert_eq!(
+            field_f64(w, "divergent_slots"),
+            t.watchdog.divergent_slots as f64
+        );
+        assert_eq!(field_bool(w, "stable"), t.watchdog.stable);
+    }
+
+    // The stability artifact is the deterministic replay record: emitting
+    // it twice from the same report must be byte-identical.
+    assert_eq!(report.stability_json(), report.stability_json());
+}
+
+#[test]
+fn telemetry_csv_round_trips() {
+    let report = report();
+    let csv = report.telemetry_csv();
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header row").split(',').collect();
+    assert_eq!(
+        header,
+        vec![
+            "label",
+            "seed",
+            "slots",
+            "wall_s",
+            "slots_per_sec",
+            "s1_s",
+            "s2_s",
+            "s3_s",
+            "s4_s",
+            "avg_cost",
+            "delivered",
+            "shed",
+            "final_backlog_bs",
+            "final_backlog_users",
+            "final_buffer_bs_kwh",
+            "final_buffer_users_wh",
+            "degraded_slots",
+            "degradation_events",
+            "watchdog_slope",
+            "watchdog_stable",
+        ]
+    );
+
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert_eq!(rows.len(), report.outcomes.len());
+    for (row, o) in rows.iter().zip(&report.outcomes) {
+        let t = &o.telemetry;
+        assert_eq!(row.len(), header.len());
+        let cell = |name: &str| -> &str {
+            let idx = header
+                .iter()
+                .position(|&h| h == name)
+                .expect("known column");
+            row[idx]
+        };
+        // CSV floats are fixed-precision, so compare against the same
+        // formatting rather than the raw f64.
+        let f64_cell = |name: &str| -> f64 { cell(name).parse().expect("numeric cell") };
+        assert_eq!(cell("label"), o.label);
+        assert_eq!(cell("seed").parse::<u64>().expect("seed"), o.seed);
+        assert_eq!(cell("slots").parse::<usize>().expect("slots"), t.slots);
+        assert_eq!(
+            cell("delivered").parse::<u64>().expect("delivered"),
+            o.metrics.delivered()
+        );
+        assert_eq!(cell("shed").parse::<u64>().expect("shed"), o.metrics.shed());
+        assert_eq!(
+            cell("degraded_slots").parse::<u64>().expect("degraded"),
+            t.degraded_slots
+        );
+        assert_eq!(
+            cell("degradation_events").parse::<u64>().expect("events"),
+            t.degradation_events
+        );
+        assert_eq!(cell("watchdog_stable"), t.watchdog.stable.to_string());
+        assert!((f64_cell("avg_cost") - o.metrics.average_cost()).abs() < 1e-9);
+        assert!((f64_cell("final_backlog_bs") - t.final_backlog_bs).abs() < 1e-3);
+        assert!((f64_cell("final_backlog_users") - t.final_backlog_users).abs() < 1e-3);
+        assert!((f64_cell("final_buffer_bs_kwh") - t.final_buffer_bs_kwh).abs() < 1e-6);
+        assert!((f64_cell("final_buffer_users_wh") - t.final_buffer_users_wh).abs() < 1e-6);
+        assert!((f64_cell("watchdog_slope") - t.watchdog.trailing_slope).abs() < 1e-6);
+        assert!(f64_cell("wall_s") >= 0.0);
+    }
+}

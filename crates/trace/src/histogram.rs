@@ -1,0 +1,322 @@
+//! Fixed-bucket log-scale histograms for latencies and per-slot levels.
+
+use std::fmt;
+
+/// Exponent of the smallest magnitude bucket, `2^MIN_EXP`.
+const MIN_EXP: i32 = -32;
+/// Exponent one past the largest magnitude bucket, `2^MAX_EXP`.
+const MAX_EXP: i32 = 64;
+/// Buckets per sign: one per binary order of magnitude.
+const BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize;
+
+/// A fixed-memory log-scale histogram over finite `f64` samples.
+///
+/// Magnitudes are bucketed one-per-binary-order between `2^-32` and
+/// `2^64`, with separate positive and negative sides and an exact zero
+/// bucket, so it covers nanosecond latencies, packet backlogs, kWh
+/// levels, and signed drift terms alike. Quantiles are estimated as the
+/// geometric midpoint of the containing bucket (clamped to the observed
+/// min/max, which are tracked exactly); the relative error is bounded by
+/// the bucket width (≤ √2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    pos: Vec<u64>,
+    neg: Vec<u64>,
+    zero: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+    nonfinite: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a positive magnitude, clamping out-of-range values
+/// into the first/last bucket.
+fn bucket_of(mag: f64) -> usize {
+    let e = mag.log2().floor() as i32;
+    (e.clamp(MIN_EXP, MAX_EXP - 1) - MIN_EXP) as usize
+}
+
+/// The geometric midpoint of bucket `i` (`2^(e+0.5)` for bucket exponent
+/// `e`).
+fn bucket_mid(i: usize) -> f64 {
+    (2.0f64).powf(i as f64 + MIN_EXP as f64 + 0.5)
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            pos: vec![0; BUCKETS],
+            neg: vec![0; BUCKETS],
+            zero: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            nonfinite: 0,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are counted separately and
+    /// excluded from the distribution.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        if v == 0.0 {
+            self.zero += 1;
+        } else if v > 0.0 {
+            self.pos[bucket_of(v)] += 1;
+        } else {
+            self.neg[bucket_of(-v)] += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+    }
+
+    /// Records a `u64` count (e.g. nanoseconds) as a sample.
+    pub fn record_u64(&mut self, v: u64) {
+        // u64 → f64 rounds above 2^53; bucket resolution is far coarser.
+        #[allow(clippy::cast_precision_loss)]
+        self.record(v as f64);
+    }
+
+    /// Finite samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-finite samples rejected.
+    #[must_use]
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
+    }
+
+    /// Exact minimum sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let n = self.count as f64;
+            self.sum / n
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 ≤ q ≤ 1`), or 0 when empty.
+    ///
+    /// Walks buckets from the most negative magnitude upward; the answer
+    /// is the containing bucket's geometric midpoint, clamped to the
+    /// exact observed range.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        // Negative side: most negative first = largest magnitude first.
+        for i in (0..BUCKETS).rev() {
+            seen += self.neg[i];
+            if seen >= target {
+                return (-bucket_mid(i)).clamp(self.min, self.max);
+            }
+        }
+        seen += self.zero;
+        if seen >= target {
+            return 0.0f64.clamp(self.min, self.max);
+        }
+        for i in 0..BUCKETS {
+            seen += self.pos[i];
+            if seen >= target {
+                return bucket_mid(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    #[must_use]
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    #[must_use]
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    #[must_use]
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.pos.iter_mut().zip(&other.pos) {
+            *a += b;
+        }
+        for (a, b) in self.neg.iter_mut().zip(&other.neg) {
+            *a += b;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.nonfinite += other.nonfinite;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+impl fmt::Display for LogHistogram {
+    /// `count=… p50=… p90=… p99=… max=…` — the summary-table cell.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} p50={:.3e} p90={:.3e} p99={:.3e} max={:.3e}",
+            self.count,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution_within_a_bucket() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000u64 {
+            h.record_u64(i);
+        }
+        assert_eq!(h.count(), 1000);
+        // Bucketed estimates are within √2 of the exact quantile.
+        assert!(
+            h.p50() >= 500.0 / 1.5 && h.p50() <= 500.0 * 1.5,
+            "{}",
+            h.p50()
+        );
+        assert!(h.p99() >= 990.0 / 1.5 && h.p99() <= 1000.0, "{}", h.p99());
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.min(), 1.0);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_negative_and_zero_samples() {
+        let mut h = LogHistogram::new();
+        for v in [-8.0, -4.0, 0.0, 4.0, 8.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.min(), -8.0);
+        assert_eq!(h.max(), 8.0);
+        assert!(h.quantile(0.1) < 0.0);
+        assert!(h.quantile(0.95) > 0.0);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_rejected() {
+        let mut h = LogHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.nonfinite(), 2);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_magnitudes_clamp_into_edge_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(1e-30); // below 2^-32
+        h.record(1e30); // above 2^63
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.25) > 0.0);
+        assert_eq!(h.max(), 1e30);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for i in 1..=10u64 {
+            a.record_u64(i);
+        }
+        for i in 100..=110u64 {
+            b.record_u64(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 21);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.max(), 110.0);
+        assert!(a.p90() > 50.0);
+        let merged_into_empty = {
+            let mut e = LogHistogram::new();
+            e.merge(&a);
+            e
+        };
+        assert_eq!(merged_into_empty, a);
+    }
+
+    #[test]
+    fn display_renders_the_summary_cell() {
+        let mut h = LogHistogram::new();
+        h.record(2.0);
+        let s = h.to_string();
+        assert!(s.contains("count=1"), "{s}");
+        assert!(s.contains("p99="), "{s}");
+    }
+}

@@ -35,6 +35,8 @@ pub enum Action {
     Fig2f,
     /// Structural sweeps + replication.
     Sweeps,
+    /// Traced run: chrome-trace export + stage-latency histograms.
+    Trace,
     /// Print usage.
     Help,
 }
@@ -65,6 +67,10 @@ ACTIONS:
     fig2de   energy buffers              (paper Fig. 2(d)/(e))
     fig2f    architecture comparison     (paper Fig. 2(f))
     sweeps   structural sweeps + multi-seed replication
+    trace    run with per-slot tracing on; writes a Perfetto-loadable
+             chrome trace, a deterministic event dump, and a Fig. 2
+             time-series CSV (default under results/), then prints the
+             stage-latency histogram summary
     help     this text
 
 FLAGS (all optional):
@@ -107,6 +113,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("fig2de") => Action::Fig2de,
         Some("fig2f") => Action::Fig2f,
         Some("sweeps") => Action::Sweeps,
+        Some("trace") => Action::Trace,
         Some(other) => return Err(ParseError(format!("unknown action: {other}"))),
     };
 
@@ -249,6 +256,7 @@ mod tests {
             ("fig2de", Action::Fig2de),
             ("fig2f", Action::Fig2f),
             ("sweeps", Action::Sweeps),
+            ("trace", Action::Trace),
         ] {
             assert_eq!(parse(&argv(name)).unwrap().action, action);
         }

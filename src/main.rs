@@ -33,7 +33,29 @@ fn dispatch(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
         Action::Fig2de => fig2de(cmd),
         Action::Fig2f => fig2f(cmd),
         Action::Sweeps => sweeps(cmd),
+        Action::Trace => trace(cmd),
     }
+}
+
+fn trace(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let label = format!("seed{}", cmd.scenario.seed);
+    let run = greencell::sim::trace_scenario(&cmd.scenario, &label)?;
+    let dir = cmd.out_dir.clone().unwrap_or_else(|| "results".into());
+    let paths = greencell::sim::write_trace_artifacts(&run.bundle, &dir, "cli")?;
+    for p in &paths {
+        eprintln!("wrote {}", p.display());
+    }
+    println!("{}", run.bundle.summary().render());
+    for o in &run.report.outcomes {
+        println!(
+            "{}: avg cost {:.6}, delivered {}, {:.0} slots/s",
+            o.label,
+            o.metrics.average_cost(),
+            o.metrics.delivered(),
+            o.telemetry.slots_per_sec
+        );
+    }
+    Ok(())
 }
 
 fn run_once(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
