@@ -21,6 +21,13 @@ cargo test -q --workspace $CARGO_FLAGS
 echo "== chaos tests (fault injection) =="
 cargo test -p greencell-sim --test chaos -q $CARGO_FLAGS
 
+echo "== s1 kernel equivalence gate =="
+# The incremental S1 power-control kernel must match the cold-start
+# reference bit-for-bit: golden fingerprints over the seed scenario plus
+# fault scenarios, and property tests probing random instances.
+cargo test -p greencell-sim --test s1_kernel_equivalence -q $CARGO_FLAGS
+cargo test -p greencell-core --test prop_s1_kernel -q $CARGO_FLAGS
+
 echo "== trace determinism gate =="
 # Short paper-scenario traced run. --check re-parses the chrome-trace JSON
 # with the workspace's strict parser and byte-compares the deterministic
@@ -37,11 +44,11 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 
-echo "== cargo clippy (no unwrap in core/sim/trace library code) =="
+echo "== cargo clippy (no unwrap in core/sim/trace/phy library code) =="
 # Library and binary targets only: test code may unwrap freely, the
-# controller/simulator/tracing production path must not.
+# controller/simulator/tracing/power-control production path must not.
 cargo clippy -p greencell-core -p greencell-sim -p greencell-trace \
-  --lib --bins $CARGO_FLAGS -- \
+  -p greencell-phy --lib --bins $CARGO_FLAGS -- \
   -D warnings -D clippy::unwrap_used
 
 echo "ci: all checks passed"

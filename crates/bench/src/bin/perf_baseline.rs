@@ -9,14 +9,20 @@
 //!
 //! The record also carries the per-stage latency histogram (p50/p90/p99/
 //! max in nanoseconds) from a traced run of the same batch, so the
-//! baseline pins where the time goes, not just how much there is.
+//! baseline pins where the time goes, not just how much there is, and an
+//! `s1_kernel` A/B section comparing the pre-kernel cold-start S1
+//! reference against the incremental workspace kernel on the paper setup
+//! and three synthetic sizes.
 //!
 //! ```text
 //! cargo run --release -p greencell-bench --bin perf_baseline [points] [threads] [reps]
 //! ```
 
+use greencell_bench::S1Fixture;
+use greencell_core::{greedy_schedule_reference, greedy_schedule_with, S1Scratch, ScheduleOutcome};
 use greencell_sim::{run_sweep, trace_points, Scenario, SweepOptions, SweepPoint, SweepReport};
 use greencell_trace::{RingSink, Stage};
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 fn batch(n: usize) -> Vec<SweepPoint> {
@@ -46,6 +52,43 @@ fn measure(points: &[SweepPoint], opts: &SweepOptions, reps: usize) -> (Duration
         last = Some(report);
     }
     (best, last.expect("at least one rep"))
+}
+
+/// Median wall-clock of `samples` calls to `f`, in nanoseconds.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    for _ in 0..samples / 10 + 1 {
+        f();
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[samples / 2] as f64
+}
+
+/// Cold-reference vs. incremental-kernel greedy S1 medians for one
+/// fixture, as a JSON object row.
+fn s1_kernel_row(label: &str, fixture: &S1Fixture, samples: usize) -> String {
+    let inp = fixture.inputs();
+    let cold = median_ns(samples, || {
+        black_box(greedy_schedule_reference(&inp));
+    });
+    let mut scratch = S1Scratch::new();
+    let mut out = ScheduleOutcome::empty();
+    let kernel = median_ns(samples, || {
+        greedy_schedule_with(&inp, &mut scratch, &mut out);
+        black_box(out.schedule.len());
+    });
+    let speedup = cold / kernel.max(1.0);
+    println!("s1_kernel {label}: cold {cold:.0} ns, kernel {kernel:.0} ns, {speedup:.2}x");
+    format!(
+        "    \"{label}\": {{ \"cold_ns\": {cold:.0}, \"kernel_ns\": {kernel:.0}, \
+         \"speedup\": {speedup:.4} }}"
+    )
 }
 
 fn main() {
@@ -121,6 +164,19 @@ fn main() {
         })
         .collect();
 
+    // A/B the S1 kernel against the frozen cold-start reference on the
+    // paper setup and the synthetic fixture sizes.
+    let fixtures = [
+        ("paper", S1Fixture::paper(500)),
+        ("n8", S1Fixture::new(8, 42)),
+        ("n16", S1Fixture::new(16, 42)),
+        ("n32", S1Fixture::new(32, 42)),
+    ];
+    let kernel_rows: Vec<String> = fixtures
+        .iter()
+        .map(|(label, fixture)| s1_kernel_row(label, fixture, 201))
+        .collect();
+
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
          \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
@@ -128,10 +184,12 @@ fn main() {
          \"serial_s\": {serial_s:.6},\n  \"parallel_s\": {parallel_s:.6},\n  \
          \"speedup\": {speedup:.4},\n  \
          \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
-         \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }}\n}}\n",
+         \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }},\n  \
+         \"s1_kernel\": {{\n{}\n  }}\n}}\n",
         slots as f64 / serial_s,
         slots as f64 / parallel_s,
         stage_rows.join(",\n"),
+        kernel_rows.join(",\n"),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),

@@ -12,11 +12,14 @@
 
 #![forbid(unsafe_code)]
 
-use greencell_core::{Controller, SlotObservation};
-use greencell_phy::SpectrumState;
+use greencell_core::{Controller, S1Inputs, SlotObservation};
+use greencell_energy::NodeEnergyModel;
+use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
+use greencell_phy::{PhyConfig, SpectrumState};
+use greencell_queue::{FlowPlan, LinkQueueBank};
 use greencell_sim::{Scenario, Simulator};
 use greencell_stochastic::Rng;
-use greencell_units::{Bandwidth, Energy, Packets};
+use greencell_units::{Bandwidth, Energy, PacketSize, Packets, Power, TimeDelta};
 
 /// The paper scenario with a bench-friendly horizon.
 pub fn bench_scenario(horizon: usize) -> Scenario {
@@ -55,4 +58,163 @@ pub fn warmed_controller(warmup: usize) -> (Controller, SlotObservation) {
         node_available: vec![],
     };
     (controller, obs)
+}
+
+/// An owned S1 scheduling instance (network, backlogs, spectrum, energy
+/// state) for benchmarking the S1 kernel at a chosen scale. Borrow the
+/// per-call view with [`S1Fixture::inputs`].
+pub struct S1Fixture {
+    net: Network,
+    links: LinkQueueBank,
+    spectrum: SpectrumState,
+    phy: PhyConfig,
+    max_powers: Vec<Power>,
+    models: Vec<NodeEnergyModel>,
+    budget: Vec<Energy>,
+    slot: TimeDelta,
+    packet_size: PacketSize,
+}
+
+impl S1Fixture {
+    /// A random-but-deterministic instance with `nodes` nodes (1 base
+    /// station per 8 nodes, users scattered on a disc), 2 bands, and
+    /// roughly `2·nodes` backlogged links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`.
+    #[must_use]
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        assert!(nodes >= 2, "need at least one link");
+        let mut rng = Rng::seed_from(seed);
+        let bs_count = nodes.div_ceil(8);
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+        for k in 0..nodes {
+            let p = Point::new(rng.range_f64(0.0, 4000.0), rng.range_f64(0.0, 4000.0));
+            if k < bs_count {
+                b.add_base_station(p);
+            } else {
+                b.add_user(p);
+            }
+        }
+        let net = b.build().expect("fixture network builds");
+        let mut links = LinkQueueBank::new(nodes, 100.0);
+        let mut plan = FlowPlan::new(nodes, 1);
+        for _ in 0..(2 * nodes) {
+            let i = rng.index(nodes);
+            let j = (i + 1 + rng.index(nodes - 1)) % nodes;
+            plan.set(
+                SessionId::from_index(0),
+                NodeId::from_index(i),
+                NodeId::from_index(j),
+                Packets::new(rng.below(400)),
+            );
+        }
+        links.advance(&plan, &[]);
+        let max_powers = net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|n| {
+                if n.kind().is_base_station() {
+                    Power::from_watts(20.0)
+                } else {
+                    Power::from_watts(1.0)
+                }
+            })
+            .collect();
+        Self {
+            net,
+            links,
+            spectrum: SpectrumState::new(vec![
+                Bandwidth::from_megahertz(1.0),
+                Bandwidth::from_megahertz(2.0),
+            ]),
+            phy: PhyConfig::new(1.0, 1e-20),
+            max_powers,
+            models: vec![
+                NodeEnergyModel::new(
+                    Energy::ZERO,
+                    Energy::ZERO,
+                    Power::from_milliwatts(100.0)
+                );
+                nodes
+            ],
+            budget: vec![Energy::from_kilowatt_hours(1.0); nodes],
+            slot: TimeDelta::from_minutes(1.0),
+            packet_size: PacketSize::from_bits(10_000),
+        }
+    }
+
+    /// The paper setup (§VI): the `Scenario::paper` network with the link
+    /// backlogs of a controller warmed up for `warmup` slots, the paper's
+    /// SINR threshold, noise density, power caps, and slot/packet
+    /// constants, and nominal bandwidths (the cellular band plus each
+    /// random band's range midpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails to build or the warm-up run fails.
+    #[must_use]
+    pub fn paper(warmup: usize) -> Self {
+        let mut scenario = Scenario::paper(42);
+        scenario.horizon = warmup.max(1);
+        let mut sim = Simulator::new(&scenario).expect("paper scenario builds");
+        sim.run().expect("paper warmup runs");
+        let controller = sim.controller();
+        let net = controller.network().clone();
+        let links = controller.links().clone();
+        let nodes = net.topology().len();
+        let max_powers = net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|n| {
+                if n.kind().is_base_station() {
+                    scenario.bs_max_power
+                } else {
+                    scenario.user_max_power
+                }
+            })
+            .collect();
+        let mut bandwidths = vec![Bandwidth::from_megahertz(scenario.cellular_band_mhz)];
+        bandwidths.extend(
+            scenario
+                .random_bands
+                .iter()
+                .map(|&(lo, hi)| Bandwidth::from_megahertz((lo + hi) / 2.0)),
+        );
+        bandwidths.truncate(net.band_count());
+        Self {
+            net,
+            links,
+            spectrum: SpectrumState::new(bandwidths),
+            phy: PhyConfig::new(scenario.sinr_threshold, scenario.noise_density),
+            max_powers,
+            models: vec![
+                NodeEnergyModel::new(Energy::ZERO, Energy::ZERO, scenario.recv_power);
+                nodes
+            ],
+            budget: vec![Energy::from_kilowatt_hours(1.0); nodes],
+            slot: scenario.slot,
+            packet_size: scenario.packet_size,
+        }
+    }
+
+    /// The borrowed S1 input view of this fixture.
+    #[must_use]
+    pub fn inputs(&self) -> S1Inputs<'_> {
+        S1Inputs {
+            net: &self.net,
+            phy: &self.phy,
+            spectrum: &self.spectrum,
+            links: &self.links,
+            max_powers: &self.max_powers,
+            energy_models: &self.models,
+            traffic_budget: &self.budget,
+            available: &[],
+            slot: self.slot,
+            packet_size: self.packet_size,
+        }
+    }
 }

@@ -1,12 +1,13 @@
 //! The per-slot control pipeline (problem P3, §IV-C).
 
 use crate::{
-    dpp, greedy_schedule, resource_allocation, route_flows, s1::S1Inputs, sequential_fix_schedule,
-    solve_energy_management, ControllerConfig, EnergyConfig, EnergyManagementError,
-    EnergyManagementInput, ScheduleOutcome, SchedulerKind, SlotObservation,
+    dpp, greedy_schedule_with, resource_allocation, route_flows, s1::S1Inputs,
+    sequential_fix_schedule_with, solve_energy_management, ControllerConfig, EnergyConfig,
+    EnergyManagementError, EnergyManagementInput, S1Scratch, ScheduleOutcome, SchedulerKind,
+    SlotObservation,
 };
-use greencell_energy::Battery;
-use greencell_net::{Network, NodeId};
+use greencell_energy::{Battery, NodeEnergyModel};
+use greencell_net::{Network, NodeId, SessionId};
 use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig, Schedule};
 use greencell_queue::{DataQueueBank, LinkQueueBank};
 use greencell_trace::{names, NoopSink, Sink, Stage, TraceEvent};
@@ -212,6 +213,31 @@ pub struct Controller {
     penalty_b: f64,
     slot: u64,
     timings: StageTimings,
+    // Slot-invariant per-node constants, hoisted out of the per-slot path
+    // (the energy configuration is immutable after construction).
+    max_powers: Vec<Power>,
+    models: Vec<NodeEnergyModel>,
+    grid_limits: Vec<Energy>,
+    is_bs: Vec<bool>,
+    scratch: SlotScratch,
+}
+
+/// Per-slot working buffers of [`Controller::step`], retained across slots
+/// so the steady-state pipeline reuses allocations instead of
+/// `Vec::new()` + `collect()` per slot. Taken out of the controller with
+/// [`std::mem::take`] for the duration of a step (so `&self` helper calls
+/// stay legal) and put back before returning.
+#[derive(Debug, Clone, Default)]
+struct SlotScratch {
+    z: Vec<f64>,
+    traffic_budget: Vec<Energy>,
+    routing_caps: Vec<(NodeId, NodeId, Packets)>,
+    demand: Vec<Energy>,
+    z_after: Vec<f64>,
+    link_service: Vec<(NodeId, NodeId, Packets)>,
+    admission_triples: Vec<(SessionId, NodeId, Packets)>,
+    s1: S1Scratch,
+    outcome: ScheduleOutcome,
 }
 
 impl Controller {
@@ -245,6 +271,15 @@ impl Controller {
         let gamma_max = dpp::gamma_max(&net, &energy);
         let penalty_b = dpp::penalty_constant_b(&net, &energy, &config, &phy);
         let batteries = energy.nodes.iter().map(|n| n.battery).collect();
+        let max_powers = energy.nodes.iter().map(|n| n.max_power).collect();
+        let models = energy.nodes.iter().map(|n| n.energy_model).collect();
+        let grid_limits = energy.nodes.iter().map(|n| n.grid_limit).collect();
+        let is_bs = net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|n| n.kind().is_base_station())
+            .collect();
         Ok(Self {
             data: DataQueueBank::new(nodes, &destinations),
             links: LinkQueueBank::new(nodes, beta),
@@ -258,6 +293,11 @@ impl Controller {
             penalty_b,
             slot: 0,
             timings: StageTimings::default(),
+            max_powers,
+            models,
+            grid_limits,
+            is_bs,
+            scratch: SlotScratch::default(),
         })
     }
 
@@ -388,46 +428,53 @@ impl Controller {
         let nodes = self.net.topology().len();
         obs.validate(nodes, self.net.session_count(), self.net.band_count());
 
-        // Per-node constants for this slot.
-        let max_powers: Vec<Power> = self.energy.nodes.iter().map(|n| n.max_power).collect();
-        let models: Vec<_> = self.energy.nodes.iter().map(|n| n.energy_model).collect();
-        let z: Vec<f64> = (0..nodes)
-            .map(|i| self.shifted_level(NodeId::from_index(i)))
-            .collect();
+        // The retained per-slot buffers; taken out of `self` so `&self`
+        // helpers stay callable, restored before every non-aborting return.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        // Shifted battery levels for this slot.
+        scratch.z.clear();
+        scratch
+            .z
+            .extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
 
         // Energy admission budget: what a node could source for *traffic*
         // on top of its fixed overhead this slot.
-        let traffic_budget: Vec<Energy> = (0..nodes)
-            .map(|i| {
-                let fixed = models[i].const_energy() + models[i].idle_energy();
-                let grid = if obs.grid_connected[i] {
-                    self.energy.nodes[i].grid_limit
-                } else {
-                    Energy::ZERO
-                };
-                (obs.renewable[i] + self.batteries[i].max_discharge_now() + grid - fixed)
-                    .max(Energy::ZERO)
-            })
-            .collect();
+        scratch.traffic_budget.clear();
+        scratch.traffic_budget.extend((0..nodes).map(|i| {
+            let fixed = self.models[i].const_energy() + self.models[i].idle_energy();
+            let grid = if obs.grid_connected[i] {
+                self.grid_limits[i]
+            } else {
+                Energy::ZERO
+            };
+            (obs.renewable[i] + self.batteries[i].max_discharge_now() + grid - fixed)
+                .max(Energy::ZERO)
+        }));
 
-        // S1 — link scheduling (+ minimal powers).
+        // S1 — link scheduling (+ minimal powers), on the incremental
+        // warm-start kernel with reused buffers.
         let s1_inputs = S1Inputs {
             net: &self.net,
             phy: &self.phy,
             spectrum: &obs.spectrum,
             links: &self.links,
-            max_powers: &max_powers,
-            energy_models: &models,
-            traffic_budget: &traffic_budget,
+            max_powers: &self.max_powers,
+            energy_models: &self.models,
+            traffic_budget: &scratch.traffic_budget,
             available: &obs.node_available,
             slot: self.config.slot,
             packet_size: self.config.packet_size,
         };
         let s1_start = Instant::now();
-        let mut outcome = match self.config.scheduler {
-            SchedulerKind::Greedy => greedy_schedule(&s1_inputs),
-            SchedulerKind::SequentialFix => sequential_fix_schedule(&s1_inputs),
-        };
+        match self.config.scheduler {
+            SchedulerKind::Greedy => {
+                greedy_schedule_with(&s1_inputs, &mut scratch.s1, &mut scratch.outcome);
+            }
+            SchedulerKind::SequentialFix => {
+                sequential_fix_schedule_with(&s1_inputs, &mut scratch.s1, &mut scratch.outcome);
+            }
+        }
         let s1_elapsed = s1_start.elapsed();
         self.timings.s1 += s1_elapsed;
         if traced {
@@ -477,27 +524,32 @@ impl Controller {
         // packets per slot — the two-layer reading of constraint (25); see
         // `s3` module docs.
         let beta_cap = Packets::new(self.beta.floor() as u64);
-        let routing_caps: Vec<(NodeId, NodeId, Packets)> = self
-            .net
-            .topology()
-            .ordered_pairs()
-            .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
-            .filter(|&(i, j)| obs.is_node_available(i.index()) && obs.is_node_available(j.index()))
-            .filter(|&(i, _)| match self.config.relay {
-                crate::RelayPolicy::MultiHop => true,
-                crate::RelayPolicy::OneHop => self.net.topology().node(i).kind().is_base_station(),
-            })
-            .map(|(i, j)| (i, j, beta_cap))
-            .collect();
+        scratch.routing_caps.clear();
+        scratch.routing_caps.extend(
+            self.net
+                .topology()
+                .ordered_pairs()
+                .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
+                .filter(|&(i, j)| {
+                    obs.is_node_available(i.index()) && obs.is_node_available(j.index())
+                })
+                .filter(|&(i, _)| match self.config.relay {
+                    crate::RelayPolicy::MultiHop => true,
+                    crate::RelayPolicy::OneHop => {
+                        self.net.topology().node(i).kind().is_base_station()
+                    }
+                })
+                .map(|(i, j)| (i, j, beta_cap)),
+        );
 
-        let (flows, link_service, energy_outcome) = loop {
+        let (flows, energy_outcome) = loop {
             let s3_start = Instant::now();
-            let link_service = self.link_service(&outcome, &obs.spectrum);
+            self.link_service_into(&scratch.outcome, &obs.spectrum, &mut scratch.link_service);
             let flows = route_flows(
                 &self.net,
                 &self.data,
                 &self.links,
-                &routing_caps,
+                &scratch.routing_caps,
                 &admissions,
                 &obs.session_demand,
             );
@@ -511,21 +563,21 @@ impl Controller {
                     s3_elapsed,
                 ));
             }
-            let demand: Vec<Energy> = (0..nodes)
-                .map(|i| {
-                    let node = NodeId::from_index(i);
-                    let tx_power = outcome.schedule.transmission_from(node).and_then(|t| {
-                        outcome
-                            .schedule
-                            .transmissions()
-                            .iter()
-                            .position(|u| u == t)
-                            .map(|k| outcome.powers[k])
-                    });
-                    let receiving = outcome.schedule.transmission_to(node).is_some();
-                    models[i].slot_demand(tx_power, receiving, self.config.slot)
-                })
-                .collect();
+            let outcome = &scratch.outcome;
+            scratch.demand.clear();
+            scratch.demand.extend((0..nodes).map(|i| {
+                let node = NodeId::from_index(i);
+                let tx_power = outcome.schedule.transmission_from(node).and_then(|t| {
+                    outcome
+                        .schedule
+                        .transmissions()
+                        .iter()
+                        .position(|u| u == t)
+                        .map(|k| outcome.powers[k])
+                });
+                let receiving = outcome.schedule.transmission_to(node).is_some();
+                self.models[i].slot_demand(tx_power, receiving, self.config.slot)
+            }));
             // Time-of-use pricing: this slot the provider pays
             // `m·f(P)`, which for the quadratic f is exactly the scaled
             // quadratic — S4's exactness is preserved.
@@ -534,22 +586,14 @@ impl Controller {
                 self.energy.cost.linear() * obs.price_multiplier,
                 self.energy.cost.constant() * obs.price_multiplier,
             );
-            let grid_limits: Vec<Energy> = self.energy.nodes.iter().map(|n| n.grid_limit).collect();
-            let is_bs: Vec<bool> = self
-                .net
-                .topology()
-                .nodes()
-                .iter()
-                .map(|n| n.kind().is_base_station())
-                .collect();
             let input = EnergyManagementInput {
-                z: &z,
-                demand: &demand,
+                z: &scratch.z,
+                demand: &scratch.demand,
                 renewable: &obs.renewable,
                 batteries: &self.batteries,
                 grid_connected: &obs.grid_connected,
-                grid_limits: &grid_limits,
-                is_base_station: &is_bs,
+                grid_limits: &self.grid_limits,
+                is_base_station: &self.is_bs,
                 cost: &scaled_cost,
                 v: self.config.v,
             };
@@ -569,32 +613,32 @@ impl Controller {
                 ));
             }
             match solved {
-                Ok(out) => break (flows, link_service, out),
+                Ok(out) => break (flows, out),
                 Err(err) => {
                     #[cfg(feature = "shed-debug")]
                     eprintln!("slot {}: S4 error {err:?}", self.slot);
                     // Rung 1 — shed every transmission touching the
                     // starving node and retry; an Invalid decision is
                     // treated the same way (drop load, stay safe).
-                    if !outcome.schedule.is_empty() {
+                    if !scratch.outcome.schedule.is_empty() {
                         let node = match &err {
                             EnergyManagementError::Deficit { node, .. } => {
                                 NodeId::from_index((*node).min(nodes - 1))
                             }
-                            _ => outcome.schedule.transmissions()[0].tx(),
+                            _ => scratch.outcome.schedule.transmissions()[0].tx(),
                         };
-                        let before = outcome.schedule.len();
+                        let before = scratch.outcome.schedule.len();
                         let reduced = shed_node(
                             &self.net,
-                            &outcome,
+                            &scratch.outcome,
                             node,
                             &obs.spectrum,
                             &self.phy,
-                            &max_powers,
+                            &self.max_powers,
                         );
                         let dropped = before - reduced.schedule.len();
                         if dropped > 0 {
-                            outcome = reduced;
+                            scratch.outcome = reduced;
                             shed += dropped;
                             degradation.push(DegradationEvent::Shed {
                                 node: node.index(),
@@ -612,6 +656,8 @@ impl Controller {
                         // links cannot help. Fall through the ladder.
                     }
                     if self.config.degradation == crate::DegradationPolicy::Strict {
+                        // Aborting run: the default-initialized scratch
+                        // left in `self` is fine (only capacity is lost).
                         return Err(err.into());
                     }
                     // Rung 2 — the storage-oblivious grid-only solver;
@@ -626,12 +672,12 @@ impl Controller {
                                 name: "degrade_grid_only",
                             });
                         }
-                        break (flows, link_service, out);
+                        break (flows, out);
                     }
                     // Rung 3a — still infeasible with traffic on the air:
                     // drop the whole schedule and retry on idle demand.
-                    if !outcome.schedule.is_empty() {
-                        let dropped = outcome.schedule.len();
+                    if !scratch.outcome.schedule.is_empty() {
+                        let dropped = scratch.outcome.schedule.len();
                         shed += dropped;
                         degradation.push(DegradationEvent::Shed {
                             node: nodes, // sentinel: whole-schedule drop
@@ -643,7 +689,7 @@ impl Controller {
                                 name: "degrade_shed",
                             });
                         }
-                        outcome = crate::ScheduleOutcome::empty();
+                        scratch.outcome.clear();
                         continue;
                     }
                     // Rung 3b — safe mode: serve what physics allows,
@@ -659,9 +705,9 @@ impl Controller {
                         }
                     }
                     admissions.clear();
+                    scratch.link_service.clear();
                     break (
                         greencell_queue::FlowPlan::new(nodes, self.net.session_count()),
-                        Vec::new(),
                         safe.outcome,
                     );
                 }
@@ -670,10 +716,11 @@ impl Controller {
 
         // Drift-plus-penalty diagnostics for the chosen actions, computed
         // against the *pre-update* queue state (as in Lemma 1).
-        let lyapunov_before = self.lyapunov_value(&z);
+        let lyapunov_before = self.lyapunov_value(&scratch.z);
         let psi1 = dpp::psi1(
             self.beta,
-            link_service
+            scratch
+                .link_service
                 .iter()
                 .map(|&(i, j, pkts)| self.links.h(i, j) * pkts.count_f64()),
         );
@@ -696,23 +743,26 @@ impl Controller {
 
         // Advance state: queues by their laws, batteries by the decisions.
         let advance_start = traced.then(Instant::now);
-        let admission_triples: Vec<(greencell_net::SessionId, NodeId, Packets)> = admissions
-            .iter()
-            .filter(|a| a.packets > Packets::ZERO)
-            .map(|a| (a.session, a.source, a.packets))
-            .collect();
+        scratch.admission_triples.clear();
+        scratch.admission_triples.extend(
+            admissions
+                .iter()
+                .filter(|a| a.packets > Packets::ZERO)
+                .map(|a| (a.session, a.source, a.packets)),
+        );
         let routed = flows.total();
-        self.data.advance(&flows, &admission_triples);
-        self.links.advance(&flows, &link_service);
+        self.data.advance(&flows, &scratch.admission_triples);
+        self.links.advance(&flows, &scratch.link_service);
         for (battery, decision) in self.batteries.iter_mut().zip(&energy_outcome.decisions) {
             decision
                 .apply_to_battery(battery)
                 .expect("validated decision must apply");
         }
-        let z_after: Vec<f64> = (0..nodes)
-            .map(|i| self.shifted_level(NodeId::from_index(i)))
-            .collect();
-        let lyapunov_after = self.lyapunov_value(&z_after);
+        scratch.z_after.clear();
+        scratch
+            .z_after
+            .extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
+        let lyapunov_after = self.lyapunov_value(&scratch.z_after);
         if let Some(start) = advance_start {
             sink.record(TraceEvent::span_ended(
                 self.slot,
@@ -726,8 +776,8 @@ impl Controller {
             slot: self.slot,
             cost: energy_outcome.cost,
             grid_draw: energy_outcome.grid_draw,
-            scheduled_links: outcome.schedule.len(),
-            admitted: admission_triples.iter().map(|(_, _, k)| *k).sum(),
+            scheduled_links: scratch.outcome.schedule.len(),
+            admitted: scratch.admission_triples.iter().map(|(_, _, k)| *k).sum(),
             routed,
             psi1,
             psi2,
@@ -773,31 +823,30 @@ impl Controller {
         }
         self.slot += 1;
         self.timings.slots += 1;
+        self.scratch = scratch;
         Ok(report)
     }
 
-    /// Realized per-link service in packets for the scheduled links.
+    /// Realized per-link service in packets for the scheduled links,
+    /// written into `out` (cleared first; capacity retained).
     ///
     /// Power control guarantees `SINR ≥ Γ` for every kept link, so
     /// Eq. (1)'s top branch applies.
-    fn link_service(
+    fn link_service_into(
         &self,
         outcome: &ScheduleOutcome,
         spectrum: &greencell_phy::SpectrumState,
-    ) -> Vec<(NodeId, NodeId, Packets)> {
-        outcome
-            .schedule
-            .transmissions()
-            .iter()
-            .map(|t| {
-                let capacity = potential_capacity(spectrum.bandwidth(t.band()), &self.phy);
-                (
-                    t.tx(),
-                    t.rx(),
-                    packets_per_slot(capacity, self.config.packet_size, self.config.slot),
-                )
-            })
-            .collect()
+        out: &mut Vec<(NodeId, NodeId, Packets)>,
+    ) {
+        out.clear();
+        out.extend(outcome.schedule.transmissions().iter().map(|t| {
+            let capacity = potential_capacity(spectrum.bandwidth(t.band()), &self.phy);
+            (
+                t.tx(),
+                t.rx(),
+                packets_per_slot(capacity, self.config.packet_size, self.config.slot),
+            )
+        }));
     }
 }
 

@@ -100,7 +100,11 @@ pub use config::{
 };
 pub use controller::{Controller, ControllerError, DegradationEvent, SlotReport, StageTimings};
 pub use lower_bound::{LowerBoundSeries, RelaxedController};
-pub use s1::{greedy_schedule, sequential_fix_schedule, S1Inputs, ScheduleOutcome};
+pub use s1::{
+    greedy_schedule, greedy_schedule_reference, greedy_schedule_with, sequential_fix_schedule,
+    sequential_fix_schedule_reference, sequential_fix_schedule_with, S1Inputs, S1Scratch,
+    ScheduleOutcome,
+};
 pub use s2::{resource_allocation, Admission};
 pub use s3::route_flows;
 pub use s4::{

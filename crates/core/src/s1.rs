@@ -24,15 +24,15 @@ use greencell_energy::NodeEnergyModel;
 use greencell_lp::{LinearProgram, Relation};
 use greencell_net::{BandId, Network, NodeId};
 use greencell_phy::{
-    min_power_assignment, packets_per_slot, potential_capacity, PhyConfig, Schedule, SpectrumState,
-    Transmission,
+    min_power_assignment, packets_per_slot, potential_capacity, PhyConfig, PowerControlWorkspace,
+    Schedule, SpectrumState, Transmission,
 };
 use greencell_queue::LinkQueueBank;
 use greencell_units::{Energy, PacketSize, Power, TimeDelta};
 
 /// The result of S1: a feasible schedule plus its minimal power vector
 /// (one power per transmission, in schedule order).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScheduleOutcome {
     /// The activations `α^m_ij(t) = 1`.
     pub schedule: Schedule,
@@ -44,10 +44,49 @@ impl ScheduleOutcome {
     /// An empty outcome (idle slot).
     #[must_use]
     pub fn empty() -> Self {
-        Self {
-            schedule: Schedule::new(),
-            powers: Vec::new(),
-        }
+        Self::default()
+    }
+
+    /// Empties the outcome in place, retaining both allocations so an
+    /// outcome reused across slots allocates nothing in steady state.
+    pub fn clear(&mut self) {
+        self.schedule.clear();
+        self.powers.clear();
+    }
+}
+
+/// Reusable S1 buffers: the candidate list, the per-band
+/// `packets_per_slot` memo, the per-node energy-admission memos, and the
+/// incremental [`PowerControlWorkspace`] used to probe candidate
+/// feasibility. Thread one of these through
+/// [`greedy_schedule_with`] / [`sequential_fix_schedule_with`] across
+/// slots and the steady-state greedy path performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct S1Scratch {
+    candidates: Vec<Candidate>,
+    /// `packets_per_slot(potential_capacity(W_m))` memo, indexed by band —
+    /// capacity depends only on the band's bandwidth, so it is computed
+    /// once per band per slot instead of once per candidate.
+    pkts_per_band: Vec<f64>,
+    /// Per-node worst-case transmit-energy admission, once per slot.
+    tx_ok: Vec<bool>,
+    /// Per-node worst-case receive-energy admission, once per slot.
+    rx_ok: Vec<bool>,
+    /// Incremental warm-start power-control solver for candidate probing.
+    ws: PowerControlWorkspace,
+    /// Sequential-fix working set (the still-unfixed candidates).
+    active: Vec<Candidate>,
+    /// Greedy-loop busy mask: `busy[n]` ⇔ node `n` appears in an accepted
+    /// transmission — the same predicate as `Schedule::is_busy`, without
+    /// the per-candidate schedule scan.
+    busy: Vec<bool>,
+}
+
+impl S1Scratch {
+    /// An empty scratch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -86,31 +125,65 @@ pub struct S1Inputs<'a> {
     pub packet_size: PacketSize,
 }
 
-fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
+/// Fills `scratch.candidates` (sorted, deterministic) for this slot,
+/// refreshing the per-band capacity memo and the per-node energy-admission
+/// memos first. Zero heap allocation once the buffers have grown.
+fn candidates_into(inp: &S1Inputs<'_>, scratch: &mut S1Scratch) {
     let topo = inp.net.topology();
     let up = |node: NodeId| inp.available.get(node.index()).copied().unwrap_or(true);
-    let mut out = Vec::new();
-    for (i, j) in topo.ordered_pairs() {
-        if !up(i) || !up(j) {
-            continue; // fault injection: a down node never transmits/receives
-        }
-        let h = inp.links.h(i, j);
-        if h <= 0.0 {
-            continue; // paper: fix α to 0 where H_ij = 0
-        }
-        if !energy_admissible(inp, i, j) {
-            continue;
-        }
-        for m in inp.net.link_bands(i, j).iter() {
-            let c = potential_capacity(inp.spectrum.bandwidth(m), inp.phy);
+
+    // Per-band memo: `c^m = potential_capacity(W_m)` depends only on the
+    // band's bandwidth, never on the candidate pair, so quantize it once
+    // per band instead of once per (i, j, m).
+    scratch.pkts_per_band.clear();
+    scratch
+        .pkts_per_band
+        .extend((0..inp.spectrum.band_count()).map(|m| {
+            let c = potential_capacity(inp.spectrum.bandwidth(BandId::from_index(m)), inp.phy);
             // Weight by the *quantized* per-slot service `μ^m_ij` — the exact
             // quantity Ψ̂₁ sums — rather than the continuous capacity. The two
             // orderings disagree near packet-count boundaries, and the greedy
             // single-best-activation guarantee only holds for the former.
-            let pkts = packets_per_slot(c, inp.packet_size, inp.slot);
-            let weight = h * pkts.count_f64();
+            packets_per_slot(c, inp.packet_size, inp.slot).count_f64()
+        }));
+
+    // Per-node memo of the worst-case energy admission: transmitting at
+    // `P_max` (resp. receiving) must fit in the node's traffic budget for
+    // this slot. Both sides depend on one node only, so compute each once
+    // per node per slot instead of once per ordered pair.
+    scratch.tx_ok.clear();
+    scratch.rx_ok.clear();
+    for i in 0..topo.len() {
+        let budget = inp.traffic_budget[i].as_joules();
+        let tx_worst = inp.max_powers[i] * inp.slot;
+        let rx_worst = inp.energy_models[i].recv_power() * inp.slot;
+        scratch.tx_ok.push(tx_worst.as_joules() <= budget);
+        scratch.rx_ok.push(rx_worst.as_joules() <= budget);
+    }
+
+    scratch.candidates.clear();
+    // Scan only the backlogged links: the paper fixes α to 0 wherever
+    // `H_ij(t) = 0`, so the empty queues — the vast majority of the
+    // `O(n²)` ordered pairs in steady state — can never yield a
+    // candidate. `backlogs()` walks the queue bank in the same row-major
+    // order as `ordered_pairs()`, so the candidate list (and hence the
+    // sorted order) is identical to the full scan's.
+    let beta = inp.links.beta();
+    for (i, j, g) in inp.links.backlogs() {
+        let h = beta * g.count_f64();
+        if h <= 0.0 {
+            continue; // β = 0 weights every link to zero
+        }
+        if !up(i) || !up(j) {
+            continue; // fault injection: a down node never transmits/receives
+        }
+        if !scratch.tx_ok[i.index()] || !scratch.rx_ok[j.index()] {
+            continue;
+        }
+        for m in inp.net.link_bands(i, j).iter() {
+            let weight = h * scratch.pkts_per_band[m.index()];
             if weight > 0.0 {
-                out.push(Candidate {
+                scratch.candidates.push(Candidate {
                     tx: i,
                     rx: j,
                     band: m,
@@ -119,28 +192,109 @@ fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
             }
         }
     }
-    // Deterministic order: weight desc, then ids.
-    out.sort_by(|a, b| {
-        b.weight
-            .total_cmp(&a.weight)
-            .then(a.tx.cmp(&b.tx))
-            .then(a.rx.cmp(&b.rx))
-            .then(a.band.cmp(&b.band))
+    // Deterministic order: weight desc, then ids. Unstable sort is exact
+    // here — the id tiebreak makes the key injective — and avoids the
+    // stable merge sort's scratch allocation. The packed integer key
+    // orders identically to the old `total_cmp` comparator chain: every
+    // pushed weight is positive and finite, so descending `to_bits()` is
+    // descending value, and the id fields pack most-significant-first.
+    scratch.candidates.sort_unstable_by_key(|c| {
+        (
+            std::cmp::Reverse(c.weight.to_bits()),
+            ((c.tx.index() as u64) << 42) | ((c.rx.index() as u64) << 21) | c.band.index() as u64,
+        )
     });
-    out
 }
 
-/// Worst-case energy admission: transmitting at `P_max` (resp. receiving)
-/// must fit in the node's traffic budget for this slot.
-fn energy_admissible(inp: &S1Inputs<'_>, tx: NodeId, rx: NodeId) -> bool {
-    let tx_worst = inp.max_powers[tx.index()] * inp.slot;
-    let rx_worst = inp.energy_models[rx.index()].recv_power() * inp.slot;
-    tx_worst.as_joules() <= inp.traffic_budget[tx.index()].as_joules()
-        && rx_worst.as_joules() <= inp.traffic_budget[rx.index()].as_joules()
+fn candidates(inp: &S1Inputs<'_>) -> Vec<Candidate> {
+    let mut scratch = S1Scratch::new();
+    candidates_into(inp, &mut scratch);
+    scratch.candidates
 }
 
 /// Weight-greedy S1 (see [`crate::SchedulerKind::Greedy`]).
+///
+/// Convenience wrapper over [`greedy_schedule_with`] with throwaway
+/// buffers; per-slot callers should hold an [`S1Scratch`] instead.
+#[must_use]
 pub fn greedy_schedule(inp: &S1Inputs<'_>) -> ScheduleOutcome {
+    let mut scratch = S1Scratch::new();
+    let mut out = ScheduleOutcome::empty();
+    greedy_schedule_with(inp, &mut scratch, &mut out);
+    out
+}
+
+/// Weight-greedy S1 over reusable buffers, probing candidate feasibility
+/// with the incremental warm-start kernel.
+///
+/// Each admitted prefix's Foschini–Miljanic fixed point warm-starts the
+/// next probe ([`PowerControlWorkspace`]); a rejected candidate is undone
+/// in `O(n)`. **Determinism contract:** the warm solves only decide
+/// accept/reject; the final accepted schedule gets one cold-start
+/// `min_power_assignment`, so `out` is bit-identical to the cold-probing
+/// reference ([`greedy_schedule_reference`]).
+pub fn greedy_schedule_with(
+    inp: &S1Inputs<'_>,
+    scratch: &mut S1Scratch,
+    out: &mut ScheduleOutcome,
+) {
+    candidates_into(inp, scratch);
+    out.clear();
+    scratch.ws.clear();
+    scratch.busy.clear();
+    scratch.busy.resize(inp.net.topology().len(), false);
+    for k in 0..scratch.candidates.len() {
+        let cand = scratch.candidates[k];
+        if scratch.busy[cand.tx.index()] || scratch.busy[cand.rx.index()] {
+            continue;
+        }
+        let t = Transmission::new(cand.tx, cand.rx, cand.band);
+        let idx = match out.schedule.try_add(inp.net, t) {
+            Ok(idx) => idx,
+            Err(_) => continue,
+        };
+        if scratch
+            .ws
+            .probe(inp.net, inp.spectrum, inp.phy, inp.max_powers, t)
+            .is_err()
+        {
+            out.schedule.remove(idx);
+        } else {
+            scratch.busy[cand.tx.index()] = true;
+            scratch.busy[cand.rx.index()] = true;
+        }
+    }
+    if finalize_powers(inp, scratch, out).is_err() {
+        // Unreachable in practice: every accepted prefix was verified
+        // feasible. Kept as a deterministic safety net — fall back to the
+        // cold-probing reference so schedule and powers stay consistent.
+        *out = greedy_schedule_reference(inp);
+    }
+}
+
+/// The determinism-contract final solve: one cold-start
+/// `min_power_assignment` over the accepted schedule, reusing the
+/// workspace's cold buffers.
+fn finalize_powers(
+    inp: &S1Inputs<'_>,
+    scratch: &mut S1Scratch,
+    out: &mut ScheduleOutcome,
+) -> Result<(), greencell_phy::PowerControlError> {
+    scratch.ws.assign_final(
+        inp.net,
+        &out.schedule,
+        inp.spectrum,
+        inp.phy,
+        inp.max_powers,
+        &mut out.powers,
+    )
+}
+
+/// Pre-kernel reference implementation of [`greedy_schedule`]: probes
+/// every candidate with a cold-start `min_power_assignment`. Kept as the
+/// A/B oracle for the equivalence tests and benches.
+#[must_use]
+pub fn greedy_schedule_reference(inp: &S1Inputs<'_>) -> ScheduleOutcome {
     let mut schedule = Schedule::new();
     let mut powers: Vec<Power> = Vec::new();
     for cand in candidates(inp) {
@@ -180,6 +334,86 @@ const MAX_SF_CANDIDATES: usize = 40;
 /// schedule activates at most ⌊N/2⌋ links, so little is lost while each
 /// LP stays small enough to solve repeatedly per slot.
 pub fn sequential_fix_schedule(inp: &S1Inputs<'_>) -> ScheduleOutcome {
+    let mut scratch = S1Scratch::new();
+    let mut out = ScheduleOutcome::empty();
+    sequential_fix_schedule_with(inp, &mut scratch, &mut out);
+    out
+}
+
+/// Sequential-fix S1 over reusable buffers, probing exact power
+/// feasibility of each fixing with the incremental warm-start kernel
+/// instead of a cold-start solve per round. The LP relaxations themselves
+/// still allocate (simplex tableaus); only the probing path is
+/// incremental. Same determinism contract as [`greedy_schedule_with`]:
+/// the final schedule gets one cold-start `min_power_assignment`.
+pub fn sequential_fix_schedule_with(
+    inp: &S1Inputs<'_>,
+    scratch: &mut S1Scratch,
+    out: &mut ScheduleOutcome,
+) {
+    candidates_into(inp, scratch);
+    out.clear();
+    scratch.ws.clear();
+    let pool = scratch.candidates.len().min(MAX_SF_CANDIDATES);
+    scratch.active.clear();
+    scratch
+        .active
+        .extend_from_slice(&scratch.candidates[..pool]);
+
+    while !scratch.active.is_empty() {
+        // Drop candidates conflicting with the fixed set (single radio).
+        let schedule = &out.schedule;
+        scratch
+            .active
+            .retain(|c| !schedule.is_busy(c.tx) && !schedule.is_busy(c.rx));
+        if scratch.active.is_empty() {
+            break;
+        }
+        let Some(alphas) = solve_relaxation(inp, &out.schedule, &scratch.active) else {
+            break; // LP troubles: stop fixing, keep what we have.
+        };
+        // Choose the largest fractional activation (the paper fixes all
+        // exact ones first; fixing the maximum covers both cases since we
+        // loop). Among activations tied at the maximum, prefer the highest
+        // Ψ̂₁ weight — LP optima are often degenerate and rounding a
+        // low-weight tie can block a high-weight candidate for good.
+        let max_alpha = alphas.iter().copied().fold(f64::MIN, f64::max);
+        if max_alpha < 1e-6 {
+            break; // relaxation wants nothing more
+        }
+        let Some((best_idx, _)) = alphas
+            .iter()
+            .zip(&scratch.active)
+            .enumerate()
+            .filter(|(_, (&a, _))| a >= max_alpha - 1e-6)
+            .map(|(k, (_, c))| (k, c.weight))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+        else {
+            break; // unreachable: active is non-empty
+        };
+        let cand = scratch.active.swap_remove(best_idx);
+        let t = Transmission::new(cand.tx, cand.rx, cand.band);
+        if let Ok(idx) = out.schedule.try_add(inp.net, t) {
+            if scratch
+                .ws
+                .probe(inp.net, inp.spectrum, inp.phy, inp.max_powers, t)
+                .is_err()
+            {
+                out.schedule.remove(idx); // fix to 0 instead
+            }
+        }
+    }
+    if finalize_powers(inp, scratch, out).is_err() {
+        // Same deterministic safety net as the greedy path.
+        *out = sequential_fix_schedule_reference(inp);
+    }
+}
+
+/// Pre-kernel reference implementation of [`sequential_fix_schedule`]:
+/// cold-start power probe per fixing. Kept as the A/B oracle for the
+/// equivalence tests and benches.
+#[must_use]
+pub fn sequential_fix_schedule_reference(inp: &S1Inputs<'_>) -> ScheduleOutcome {
     let mut active = candidates(inp);
     active.truncate(MAX_SF_CANDIDATES);
     let mut schedule = Schedule::new();
@@ -194,23 +428,20 @@ pub fn sequential_fix_schedule(inp: &S1Inputs<'_>) -> ScheduleOutcome {
         let Some(alphas) = solve_relaxation(inp, &schedule, &active) else {
             break; // LP troubles: stop fixing, keep what we have.
         };
-        // Choose the largest fractional activation (the paper fixes all
-        // exact ones first; fixing the maximum covers both cases since we
-        // loop). Among activations tied at the maximum, prefer the highest
-        // Ψ̂₁ weight — LP optima are often degenerate and rounding a
-        // low-weight tie can block a high-weight candidate for good.
         let max_alpha = alphas.iter().copied().fold(f64::MIN, f64::max);
         if max_alpha < 1e-6 {
             break; // relaxation wants nothing more
         }
-        let (best_idx, _) = alphas
+        let Some((best_idx, _)) = alphas
             .iter()
             .zip(&active)
             .enumerate()
             .filter(|(_, (&a, _))| a >= max_alpha - 1e-6)
             .map(|(k, (_, c))| (k, c.weight))
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("non-empty active set");
+        else {
+            break; // unreachable: active is non-empty
+        };
         let cand = active.swap_remove(best_idx);
         let t = Transmission::new(cand.tx, cand.rx, cand.band);
         if let Ok(idx) = schedule.try_add(inp.net, t) {

@@ -1,0 +1,163 @@
+//! Property tests for the incremental S1 kernel: the warm-start probing
+//! path must make exactly the accept/reject decisions of the cold-start
+//! reference, and hence produce identical schedules and bit-identical
+//! powers, across random topologies, band sets, backlogs, tight energy
+//! budgets, and fault masks (down-node candidates included).
+
+use greencell_core::{
+    greedy_schedule_reference, greedy_schedule_with, sequential_fix_schedule_reference,
+    sequential_fix_schedule_with, S1Inputs, S1Scratch, ScheduleOutcome,
+};
+use greencell_energy::NodeEnergyModel;
+use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
+use greencell_phy::{PhyConfig, SpectrumState};
+use greencell_queue::{FlowPlan, LinkQueueBank};
+use greencell_stochastic::Rng;
+use greencell_units::{Bandwidth, Energy, PacketSize, Packets, Power, TimeDelta};
+use proptest::prelude::*;
+
+struct Instance {
+    net: Network,
+    links: LinkQueueBank,
+    spectrum: SpectrumState,
+    max_powers: Vec<Power>,
+    models: Vec<NodeEnergyModel>,
+    budget: Vec<Energy>,
+    available: Vec<bool>,
+}
+
+/// A random 5–8-node network (1–2 BS + users scattered on a disc), 2
+/// bands, random backlogs, occasionally-tight traffic budgets, and a
+/// random availability mask (each node down with probability ~1/8).
+fn instance(seed: u64) -> Instance {
+    let mut rng = Rng::seed_from(seed);
+    let n = 5 + rng.index(4);
+    let bs_count = 1 + rng.index(2);
+    let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+    for k in 0..n {
+        let angle = k as f64 * std::f64::consts::TAU / n as f64 + rng.range_f64(0.0, 0.5);
+        let radius = rng.range_f64(150.0, 900.0);
+        let p = Point::new(1000.0 + radius * angle.cos(), 1000.0 + radius * angle.sin());
+        if k < bs_count {
+            b.add_base_station(p);
+        } else {
+            b.add_user(p);
+        }
+    }
+    let net = b.build().expect("valid network");
+    let mut links = LinkQueueBank::new(n, 100.0);
+    let mut plan = FlowPlan::new(n, 1);
+    for _ in 0..(n + 3) {
+        let i = rng.index(n);
+        let j = (i + 1 + rng.index(n - 1)) % n;
+        plan.set(
+            SessionId::from_index(0),
+            NodeId::from_index(i),
+            NodeId::from_index(j),
+            Packets::new(rng.below(300)),
+        );
+    }
+    links.advance(&plan, &[]);
+    let spectrum = SpectrumState::new(vec![
+        Bandwidth::from_megahertz(rng.range_f64(0.5, 2.5)),
+        Bandwidth::from_megahertz(rng.range_f64(0.5, 2.5)),
+    ]);
+    let max_powers = net
+        .topology()
+        .nodes()
+        .iter()
+        .map(|node| {
+            if node.kind().is_base_station() {
+                Power::from_watts(20.0)
+            } else {
+                Power::from_watts(1.0)
+            }
+        })
+        .collect();
+    // Tight budgets on some nodes so the energy-admission memo has teeth:
+    // a 1 W user transmitting for 60 s needs 60 J; 10 J blocks it.
+    let budget = (0..n)
+        .map(|_| {
+            if rng.index(4) == 0 {
+                Energy::from_joules(10.0)
+            } else {
+                Energy::from_kilowatt_hours(1.0)
+            }
+        })
+        .collect();
+    let available = (0..n).map(|_| rng.index(8) != 0).collect();
+    Instance {
+        net,
+        links,
+        spectrum,
+        max_powers,
+        models: vec![
+            NodeEnergyModel::new(Energy::ZERO, Energy::ZERO, Power::from_milliwatts(100.0));
+            n
+        ],
+        budget,
+        available,
+    }
+}
+
+fn inputs<'a>(inst: &'a Instance, phy: &'a PhyConfig) -> S1Inputs<'a> {
+    S1Inputs {
+        net: &inst.net,
+        phy,
+        spectrum: &inst.spectrum,
+        links: &inst.links,
+        max_powers: &inst.max_powers,
+        energy_models: &inst.models,
+        traffic_budget: &inst.budget,
+        available: &inst.available,
+        slot: TimeDelta::from_minutes(1.0),
+        packet_size: PacketSize::from_bits(10_000),
+    }
+}
+
+proptest! {
+    /// Greedy: kernel ≡ cold-start reference, schedule and powers
+    /// bit-identical, with one scratch reused across every case (so
+    /// cross-slot buffer reuse is exercised, not just the fresh path).
+    #[test]
+    fn greedy_kernel_matches_reference(seed in any::<u64>()) {
+        let mut scratch = S1Scratch::new();
+        let mut out = ScheduleOutcome::empty();
+        for case in 0..4u64 {
+            let inst = instance(seed.wrapping_add(case));
+            let phy = PhyConfig::new(1.0, 1e-20);
+            let inp = inputs(&inst, &phy);
+            greedy_schedule_with(&inp, &mut scratch, &mut out);
+            let reference = greedy_schedule_reference(&inp);
+            prop_assert_eq!(&out, &reference);
+        }
+    }
+
+    /// Sequential-fix: kernel ≡ cold-start reference.
+    #[test]
+    fn sequential_fix_kernel_matches_reference(seed in any::<u64>()) {
+        let mut scratch = S1Scratch::new();
+        let mut out = ScheduleOutcome::empty();
+        let inst = instance(seed);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let inp = inputs(&inst, &phy);
+        sequential_fix_schedule_with(&inp, &mut scratch, &mut out);
+        let reference = sequential_fix_schedule_reference(&inp);
+        prop_assert_eq!(&out, &reference);
+    }
+
+    /// A zero-noise environment disables the spectral-radius early reject
+    /// (the bound is unsound there); decisions must still match the
+    /// reference exactly.
+    #[test]
+    fn greedy_kernel_matches_reference_zero_noise(seed in any::<u64>()) {
+        let mut scratch = S1Scratch::new();
+        let mut out = ScheduleOutcome::empty();
+        let inst = instance(seed);
+        let phy = PhyConfig::new(1.0, 0.0);
+        let inp = inputs(&inst, &phy);
+        greedy_schedule_with(&inp, &mut scratch, &mut out);
+        let reference = greedy_schedule_reference(&inp);
+        prop_assert_eq!(&out, &reference);
+    }
+}

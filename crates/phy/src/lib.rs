@@ -52,12 +52,16 @@ mod power_control;
 mod schedule;
 mod sinr;
 mod spectrum_state;
+mod workspace;
 
 pub use capacity::{packets_per_slot, potential_capacity, scheduled_link_capacity};
-pub use power_control::{min_power_assignment, PowerControlError};
+pub use power_control::{
+    min_power_assignment, min_power_assignment_into, ColdStartBuffers, PowerControlError,
+};
 pub use schedule::{Schedule, ScheduleError, Transmission};
-pub use sinr::{sinr_matrix, sinr_of};
+pub use sinr::{sinr_into, sinr_matrix, sinr_of};
 pub use spectrum_state::SpectrumState;
+pub use workspace::PowerControlWorkspace;
 
 /// Physical-layer constants shared by every SINR computation.
 ///

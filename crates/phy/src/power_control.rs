@@ -51,8 +51,20 @@ impl fmt::Display for PowerControlError {
 
 impl Error for PowerControlError {}
 
-const MAX_ITERATIONS: usize = 10_000;
-const RELATIVE_TOLERANCE: f64 = 1e-12;
+pub(crate) const MAX_ITERATIONS: usize = 10_000;
+pub(crate) const RELATIVE_TOLERANCE: f64 = 1e-12;
+
+/// Reusable buffers for the cold-start solve, so the hot path can run
+/// [`min_power_assignment_into`] once per slot with zero heap allocations
+/// in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ColdStartBuffers {
+    direct_gain: Vec<f64>,
+    noise: Vec<f64>,
+    cap: Vec<f64>,
+    cross: Vec<f64>,
+    p: Vec<f64>,
+}
 
 /// Computes the component-wise minimal transmit powers under which every
 /// transmission in `schedule` achieves `SINR ≥ Γ`, or proves that none
@@ -104,36 +116,78 @@ pub fn min_power_assignment(
     phy: &PhyConfig,
     max_powers: &[Power],
 ) -> Result<Vec<Power>, PowerControlError> {
+    let mut buffers = ColdStartBuffers::default();
+    let mut out = Vec::new();
+    min_power_assignment_into(
+        net,
+        schedule,
+        spectrum,
+        phy,
+        max_powers,
+        &mut buffers,
+        &mut out,
+    )?;
+    Ok(out)
+}
+
+/// Buffer-reusing form of [`min_power_assignment`]: identical computation
+/// (same constants, same Gauss–Seidel update order, bit-identical powers),
+/// but every intermediate lives in `buffers` and the result is written into
+/// `out`, so repeated calls allocate nothing once the buffers have grown to
+/// the schedule size.
+///
+/// `out` is cleared first; on success it holds one power per transmission
+/// in schedule order.
+///
+/// # Errors
+///
+/// Same as [`min_power_assignment`].
+///
+/// # Panics
+///
+/// Panics if `max_powers.len()` differs from the node count.
+pub fn min_power_assignment_into(
+    net: &Network,
+    schedule: &Schedule,
+    spectrum: &SpectrumState,
+    phy: &PhyConfig,
+    max_powers: &[Power],
+    buffers: &mut ColdStartBuffers,
+    out: &mut Vec<Power>,
+) -> Result<(), PowerControlError> {
     let topo = net.topology();
     assert_eq!(
         max_powers.len(),
         topo.len(),
         "one power cap per node required"
     );
+    out.clear();
     let txs = schedule.transmissions();
     let n = txs.len();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let gamma = phy.sinr_threshold();
 
     // Precompute per-transmission constants.
-    let direct_gain: Vec<f64> = txs.iter().map(|t| topo.gain(t.tx(), t.rx())).collect();
-    let noise: Vec<f64> = txs
-        .iter()
-        .map(|t| {
-            spectrum
-                .bandwidth(t.band())
-                .noise_power_watts(phy.noise_density())
-        })
-        .collect();
-    let cap: Vec<f64> = txs
-        .iter()
-        .map(|t| max_powers[t.tx().index()].as_watts())
-        .collect();
+    let direct_gain = &mut buffers.direct_gain;
+    direct_gain.clear();
+    direct_gain.extend(txs.iter().map(|t| topo.gain(t.tx(), t.rx())));
+    let noise = &mut buffers.noise;
+    noise.clear();
+    noise.extend(txs.iter().map(|t| {
+        spectrum
+            .bandwidth(t.band())
+            .noise_power_watts(phy.noise_density())
+    }));
+    let cap = &mut buffers.cap;
+    cap.clear();
+    cap.extend(txs.iter().map(|t| max_powers[t.tx().index()].as_watts()));
 
     // Cross gains between co-channel transmissions; 0 across bands.
-    let mut cross = vec![0.0; n * n];
+    let cross = &mut buffers.cross;
+    cross.clear();
+    cross.resize(n * n, 0.0);
     for k in 0..n {
         for l in 0..n {
             if k != l && txs[k].band() == txs[l].band() {
@@ -143,7 +197,9 @@ pub fn min_power_assignment(
     }
 
     // Start from the noise-only lower bound and iterate the monotone map.
-    let mut p: Vec<f64> = (0..n).map(|k| gamma * noise[k] / direct_gain[k]).collect();
+    let p = &mut buffers.p;
+    p.clear();
+    p.extend((0..n).map(|k| gamma * noise[k] / direct_gain[k]));
     for k in 0..n {
         if p[k] > cap[k] {
             return Err(PowerControlError::Infeasible {
@@ -168,7 +224,8 @@ pub fn min_power_assignment(
             p[k] = required.max(p[k]);
         }
         if converged {
-            return Ok(p.into_iter().map(Power::from_watts).collect());
+            out.extend(p.iter().copied().map(Power::from_watts));
+            return Ok(());
         }
     }
     Err(PowerControlError::NonConvergent)

@@ -139,6 +139,12 @@ impl Schedule {
         self.transmissions.is_empty()
     }
 
+    /// Removes every transmission, retaining the allocation so a schedule
+    /// reused across slots performs no heap allocation in steady state.
+    pub fn clear(&mut self) {
+        self.transmissions.clear();
+    }
+
     /// `true` if `node` already transmits or receives in this schedule.
     #[must_use]
     pub fn is_busy(&self, node: NodeId) -> bool {

@@ -48,6 +48,9 @@ pub fn sinr_of(
 /// Achieved SINR of every transmission in `schedule` (one entry per
 /// transmission, in schedule order).
 ///
+/// Hot paths should prefer [`sinr_into`], which reuses a caller-provided
+/// buffer instead of allocating a fresh `Vec` per call.
+///
 /// # Panics
 ///
 /// Panics if `powers.len() != schedule.len()`.
@@ -59,9 +62,29 @@ pub fn sinr_matrix(
     phy: &PhyConfig,
     powers: &[Power],
 ) -> Vec<f64> {
-    (0..schedule.len())
-        .map(|k| sinr_of(net, schedule, spectrum, phy, powers, k))
-        .collect()
+    let mut out = Vec::with_capacity(schedule.len());
+    sinr_into(net, schedule, spectrum, phy, powers, &mut out);
+    out
+}
+
+/// Buffer-reusing form of [`sinr_matrix`]: clears `out` and fills it with
+/// the achieved SINR of every transmission, in schedule order. `out`
+/// retains its capacity across calls, so repeated per-slot use performs
+/// no heap allocation in steady state.
+///
+/// # Panics
+///
+/// Panics if `powers.len() != schedule.len()`.
+pub fn sinr_into(
+    net: &Network,
+    schedule: &Schedule,
+    spectrum: &SpectrumState,
+    phy: &PhyConfig,
+    powers: &[Power],
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend((0..schedule.len()).map(|k| sinr_of(net, schedule, spectrum, phy, powers, k)));
 }
 
 #[cfg(test)]

@@ -1,0 +1,742 @@
+//! Incremental power-control workspace for candidate-at-a-time S1 probing.
+//!
+//! The greedy S1 scheduler (paper §IV-C1) admits candidates one at a time
+//! while keeping constraint (24) feasible. The cold-start
+//! [`crate::min_power_assignment`] rebuilds the full co-channel cross-gain
+//! matrix and re-iterates from the noise floor for *every probed
+//! candidate* — `O(n²)` setup plus a full Foschini–Miljanic run per probe.
+//! [`PowerControlWorkspace`] exploits the access pattern instead:
+//!
+//! * [`PowerControlWorkspace::push_candidate`] appends one row and one
+//!   column to the cross-gain matrix (`O(n)` gain lookups, no rebuild);
+//! * [`PowerControlWorkspace::solve`] computes the minimal power vector
+//!   **directly**: the fixed-point equation `p = A·p + b` (with
+//!   `A_kl = Γ·g_kl/g_k`, `b_k = Γ·η_k/g_k`) is a small linear system
+//!   `(I − A)·p = b` whose matrix is a Z-matrix. It is a non-singular
+//!   M-matrix — equivalently `ρ(A) < 1`, equivalently a finite minimal
+//!   power vector exists — exactly when Gaussian elimination without
+//!   pivoting keeps every pivot positive (Fiedler–Pták). One `O(n³)`
+//!   elimination on an `n ≤ schedule-size` system replaces thousands of
+//!   Foschini–Miljanic sweeps near the feasibility boundary, where the
+//!   iteration's linear convergence rate `ρ(A) → 1` makes cold *and*
+//!   warm iteration equally slow. Zero-noise entries (possible only when
+//!   the noise density itself is zero) fall back to the monotone
+//!   iteration, warm-started from the previously accepted fixed point;
+//! * a **row-sum spectral-radius bound** rejects provably infeasible sets
+//!   before iterating: for the non-negative iteration matrix
+//!   `A_kl = Γ·g_kl/g_k`, `min_k Σ_l A_kl ≤ ρ(A)`, and `ρ(A) ≥ 1` with
+//!   positive noise admits no finite power vector. The bound only ever
+//!   rejects sets the cold solver would also reject (by cap violation or
+//!   non-convergence), never a feasible one;
+//! * [`PowerControlWorkspace::pop_candidate`] undoes the last push and
+//!   restores the previous fixed point, so a rejected probe costs `O(n)`.
+//!
+//! **Determinism contract.** Incremental solves are used for feasibility
+//! *probing* only. Once a schedule is final, callers run one cold-start
+//! [`crate::min_power_assignment_into`] (via
+//! [`PowerControlWorkspace::assign_final`]) so the returned powers are
+//! bit-identical to what the cold path has always produced.
+//!
+//! All buffers — including the recycled cross-gain rows — survive
+//! [`PowerControlWorkspace::clear`], so a workspace reused across slots
+//! performs no heap allocation in steady state.
+
+use crate::power_control::{ColdStartBuffers, MAX_ITERATIONS, RELATIVE_TOLERANCE};
+use crate::Transmission;
+use crate::{min_power_assignment_into, PhyConfig, PowerControlError, Schedule, SpectrumState};
+use greencell_net::Network;
+use greencell_units::Power;
+
+/// Reusable incremental Foschini–Miljanic solver state (see the module
+/// docs for the probing protocol and determinism contract).
+///
+/// # Examples
+///
+/// ```
+/// use greencell_net::{BandId, NetworkBuilder, PathLossModel, Point};
+/// use greencell_phy::{PhyConfig, PowerControlWorkspace, SpectrumState, Transmission};
+/// use greencell_units::{Bandwidth, Power};
+///
+/// let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+/// let bs = b.add_base_station(Point::new(0.0, 0.0));
+/// let u = b.add_user(Point::new(100.0, 0.0));
+/// let net = b.build()?;
+/// let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+/// let phy = PhyConfig::new(1.0, 1e-20);
+/// let caps = [Power::from_watts(20.0), Power::from_watts(1.0)];
+///
+/// let mut ws = PowerControlWorkspace::new();
+/// let t = Transmission::new(bs, u, BandId::from_index(0));
+/// assert!(ws.probe(&net, &spectrum, &phy, &caps, t).is_ok());
+/// assert_eq!(ws.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerControlWorkspace {
+    /// The transmissions currently admitted (or being probed), in order.
+    txs: Vec<Transmission>,
+    /// Direct gain `g_k` per entry.
+    direct_gain: Vec<f64>,
+    /// Receiver noise power per entry.
+    noise: Vec<f64>,
+    /// Transmitter cap `P^tx_max` in watts per entry.
+    cap: Vec<f64>,
+    /// Cross gains: `cross[k][l]` = gain from `tx_l` to `rx_k` when the
+    /// two entries share a band, else 0. One row per entry; rows are
+    /// recycled through `spare_rows` so steady state allocates nothing.
+    cross: Vec<Vec<f64>>,
+    /// Raw interference row sums `Σ_l cross[k][l]`, maintained
+    /// incrementally for the spectral-radius early reject.
+    row_sum: Vec<f64>,
+    /// Current power iterate / accepted fixed point, watts.
+    p: Vec<f64>,
+    /// The accepted fixed point saved before the outstanding probe.
+    p_saved: Vec<f64>,
+    /// Recycled cross rows.
+    spare_rows: Vec<Vec<f64>>,
+    /// Row-major `I − A` scratch for the direct elimination.
+    lu: Vec<f64>,
+    /// Right-hand side / solution scratch for the direct elimination and
+    /// the final solve's iterate.
+    rhs: Vec<f64>,
+    /// CSR row offsets of the nonzero cross gains (final solve).
+    csr_start: Vec<usize>,
+    /// CSR column indices (final solve).
+    csr_col: Vec<usize>,
+    /// CSR gain values (final solve).
+    csr_gain: Vec<f64>,
+    /// Buffers for the final cold-start assignment.
+    cold: ColdStartBuffers,
+}
+
+impl PowerControlWorkspace {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// `true` if no transmission has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// The current power iterate in watts, one per entry. After a
+    /// successful [`PowerControlWorkspace::solve`] this is the
+    /// component-wise minimal feasible vector (to iteration tolerance).
+    #[must_use]
+    pub fn powers_watts(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// Empties the workspace, retaining every buffer's capacity.
+    pub fn clear(&mut self) {
+        self.txs.clear();
+        self.direct_gain.clear();
+        self.noise.clear();
+        self.cap.clear();
+        self.row_sum.clear();
+        self.p.clear();
+        self.p_saved.clear();
+        while let Some(mut row) = self.cross.pop() {
+            row.clear();
+            self.spare_rows.push(row);
+        }
+    }
+
+    /// Appends `t` to the interference system: one new row (gains from
+    /// every existing transmitter into `t`'s receiver) and one new column
+    /// (gain from `t`'s transmitter into every existing receiver), both
+    /// restricted to co-channel entries. Saves the current fixed point so
+    /// [`PowerControlWorkspace::pop_candidate`] can restore it, and seeds
+    /// the new entry at its noise-only lower bound.
+    ///
+    /// Returns [`PowerControlError::Infeasible`] — without pushing — if
+    /// the new entry's noise-only minimum already exceeds its cap (the
+    /// same first check the cold solver performs).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerControlError::Infeasible`] as above.
+    pub fn push_candidate(
+        &mut self,
+        net: &Network,
+        spectrum: &SpectrumState,
+        phy: &PhyConfig,
+        max_powers: &[Power],
+        t: Transmission,
+    ) -> Result<(), PowerControlError> {
+        let topo = net.topology();
+        let gamma = phy.sinr_threshold();
+        let g = topo.gain(t.tx(), t.rx());
+        let eta_w = spectrum
+            .bandwidth(t.band())
+            .noise_power_watts(phy.noise_density());
+        let cap = max_powers[t.tx().index()].as_watts();
+        let floor = gamma * eta_w / g;
+        if floor > cap {
+            return Err(PowerControlError::Infeasible {
+                transmission_index: self.txs.len(),
+            });
+        }
+
+        // Save the accepted fixed point for pop_candidate.
+        self.p_saved.clear();
+        self.p_saved.extend_from_slice(&self.p);
+
+        // New column: t's transmitter interfering with existing receivers.
+        let mut new_row_sum = 0.0;
+        let mut new_row = self.spare_rows.pop().unwrap_or_default();
+        new_row.clear();
+        for (k, other) in self.txs.iter().enumerate() {
+            let (col, row) = if other.band() == t.band() {
+                (topo.gain(t.tx(), other.rx()), topo.gain(other.tx(), t.rx()))
+            } else {
+                (0.0, 0.0)
+            };
+            self.cross[k].push(col);
+            self.row_sum[k] += col;
+            new_row.push(row);
+            new_row_sum += row;
+        }
+        new_row.push(0.0); // diagonal
+        self.cross.push(new_row);
+        self.row_sum.push(new_row_sum);
+
+        self.txs.push(t);
+        self.direct_gain.push(g);
+        self.noise.push(eta_w);
+        self.cap.push(cap);
+        self.p.push(floor);
+        Ok(())
+    }
+
+    /// Undoes the most recent [`PowerControlWorkspace::push_candidate`]
+    /// and restores the fixed point saved by it. Only the last push can be
+    /// undone, and only before the next one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is empty.
+    pub fn pop_candidate(&mut self) {
+        assert!(!self.txs.is_empty(), "nothing to pop");
+        self.txs.pop();
+        self.direct_gain.pop();
+        self.noise.pop();
+        self.cap.pop();
+        self.row_sum.pop();
+        let mut row = self.cross.pop().unwrap_or_default();
+        row.clear();
+        self.spare_rows.push(row);
+        for (k, r) in self.cross.iter_mut().enumerate() {
+            let col = r.pop().unwrap_or(0.0);
+            self.row_sum[k] -= col;
+        }
+        self.p.clear();
+        self.p.extend_from_slice(&self.p_saved);
+    }
+
+    /// `true` if the row-sum spectral-radius bound proves the current set
+    /// infeasible under `phy`'s SINR target: with every receiver's noise
+    /// positive, `min_k Σ_l A_kl` lower-bounds `ρ(A)` for the non-negative
+    /// iteration matrix `A_kl = Γ·cross_kl/g_k`, and `ρ(A) > 1` admits no
+    /// finite fixed point. A feasible set has `ρ(A) < 1`, hence a min row
+    /// sum below 1 — so this bound can never reject a feasible set.
+    ///
+    /// With zero noise anywhere the bound is skipped (returns `false`):
+    /// the all-zero vector is then a valid fixed point regardless of the
+    /// spectral radius, and the cold solver accepts it.
+    #[must_use]
+    pub fn provably_infeasible(&self, phy: &PhyConfig) -> bool {
+        if self.row_sum.is_empty() || self.noise.iter().any(|&n| n <= 0.0) {
+            return false;
+        }
+        let gamma = phy.sinr_threshold();
+        let min_ratio = self
+            .row_sum
+            .iter()
+            .zip(&self.direct_gain)
+            .map(|(s, g)| gamma * s / g)
+            .fold(f64::INFINITY, f64::min);
+        min_ratio > 1.0
+    }
+
+    /// Solves for the component-wise minimal feasible power vector of the
+    /// current entries, or proves infeasibility.
+    ///
+    /// With positive noise everywhere (the normal case) this is one
+    /// direct `O(n³)` elimination of the tiny system `(I − A)·p = b` —
+    /// see the module docs. With the noise density at zero the all-zero
+    /// vector is the minimal fixed point and is accepted outright; in the
+    /// mixed case (only possible with zero-bandwidth bands in play) the
+    /// monotone Foschini–Miljanic iteration runs instead, warm-started
+    /// from the previously accepted fixed point.
+    ///
+    /// On `Err` the accepted fixed point in
+    /// [`PowerControlWorkspace::powers_watts`] may be stale for the
+    /// rejected entry set; callers must
+    /// [`PowerControlWorkspace::pop_candidate`] (which restores the saved
+    /// fixed point) or [`PowerControlWorkspace::clear`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerControlError::Infeasible`] — a cap binds, a pivot proves
+    ///   `ρ(A) ≥ 1`, or the spectral bound proves divergence;
+    /// * [`PowerControlError::NonConvergent`] — iteration budget
+    ///   exhausted on the feasibility boundary (fallback path only).
+    pub fn solve(&mut self, phy: &PhyConfig) -> Result<(), PowerControlError> {
+        let n = self.txs.len();
+        if n == 0 {
+            return Ok(());
+        }
+
+        if self.provably_infeasible(phy) {
+            return Err(PowerControlError::Infeasible {
+                transmission_index: n - 1,
+            });
+        }
+
+        if self.noise.iter().all(|&eta| eta > 0.0) {
+            return self.solve_direct(phy);
+        }
+        if self.noise.iter().all(|&eta| eta <= 0.0) {
+            // Zero noise everywhere: the minimal fixed point is the zero
+            // vector and every cap (≥ 0) admits it — exactly what a cold
+            // run from the zero floor concludes in one sweep.
+            for p in &mut self.p {
+                *p = 0.0;
+            }
+            return Ok(());
+        }
+        self.solve_iterative(phy)
+    }
+
+    /// Direct elimination of `(I − A)·p = b` (see the module docs).
+    ///
+    /// The matrix is a Z-matrix with unit diagonal; elimination without
+    /// pivoting keeps every pivot positive iff it is a non-singular
+    /// M-matrix, i.e. iff `ρ(A) < 1` and a finite minimal power vector
+    /// exists. A non-positive pivot therefore proves infeasibility, and
+    /// otherwise back-substitution yields the minimal vector, which is
+    /// then checked against the transmitter caps.
+    fn solve_direct(&mut self, phy: &PhyConfig) -> Result<(), PowerControlError> {
+        let n = self.txs.len();
+        let gamma = phy.sinr_threshold();
+        self.lu.clear();
+        self.rhs.clear();
+        for k in 0..n {
+            let scale = gamma / self.direct_gain[k];
+            let row = &self.cross[k];
+            self.lu.extend(
+                row.iter()
+                    .enumerate()
+                    .map(|(l, &g)| if l == k { 1.0 } else { -scale * g }),
+            );
+            self.rhs.push(scale * self.noise[k]);
+        }
+        for j in 0..n {
+            let pivot = self.lu[j * n + j];
+            if pivot <= 0.0 {
+                return Err(PowerControlError::Infeasible {
+                    transmission_index: n - 1,
+                });
+            }
+            for i in (j + 1)..n {
+                let factor = self.lu[i * n + j] / pivot;
+                // Cross-band couplings are exact zeros; skipping them
+                // keeps elimination near-linear on band-disjoint sets.
+                if factor == 0.0 {
+                    continue;
+                }
+                for l in (j + 1)..n {
+                    self.lu[i * n + l] -= factor * self.lu[j * n + l];
+                }
+                self.rhs[i] -= factor * self.rhs[j];
+            }
+        }
+        for k in (0..n).rev() {
+            let mut acc = self.rhs[k];
+            for l in (k + 1)..n {
+                acc -= self.lu[k * n + l] * self.rhs[l];
+            }
+            self.rhs[k] = acc / self.lu[k * n + k];
+        }
+        for k in 0..n {
+            if self.rhs[k] > self.cap[k] {
+                return Err(PowerControlError::Infeasible {
+                    transmission_index: k,
+                });
+            }
+        }
+        self.p.clear();
+        self.p.extend_from_slice(&self.rhs);
+        Ok(())
+    }
+
+    /// Warm-started monotone power iteration — the fallback for entry
+    /// sets that mix zero-noise and positive-noise receivers, where
+    /// neither the direct elimination's pivot test nor the trivial
+    /// zero-vector answer applies.
+    ///
+    /// Starts from the current iterate (the previously accepted fixed
+    /// point plus the new entry's noise floor — a valid from-below start)
+    /// and converges to the component-wise minimal vector, or proves
+    /// infeasibility by cap violation.
+    fn solve_iterative(&mut self, phy: &PhyConfig) -> Result<(), PowerControlError> {
+        let n = self.txs.len();
+        let gamma = phy.sinr_threshold();
+        for _ in 0..MAX_ITERATIONS {
+            let mut converged = true;
+            for k in 0..n {
+                let row = &self.cross[k];
+                let interference: f64 = row.iter().zip(&self.p).map(|(g, p)| g * p).sum();
+                let required = gamma * (self.noise[k] + interference) / self.direct_gain[k];
+                if required > self.cap[k] {
+                    return Err(PowerControlError::Infeasible {
+                        transmission_index: k,
+                    });
+                }
+                if required > self.p[k] * (1.0 + RELATIVE_TOLERANCE) {
+                    converged = false;
+                }
+                // Gauss–Seidel, monotone from below: same update as the
+                // cold solver, different (higher) starting point.
+                self.p[k] = required.max(self.p[k]);
+            }
+            if converged {
+                return Ok(());
+            }
+        }
+        Err(PowerControlError::NonConvergent)
+    }
+
+    /// Pushes `t`, solves, and pops automatically on failure — the
+    /// one-call probe the greedy S1 loop uses. On `Ok` the candidate is
+    /// admitted and the fixed point updated; on `Err` the workspace is
+    /// exactly as before the call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PowerControlWorkspace::push_candidate`] /
+    /// [`PowerControlWorkspace::solve`] errors.
+    pub fn probe(
+        &mut self,
+        net: &Network,
+        spectrum: &SpectrumState,
+        phy: &PhyConfig,
+        max_powers: &[Power],
+        t: Transmission,
+    ) -> Result<(), PowerControlError> {
+        self.push_candidate(net, spectrum, phy, max_powers, t)?;
+        match self.solve(phy) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.pop_candidate();
+                Err(e)
+            }
+        }
+    }
+
+    /// The determinism-contract final assignment: a cold-start
+    /// Foschini–Miljanic run over `schedule`, bit-identical to
+    /// [`crate::min_power_assignment`] on the same schedule. Powers land
+    /// in `out`.
+    ///
+    /// When the workspace's entries are exactly `schedule` (the normal
+    /// case after a probing loop: every accepted push is still held, in
+    /// schedule order), the run reuses the already-computed per-entry
+    /// constants and iterates over a compressed sparse row form of the
+    /// cross-gain matrix. Skipping the exact-zero cross-band terms only
+    /// removes `+ 0.0` no-ops from the cold solver's left-to-right
+    /// interference sums, so every iterate — and hence the returned
+    /// powers and the accept/reject decision — is bit-for-bit the cold
+    /// solver's. Otherwise it falls back to a plain cold
+    /// [`min_power_assignment_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::min_power_assignment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_powers.len()` differs from the node count.
+    pub fn assign_final(
+        &mut self,
+        net: &Network,
+        schedule: &Schedule,
+        spectrum: &SpectrumState,
+        phy: &PhyConfig,
+        max_powers: &[Power],
+        out: &mut Vec<Power>,
+    ) -> Result<(), PowerControlError> {
+        let txs = schedule.transmissions();
+        if txs.len() != self.txs.len() || txs.iter().zip(&self.txs).any(|(a, b)| a != b) {
+            return min_power_assignment_into(
+                net,
+                schedule,
+                spectrum,
+                phy,
+                max_powers,
+                &mut self.cold,
+                out,
+            );
+        }
+        self.final_solve_sparse(phy, out)
+    }
+
+    /// Cold-start iteration over the held entries in CSR form — the fast
+    /// path of [`PowerControlWorkspace::assign_final`]. The per-entry
+    /// constants (`direct_gain`, `noise`, `cap`) were computed by
+    /// [`PowerControlWorkspace::push_candidate`] with the same
+    /// expressions, on the same inputs, as the cold solver's setup, and
+    /// the noise-only start and sweep updates below repeat the cold
+    /// solver's float operations verbatim (modulo the skipped `+ 0.0`
+    /// cross-band terms), keeping the output bit-identical.
+    fn final_solve_sparse(
+        &mut self,
+        phy: &PhyConfig,
+        out: &mut Vec<Power>,
+    ) -> Result<(), PowerControlError> {
+        out.clear();
+        let n = self.txs.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let gamma = phy.sinr_threshold();
+
+        self.csr_start.clear();
+        self.csr_col.clear();
+        self.csr_gain.clear();
+        for row in &self.cross {
+            self.csr_start.push(self.csr_col.len());
+            for (l, &g) in row.iter().enumerate() {
+                if g != 0.0 {
+                    self.csr_col.push(l);
+                    self.csr_gain.push(g);
+                }
+            }
+        }
+        self.csr_start.push(self.csr_col.len());
+
+        // Noise-only lower bound, exactly as the cold solver starts.
+        let p = &mut self.rhs;
+        p.clear();
+        p.extend((0..n).map(|k| gamma * self.noise[k] / self.direct_gain[k]));
+        for (k, &p_k) in p.iter().enumerate() {
+            if p_k > self.cap[k] {
+                return Err(PowerControlError::Infeasible {
+                    transmission_index: k,
+                });
+            }
+        }
+        for _ in 0..MAX_ITERATIONS {
+            let mut converged = true;
+            for k in 0..n {
+                let (s, e) = (self.csr_start[k], self.csr_start[k + 1]);
+                let interference: f64 = self.csr_col[s..e]
+                    .iter()
+                    .zip(&self.csr_gain[s..e])
+                    .map(|(&l, &g)| g * p[l])
+                    .sum();
+                let required = gamma * (self.noise[k] + interference) / self.direct_gain[k];
+                if required > self.cap[k] {
+                    return Err(PowerControlError::Infeasible {
+                        transmission_index: k,
+                    });
+                }
+                if required > p[k] * (1.0 + RELATIVE_TOLERANCE) {
+                    converged = false;
+                }
+                p[k] = required.max(p[k]);
+            }
+            if converged {
+                out.extend(p.iter().copied().map(Power::from_watts));
+                return Ok(());
+            }
+        }
+        Err(PowerControlError::NonConvergent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_power_assignment;
+    use greencell_net::{BandId, NetworkBuilder, NodeId, PathLossModel, Point};
+    use greencell_stochastic::Rng;
+    use greencell_units::Bandwidth;
+
+    /// Two BS→user links facing each other, `sep` metres apart: close
+    /// separations are mutually infeasible, far ones feasible.
+    fn two_link_net(sep: f64) -> (Network, [NodeId; 4]) {
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+        let a = b.add_base_station(Point::new(0.0, 0.0));
+        let x = b.add_user(Point::new(100.0, 0.0));
+        let c = b.add_base_station(Point::new(sep, 0.0));
+        let y = b.add_user(Point::new(sep - 100.0, 0.0));
+        (b.build().expect("valid"), [a, x, c, y])
+    }
+
+    fn caps(n: usize) -> Vec<Power> {
+        (0..n).map(|_| Power::from_watts(20.0)).collect()
+    }
+
+    /// The early reject is one-sided: whenever the cold solver accepts a
+    /// set, `provably_infeasible` must be false for it and for every
+    /// prefix; whenever the reject fires, the cold solver must also
+    /// reject. Swept over geometries and SINR thresholds straddling the
+    /// feasibility boundary.
+    #[test]
+    fn spectral_radius_reject_never_rejects_a_feasible_set() {
+        let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+        let band = BandId::from_index(0);
+        let mut feasible_seen = 0;
+        let mut infeasible_seen = 0;
+        for sep in [
+            205.0, 210.0, 220.0, 260.0, 320.0, 400.0, 600.0, 1000.0, 2000.0,
+        ] {
+            for gamma in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+                let phy = PhyConfig::new(gamma, 1e-20);
+                let (net, [a, x, c, y]) = two_link_net(sep);
+                let mut schedule = Schedule::new();
+                schedule
+                    .try_add(&net, Transmission::new(a, x, band))
+                    .expect("add");
+                schedule
+                    .try_add(&net, Transmission::new(c, y, band))
+                    .expect("add");
+                let cold = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps(4));
+
+                let mut ws = PowerControlWorkspace::new();
+                let mut rejected = false;
+                for t in schedule.transmissions() {
+                    if ws
+                        .push_candidate(&net, &spectrum, &phy, &caps(4), *t)
+                        .is_err()
+                    {
+                        rejected = true;
+                        break;
+                    }
+                    if ws.provably_infeasible(&phy) {
+                        rejected = true;
+                        break;
+                    }
+                }
+                match cold {
+                    Ok(_) => {
+                        feasible_seen += 1;
+                        assert!(
+                            !rejected,
+                            "early reject fired on a feasible set (sep={sep}, gamma={gamma})"
+                        );
+                        ws.solve(&phy).expect("warm solve accepts feasible set");
+                    }
+                    Err(_) => {
+                        infeasible_seen += 1;
+                        // One-sided bound: firing is optional, but if the
+                        // warm path accepts, the set was NOT infeasible —
+                        // so a full warm solve must also reject.
+                        if !rejected {
+                            assert!(
+                                ws.solve(&phy).is_err(),
+                                "warm solve accepted a cold-rejected set \
+                                 (sep={sep}, gamma={gamma})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // The sweep must actually straddle the boundary to mean anything.
+        assert!(
+            feasible_seen > 5,
+            "sweep too easy: {feasible_seen} feasible"
+        );
+        assert!(
+            infeasible_seen > 5,
+            "sweep too lax: {infeasible_seen} infeasible"
+        );
+    }
+
+    /// Warm-started fixed points match the cold solver to tolerance on
+    /// random feasible prefixes, and pop restores the previous state.
+    #[test]
+    fn warm_fixed_point_matches_cold_and_pop_restores() {
+        let spectrum = SpectrumState::new(vec![
+            Bandwidth::from_megahertz(1.0),
+            Bandwidth::from_megahertz(2.0),
+        ]);
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..30 {
+            let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+            let mut ids = Vec::new();
+            for k in 0..6 {
+                let p = Point::new(rng.range_f64(0.0, 4000.0), rng.range_f64(0.0, 4000.0));
+                ids.push(if k % 3 == 0 {
+                    b.add_base_station(p)
+                } else {
+                    b.add_user(p)
+                });
+            }
+            let net = b.build().expect("valid");
+            let phy = PhyConfig::new(1.0, 1e-20);
+            let caps = caps(6);
+            let mut ws = PowerControlWorkspace::new();
+            let mut schedule = Schedule::new();
+            for pair in [(0usize, 1usize), (2, 3), (4, 5)] {
+                let band = BandId::from_index(rng.index(2));
+                let t = Transmission::new(ids[pair.0], ids[pair.1], band);
+                if schedule.try_add(&net, t).is_err() {
+                    continue;
+                }
+                let before: Vec<f64> = ws.powers_watts().to_vec();
+                if ws.probe(&net, &spectrum, &phy, &caps, t).is_err() {
+                    // Probe auto-popped: state must be exactly as before.
+                    assert_eq!(ws.powers_watts(), before.as_slice());
+                    let idx = schedule.len() - 1;
+                    schedule.remove(idx);
+                    continue;
+                }
+                // Warm fixed point ≈ cold fixed point (both converge to
+                // the minimal solution within the iteration tolerance).
+                let cold = min_power_assignment(&net, &schedule, &spectrum, &phy, &caps)
+                    .expect("warm-accepted set is cold-feasible");
+                for (w, c) in ws.powers_watts().iter().zip(&cold) {
+                    let c = c.as_watts();
+                    assert!((w - c).abs() <= 1e-9 * c.max(1e-30), "warm {w} vs cold {c}");
+                }
+            }
+        }
+    }
+
+    /// push → pop round-trips the whole interference system, leaving the
+    /// workspace able to accept the same candidate again.
+    #[test]
+    fn pop_candidate_round_trips() {
+        let (net, [a, x, c, y]) = two_link_net(2000.0);
+        let spectrum = SpectrumState::new(vec![Bandwidth::from_megahertz(1.0)]);
+        let phy = PhyConfig::new(1.0, 1e-20);
+        let band = BandId::from_index(0);
+        let caps = caps(4);
+        let mut ws = PowerControlWorkspace::new();
+        ws.probe(&net, &spectrum, &phy, &caps, Transmission::new(a, x, band))
+            .expect("first link feasible");
+        let saved: Vec<f64> = ws.powers_watts().to_vec();
+        ws.push_candidate(&net, &spectrum, &phy, &caps, Transmission::new(c, y, band))
+            .expect("push");
+        ws.pop_candidate();
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.powers_watts(), saved.as_slice());
+        // The popped candidate is re-admittable.
+        ws.probe(&net, &spectrum, &phy, &caps, Transmission::new(c, y, band))
+            .expect("re-probe succeeds");
+        assert_eq!(ws.len(), 2);
+    }
+}
