@@ -28,6 +28,19 @@ echo "== s1 kernel equivalence gate =="
 cargo test -p greencell-sim --test s1_kernel_equivalence -q $CARGO_FLAGS
 cargo test -p greencell-core --test prop_s1_kernel -q $CARGO_FLAGS
 
+echo "== pipeline equivalence gate =="
+# The staged S1–S4 pipeline driver must match the frozen pre-refactor
+# oracle bit-for-bit: seed scenarios, all four fault scenarios, both
+# degradation policies, every policy axis, plus a property test over
+# random controller configurations. The zero-alloc audit pins the
+# steady-state arena discipline.
+cargo test -p greencell-sim --test pipeline_equivalence -q $CARGO_FLAGS
+cargo test -p greencell-core --test prop_pipeline_config -q $CARGO_FLAGS
+cargo test -p greencell-core --test s1_zero_alloc -q $CARGO_FLAGS
+
+echo "== criterion benches compile =="
+cargo bench --workspace --no-run -q $CARGO_FLAGS
+
 echo "== trace determinism gate =="
 # Short paper-scenario traced run. --check re-parses the chrome-trace JSON
 # with the workspace's strict parser and byte-compares the deterministic
@@ -47,6 +60,9 @@ cargo clippy --workspace $CARGO_FLAGS -- -D warnings
 echo "== cargo clippy (no unwrap in core/sim/trace/phy library code) =="
 # Library and binary targets only: test code may unwrap freely, the
 # controller/simulator/tracing/power-control production path must not.
+# greencell-core's audit covers every module on the per-slot control path:
+# controller, pipeline (stage registry + fallback ladder), s1–s4, dpp
+# (drift constants), and lower_bound (the relaxed P̄3 controller).
 cargo clippy -p greencell-core -p greencell-sim -p greencell-trace \
   -p greencell-phy --lib --bins $CARGO_FLAGS -- \
   -D warnings -D clippy::unwrap_used

@@ -20,6 +20,18 @@ pub enum SchedulerKind {
     Greedy,
 }
 
+impl SchedulerKind {
+    /// The stage-registry key this kind resolves to (see
+    /// [`crate::pipeline::schedule_stage`]).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::SequentialFix => "sequential_fix",
+            Self::Greedy => "greedy",
+        }
+    }
+}
+
 /// Whether traffic may be relayed through intermediate nodes.
 ///
 /// The paper's Fig. 2(f) compares the proposed multi-hop architecture
@@ -35,6 +47,18 @@ pub enum RelayPolicy {
     OneHop,
 }
 
+impl RelayPolicy {
+    /// The stage-registry key this policy resolves to (see
+    /// [`crate::pipeline::relay_stage`]).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::MultiHop => "multi_hop",
+            Self::OneHop => "one_hop",
+        }
+    }
+}
+
 /// Which S4 energy-management policy the controller runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EnergyPolicy {
@@ -47,6 +71,18 @@ pub enum EnergyPolicy {
     /// battery; never charge. Quantifies how much of the cost saving comes
     /// from S4's Lyapunov-driven storage management.
     GridOnly,
+}
+
+impl EnergyPolicy {
+    /// The stage-registry key this policy resolves to (see
+    /// [`crate::pipeline::energy_stage`]).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::MarginalPrice => "marginal_price",
+            Self::GridOnly => "grid_only",
+        }
+    }
 }
 
 /// What the controller does when S4 cannot source a node's demand even

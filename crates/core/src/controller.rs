@@ -1,14 +1,27 @@
-//! The per-slot control pipeline (problem P3, §IV-C).
+//! The per-slot control driver (problem P3, §IV-C).
+//!
+//! Since the pipeline refactor the controller is a *thin driver* over
+//! [`crate::pipeline`]: S1/S3/S4 run behind stage traits resolved once at
+//! construction, every per-slot buffer lives in the
+//! [`crate::pipeline::SlotContext`] arena, and the degradation ladder is a
+//! chain of [`crate::pipeline::FallbackStage`] rungs. The driver's job is
+//! sequencing, uniform timing/span emission at stage boundaries, and
+//! assembling the typed boundary records into a [`SlotReport`].
 
+use crate::pipeline::{
+    self, AllocationRecord, EnergyRecord, EnergyStage, FallbackCx, FallbackOutcome, FallbackStage,
+    ObservationRecord, RelayStage, RoutingRecord, ScheduleRecord, ScheduleStage, SlotContext,
+    StageClock,
+};
 use crate::{
-    dpp, greedy_schedule_with, resource_allocation, route_flows, s1::S1Inputs,
-    sequential_fix_schedule_with, solve_energy_management, ControllerConfig, EnergyConfig,
-    EnergyManagementError, EnergyManagementInput, S1Scratch, ScheduleOutcome, SchedulerKind,
-    SlotObservation,
+    dpp, greedy_schedule_with, resource_allocation, resource_allocation_into, route_flows,
+    route_flows_into, s1::S1Inputs, sequential_fix_schedule_with, solve_energy_management,
+    ControllerConfig, EnergyConfig, EnergyManagementError, EnergyManagementInput, S1Scratch,
+    ScheduleOutcome, SchedulerKind, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel};
 use greencell_net::{Network, NodeId, SessionId};
-use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig, Schedule};
+use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig};
 use greencell_queue::{DataQueueBank, LinkQueueBank};
 use greencell_trace::{names, NoopSink, Sink, Stage, TraceEvent};
 use greencell_units::{Energy, Packets, Power};
@@ -148,7 +161,9 @@ impl SlotReport {
 }
 
 /// Cumulative wall-clock spent in each stage of the S1→S4 pipeline,
-/// accumulated across every [`Controller::step`] call.
+/// accumulated across every [`Controller::step`] call by the driver's
+/// [`crate::pipeline::StageClock`] (one capture site, not per-stage
+/// hand-wired reads).
 ///
 /// Kept on the controller (not in [`SlotReport`]) so slot reports stay
 /// comparable across runs: wall-clock is nondeterministic, decisions are
@@ -197,8 +212,10 @@ impl StageTimings {
 ///
 /// Owns the full network state — data queues `Q^s_i`, virtual link queues
 /// `G_ij`/`H_ij`, and batteries `x_i` — and advances it one slot per
-/// [`Controller::step`] given that slot's random observation. See the
-/// crate-level example.
+/// [`Controller::step`] given that slot's random observation. The actual
+/// stage logic lives in [`crate::pipeline`]: the config enums resolve to
+/// stage implementations at construction and the step method is a thin
+/// driver over them. See the crate-level example.
 #[derive(Debug, Clone)]
 pub struct Controller {
     net: Network,
@@ -219,25 +236,13 @@ pub struct Controller {
     models: Vec<NodeEnergyModel>,
     grid_limits: Vec<Energy>,
     is_bs: Vec<bool>,
-    scratch: SlotScratch,
-}
-
-/// Per-slot working buffers of [`Controller::step`], retained across slots
-/// so the steady-state pipeline reuses allocations instead of
-/// `Vec::new()` + `collect()` per slot. Taken out of the controller with
-/// [`std::mem::take`] for the duration of a step (so `&self` helper calls
-/// stay legal) and put back before returning.
-#[derive(Debug, Clone, Default)]
-struct SlotScratch {
-    z: Vec<f64>,
-    traffic_budget: Vec<Energy>,
-    routing_caps: Vec<(NodeId, NodeId, Packets)>,
-    demand: Vec<Energy>,
-    z_after: Vec<f64>,
-    link_service: Vec<(NodeId, NodeId, Packets)>,
-    admission_triples: Vec<(SessionId, NodeId, Packets)>,
-    s1: S1Scratch,
-    outcome: ScheduleOutcome,
+    // The resolved pipeline: stage objects looked up from the registry at
+    // construction, so the hot path carries no `match` on config enums.
+    schedule_stage: &'static dyn ScheduleStage,
+    relay_stage: &'static dyn RelayStage,
+    energy_stage: &'static dyn EnergyStage,
+    ladder: &'static [&'static dyn FallbackStage],
+    ctx: SlotContext,
 }
 
 impl Controller {
@@ -280,6 +285,13 @@ impl Controller {
             .iter()
             .map(|n| n.kind().is_base_station())
             .collect();
+        let schedule_stage = pipeline::schedule_stage(config.scheduler.key())
+            .expect("built-in scheduler stage is registered");
+        let relay_stage =
+            pipeline::relay_stage(config.relay.key()).expect("built-in relay stage is registered");
+        let energy_stage = pipeline::energy_stage(config.energy_policy.key())
+            .expect("built-in energy stage is registered");
+        let ladder = pipeline::fallback_ladder(config.degradation);
         Ok(Self {
             data: DataQueueBank::new(nodes, &destinations),
             links: LinkQueueBank::new(nodes, beta),
@@ -297,7 +309,11 @@ impl Controller {
             models,
             grid_limits,
             is_bs,
-            scratch: SlotScratch::default(),
+            schedule_stage,
+            relay_stage,
+            energy_stage,
+            ladder,
+            ctx: SlotContext::default(),
         })
     }
 
@@ -370,6 +386,23 @@ impl Controller {
         self.timings
     }
 
+    /// Swaps the S4 stage for any object registered through the
+    /// [`crate::pipeline`] seam (e.g.
+    /// `pipeline::energy_stage("grid_only")`), overriding what
+    /// [`crate::EnergyPolicy::key`] resolved at construction. Ablation
+    /// hook: lets a custom or baseline energy policy run under the full
+    /// driver (timing, tracing, degradation ladder) without a config enum
+    /// variant.
+    pub fn set_energy_stage(&mut self, stage: &'static dyn EnergyStage) {
+        self.energy_stage = stage;
+    }
+
+    /// The registry key of the S4 stage currently in force.
+    #[must_use]
+    pub fn energy_stage_key(&self) -> &'static str {
+        self.energy_stage.key()
+    }
+
     /// The current Lyapunov function value `L(Θ(t))` given the shifted
     /// battery levels.
     fn lyapunov_value(&self, z: &[f64]) -> f64 {
@@ -426,22 +459,49 @@ impl Controller {
         let traced = sink.enabled();
         let slot_start = traced.then(Instant::now);
         let nodes = self.net.topology().len();
-        obs.validate(nodes, self.net.session_count(), self.net.band_count());
+        let sessions = self.net.session_count();
+        obs.validate(nodes, sessions, self.net.band_count());
+        let observation = ObservationRecord {
+            slot: self.slot,
+            nodes,
+            sessions,
+        };
 
-        // The retained per-slot buffers; taken out of `self` so `&self`
-        // helpers stay callable, restored before every non-aborting return.
-        let mut scratch = std::mem::take(&mut self.scratch);
+        // The resolved stages (Copy `&'static` refs, hoisted so the arena
+        // borrows below don't fight the borrow checker).
+        let schedule_stage = self.schedule_stage;
+        let relay_stage = self.relay_stage;
+        let energy_stage = self.energy_stage;
+        let ladder = self.ladder;
+
+        // The per-slot arena; taken out of `self` so `&self` helpers stay
+        // callable, restored before every non-aborting return.
+        let mut arena = std::mem::take(&mut self.ctx);
+        let SlotContext {
+            z,
+            traffic_budget,
+            routing_caps,
+            demand,
+            z_after,
+            link_service,
+            admission_triples,
+            admissions,
+            s1,
+            outcome,
+            s3,
+            flows,
+            s4,
+            energy,
+        } = &mut arena;
 
         // Shifted battery levels for this slot.
-        scratch.z.clear();
-        scratch
-            .z
-            .extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
+        z.clear();
+        z.extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
 
         // Energy admission budget: what a node could source for *traffic*
         // on top of its fixed overhead this slot.
-        scratch.traffic_budget.clear();
-        scratch.traffic_budget.extend((0..nodes).map(|i| {
+        traffic_budget.clear();
+        traffic_budget.extend((0..nodes).map(|i| {
             let fixed = self.models[i].const_energy() + self.models[i].idle_energy();
             let grid = if obs.grid_connected[i] {
                 self.grid_limits[i]
@@ -452,8 +512,8 @@ impl Controller {
                 .max(Energy::ZERO)
         }));
 
-        // S1 — link scheduling (+ minimal powers), on the incremental
-        // warm-start kernel with reused buffers.
+        // S1 — link scheduling (+ minimal powers) through the resolved
+        // stage, on the incremental warm-start kernel with reused buffers.
         let s1_inputs = S1Inputs {
             net: &self.net,
             phy: &self.phy,
@@ -461,61 +521,37 @@ impl Controller {
             links: &self.links,
             max_powers: &self.max_powers,
             energy_models: &self.models,
-            traffic_budget: &scratch.traffic_budget,
+            traffic_budget,
             available: &obs.node_available,
             slot: self.config.slot,
             packet_size: self.config.packet_size,
         };
-        let s1_start = Instant::now();
-        match self.config.scheduler {
-            SchedulerKind::Greedy => {
-                greedy_schedule_with(&s1_inputs, &mut scratch.s1, &mut scratch.outcome);
-            }
-            SchedulerKind::SequentialFix => {
-                sequential_fix_schedule_with(&s1_inputs, &mut scratch.s1, &mut scratch.outcome);
-            }
-        }
-        let s1_elapsed = s1_start.elapsed();
-        self.timings.s1 += s1_elapsed;
-        if traced {
-            sink.record(TraceEvent::span_ended(
-                self.slot,
-                Stage::S1,
-                sink.now_nanos(),
-                s1_elapsed,
-            ));
-        }
+        let clock = StageClock::start();
+        schedule_stage.schedule(&s1_inputs, s1, outcome);
+        clock.stop(&mut self.timings.s1, self.slot, Stage::S1, traced, sink);
 
         // S2 — source selection and admission control. A down source BS
         // admits nothing (fault injection; the session waits the outage
         // out rather than being handed to a farther BS mid-fault).
-        let s2_start = Instant::now();
-        let mut admissions = resource_allocation(
+        let clock = StageClock::start();
+        resource_allocation_into(
             &self.net,
             &self.data,
             self.config.lambda,
             self.config.v,
             self.config.k_max,
+            admissions,
         );
         if !obs.node_available.is_empty() {
             admissions.retain(|a| obs.is_node_available(a.source.index()));
         }
-        let s2_elapsed = s2_start.elapsed();
-        self.timings.s2 += s2_elapsed;
-        if traced {
-            sink.record(TraceEvent::span_ended(
-                self.slot,
-                Stage::S2,
-                sink.now_nanos(),
-                s2_elapsed,
-            ));
-        }
+        clock.stop(&mut self.timings.s2, self.slot, Stage::S2, traced, sink);
 
-        // S3 + S4, with a degradation ladder in case S4 reports a deficit
+        // S3 + S4, with the fallback ladder in case S4 reports a deficit
         // the worst-case precheck missed (or a fault made the observation
-        // inconsistent): shed transmissions touching the starving node,
-        // then fall back to grid-only sourcing, then enter a bounded safe
-        // mode. The strict policy aborts instead of descending past
+        // inconsistent). The ladder is the resolved
+        // `pipeline::fallback_ladder` chain: graceful descends shed →
+        // grid-only → drop schedule → safe mode; strict aborts after
         // shedding.
         let mut shed = 0usize;
         let mut degradation: Vec<DegradationEvent> = Vec::new();
@@ -524,8 +560,8 @@ impl Controller {
         // packets per slot — the two-layer reading of constraint (25); see
         // `s3` module docs.
         let beta_cap = Packets::new(self.beta.floor() as u64);
-        scratch.routing_caps.clear();
-        scratch.routing_caps.extend(
+        routing_caps.clear();
+        routing_caps.extend(
             self.net
                 .topology()
                 .ordered_pairs()
@@ -533,39 +569,26 @@ impl Controller {
                 .filter(|&(i, j)| {
                     obs.is_node_available(i.index()) && obs.is_node_available(j.index())
                 })
-                .filter(|&(i, _)| match self.config.relay {
-                    crate::RelayPolicy::MultiHop => true,
-                    crate::RelayPolicy::OneHop => {
-                        self.net.topology().node(i).kind().is_base_station()
-                    }
-                })
+                .filter(|&(i, _)| relay_stage.may_relay(&self.net, i))
                 .map(|(i, j)| (i, j, beta_cap)),
         );
 
-        let (flows, energy_outcome) = loop {
-            let s3_start = Instant::now();
-            self.link_service_into(&scratch.outcome, &obs.spectrum, &mut scratch.link_service);
-            let flows = route_flows(
+        loop {
+            let clock = StageClock::start();
+            self.link_service_into(outcome, &obs.spectrum, link_service);
+            route_flows_into(
                 &self.net,
                 &self.data,
                 &self.links,
-                &scratch.routing_caps,
-                &admissions,
+                routing_caps,
+                admissions,
                 &obs.session_demand,
+                s3,
+                flows,
             );
-            let s3_elapsed = s3_start.elapsed();
-            self.timings.s3 += s3_elapsed;
-            if traced {
-                sink.record(TraceEvent::span_ended(
-                    self.slot,
-                    Stage::S3,
-                    sink.now_nanos(),
-                    s3_elapsed,
-                ));
-            }
-            let outcome = &scratch.outcome;
-            scratch.demand.clear();
-            scratch.demand.extend((0..nodes).map(|i| {
+            clock.stop(&mut self.timings.s3, self.slot, Stage::S3, traced, sink);
+            demand.clear();
+            demand.extend((0..nodes).map(|i| {
                 let node = NodeId::from_index(i);
                 let tx_power = outcome.schedule.transmission_from(node).and_then(|t| {
                     outcome
@@ -581,14 +604,10 @@ impl Controller {
             // Time-of-use pricing: this slot the provider pays
             // `m·f(P)`, which for the quadratic f is exactly the scaled
             // quadratic — S4's exactness is preserved.
-            let scaled_cost = greencell_energy::QuadraticCost::new(
-                self.energy.cost.quadratic() * obs.price_multiplier,
-                self.energy.cost.linear() * obs.price_multiplier,
-                self.energy.cost.constant() * obs.price_multiplier,
-            );
+            let scaled_cost = dpp::scaled_cost(&self.energy.cost, obs.price_multiplier);
             let input = EnergyManagementInput {
-                z: &scratch.z,
-                demand: &scratch.demand,
+                z,
+                demand,
                 renewable: &obs.renewable,
                 batteries: &self.batteries,
                 grid_connected: &obs.grid_connected,
@@ -597,130 +616,60 @@ impl Controller {
                 cost: &scaled_cost,
                 v: self.config.v,
             };
-            let s4_start = Instant::now();
-            let solved = match self.config.energy_policy {
-                crate::EnergyPolicy::MarginalPrice => solve_energy_management(&input),
-                crate::EnergyPolicy::GridOnly => crate::solve_grid_only(&input),
-            };
-            let s4_elapsed = s4_start.elapsed();
-            self.timings.s4 += s4_elapsed;
-            if traced {
-                sink.record(TraceEvent::span_ended(
-                    self.slot,
-                    Stage::S4,
-                    sink.now_nanos(),
-                    s4_elapsed,
-                ));
-            }
+            let clock = StageClock::start();
+            let solved = energy_stage.solve(&input, s4, energy);
+            clock.stop(&mut self.timings.s4, self.slot, Stage::S4, traced, sink);
             match solved {
-                Ok(out) => break (flows, out),
+                Ok(()) => break,
                 Err(err) => {
                     #[cfg(feature = "shed-debug")]
                     eprintln!("slot {}: S4 error {err:?}", self.slot);
-                    // Rung 1 — shed every transmission touching the
-                    // starving node and retry; an Invalid decision is
-                    // treated the same way (drop load, stay safe).
-                    if !scratch.outcome.schedule.is_empty() {
-                        let node = match &err {
-                            EnergyManagementError::Deficit { node, .. } => {
-                                NodeId::from_index((*node).min(nodes - 1))
-                            }
-                            _ => scratch.outcome.schedule.transmissions()[0].tx(),
-                        };
-                        let before = scratch.outcome.schedule.len();
-                        let reduced = shed_node(
-                            &self.net,
-                            &scratch.outcome,
-                            node,
-                            &obs.spectrum,
-                            &self.phy,
-                            &self.max_powers,
-                        );
-                        let dropped = before - reduced.schedule.len();
-                        if dropped > 0 {
-                            scratch.outcome = reduced;
-                            shed += dropped;
-                            degradation.push(DegradationEvent::Shed {
-                                node: node.index(),
-                                dropped,
-                            });
-                            if traced {
-                                sink.record(TraceEvent::Mark {
-                                    slot: self.slot,
-                                    name: "degrade_shed",
-                                });
-                            }
-                            continue;
-                        }
-                        // The starving node is already idle: shedding its
-                        // links cannot help. Fall through the ladder.
-                    }
-                    if self.config.degradation == crate::DegradationPolicy::Strict {
-                        // Aborting run: the default-initialized scratch
-                        // left in `self` is fine (only capacity is lost).
-                        return Err(err.into());
-                    }
-                    // Rung 2 — the storage-oblivious grid-only solver;
-                    // catches marginal-price internal failures and any
-                    // case where abandoning the Lyapunov objective
-                    // restores feasibility.
-                    if let Ok(out) = crate::solve_grid_only(&input) {
-                        degradation.push(DegradationEvent::GridOnlyFallback);
-                        if traced {
-                            sink.record(TraceEvent::Mark {
-                                slot: self.slot,
-                                name: "degrade_grid_only",
-                            });
-                        }
-                        break (flows, out);
-                    }
-                    // Rung 3a — still infeasible with traffic on the air:
-                    // drop the whole schedule and retry on idle demand.
-                    if !scratch.outcome.schedule.is_empty() {
-                        let dropped = scratch.outcome.schedule.len();
-                        shed += dropped;
-                        degradation.push(DegradationEvent::Shed {
-                            node: nodes, // sentinel: whole-schedule drop
-                            dropped,
-                        });
-                        if traced {
-                            sink.record(TraceEvent::Mark {
-                                slot: self.slot,
-                                name: "degrade_shed",
-                            });
-                        }
-                        scratch.outcome.clear();
-                        continue;
-                    }
-                    // Rung 3b — safe mode: serve what physics allows,
-                    // record each brown-out, admit and route nothing.
-                    let safe = crate::solve_safe_mode(&input);
-                    for &(node, deficit) in &safe.deficits {
-                        degradation.push(DegradationEvent::SafeMode { node, deficit });
-                        if traced {
-                            sink.record(TraceEvent::Mark {
-                                slot: self.slot,
-                                name: "degrade_safe_mode",
-                            });
+                    let mut cx = FallbackCx {
+                        net: &self.net,
+                        phy: &self.phy,
+                        spectrum: &obs.spectrum,
+                        max_powers: &self.max_powers,
+                        nodes,
+                        sessions,
+                        slot: self.slot,
+                        input: &input,
+                        outcome,
+                        admissions,
+                        link_service,
+                        flows,
+                        energy,
+                        degradation: &mut degradation,
+                        shed: &mut shed,
+                        traced,
+                        sink: &mut *sink,
+                    };
+                    let mut decision = FallbackOutcome::Pass;
+                    for rung in ladder {
+                        decision = rung.attempt(&err, &mut cx);
+                        if decision != FallbackOutcome::Pass {
+                            break;
                         }
                     }
-                    admissions.clear();
-                    scratch.link_service.clear();
-                    break (
-                        greencell_queue::FlowPlan::new(nodes, self.net.session_count()),
-                        safe.outcome,
-                    );
+                    match decision {
+                        FallbackOutcome::Retry => continue,
+                        FallbackOutcome::Resolved => break,
+                        FallbackOutcome::Pass | FallbackOutcome::Abort => {
+                            // Aborting run: the default-initialized arena
+                            // left in `self` is fine (only capacity is
+                            // lost).
+                            return Err(err.into());
+                        }
+                    }
                 }
             }
-        };
+        }
 
         // Drift-plus-penalty diagnostics for the chosen actions, computed
         // against the *pre-update* queue state (as in Lemma 1).
-        let lyapunov_before = self.lyapunov_value(&scratch.z);
+        let lyapunov_before = self.lyapunov_value(z);
         let psi1 = dpp::psi1(
             self.beta,
-            scratch
-                .link_service
+            link_service
                 .iter()
                 .map(|&(i, j, pkts)| self.links.h(i, j) * pkts.count_f64()),
         );
@@ -743,26 +692,32 @@ impl Controller {
 
         // Advance state: queues by their laws, batteries by the decisions.
         let advance_start = traced.then(Instant::now);
-        scratch.admission_triples.clear();
-        scratch.admission_triples.extend(
+        admission_triples.clear();
+        admission_triples.extend(
             admissions
                 .iter()
                 .filter(|a| a.packets > Packets::ZERO)
                 .map(|a| (a.session, a.source, a.packets)),
         );
-        let routed = flows.total();
-        self.data.advance(&flows, &scratch.admission_triples);
-        self.links.advance(&flows, &scratch.link_service);
-        for (battery, decision) in self.batteries.iter_mut().zip(&energy_outcome.decisions) {
+        let schedule = ScheduleRecord {
+            scheduled_links: outcome.schedule.len(),
+        };
+        let allocation = AllocationRecord {
+            admitted: admission_triples.iter().map(|(_, _, k)| *k).sum(),
+        };
+        let routing = RoutingRecord {
+            routed: flows.total(),
+        };
+        self.data.advance(flows, admission_triples);
+        self.links.advance(flows, link_service);
+        for (battery, decision) in self.batteries.iter_mut().zip(&energy.decisions) {
             decision
                 .apply_to_battery(battery)
                 .expect("validated decision must apply");
         }
-        scratch.z_after.clear();
-        scratch
-            .z_after
-            .extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
-        let lyapunov_after = self.lyapunov_value(&scratch.z_after);
+        z_after.clear();
+        z_after.extend((0..nodes).map(|i| self.shifted_level(NodeId::from_index(i))));
+        let lyapunov_after = self.lyapunov_value(z_after);
         if let Some(start) = advance_start {
             sink.record(TraceEvent::span_ended(
                 self.slot,
@@ -771,18 +726,23 @@ impl Controller {
                 start.elapsed(),
             ));
         }
+        let energy_record = EnergyRecord {
+            cost: energy.cost,
+            grid_draw: energy.grid_draw,
+            objective: energy.objective,
+        };
 
         let report = SlotReport {
-            slot: self.slot,
-            cost: energy_outcome.cost,
-            grid_draw: energy_outcome.grid_draw,
-            scheduled_links: scratch.outcome.schedule.len(),
-            admitted: scratch.admission_triples.iter().map(|(_, _, k)| *k).sum(),
-            routed,
+            slot: observation.slot,
+            cost: energy_record.cost,
+            grid_draw: energy_record.grid_draw,
+            scheduled_links: schedule.scheduled_links,
+            admitted: allocation.admitted,
+            routed: routing.routed,
             psi1,
             psi2,
             psi3,
-            psi4: energy_outcome.objective,
+            psi4: energy_record.objective,
             lyapunov_before,
             lyapunov_after,
             shed_transmissions: shed,
@@ -823,7 +783,266 @@ impl Controller {
         }
         self.slot += 1;
         self.timings.slots += 1;
-        self.scratch = scratch;
+        self.ctx = arena;
+        Ok(report)
+    }
+
+    /// The pre-refactor monolithic step, frozen as an equivalence oracle
+    /// for the pipeline driver. Allocates per slot, emits no spans, and
+    /// does not accumulate [`StageTimings`]; its decisions and state
+    /// advance are bit-identical to what [`Controller::step`] produced
+    /// before the stage extraction. Used by the `pipeline_equivalence`
+    /// and `prop_pipeline_config` tests; not part of the public API.
+    #[doc(hidden)]
+    pub fn step_reference(&mut self, obs: &SlotObservation) -> Result<SlotReport, ControllerError> {
+        let nodes = self.net.topology().len();
+        obs.validate(nodes, self.net.session_count(), self.net.band_count());
+
+        // Shifted battery levels for this slot.
+        let z: Vec<f64> = (0..nodes)
+            .map(|i| self.shifted_level(NodeId::from_index(i)))
+            .collect();
+
+        // Energy admission budget.
+        let traffic_budget: Vec<Energy> = (0..nodes)
+            .map(|i| {
+                let fixed = self.models[i].const_energy() + self.models[i].idle_energy();
+                let grid = if obs.grid_connected[i] {
+                    self.grid_limits[i]
+                } else {
+                    Energy::ZERO
+                };
+                (obs.renewable[i] + self.batteries[i].max_discharge_now() + grid - fixed)
+                    .max(Energy::ZERO)
+            })
+            .collect();
+
+        // S1 — link scheduling (+ minimal powers).
+        let s1_inputs = S1Inputs {
+            net: &self.net,
+            phy: &self.phy,
+            spectrum: &obs.spectrum,
+            links: &self.links,
+            max_powers: &self.max_powers,
+            energy_models: &self.models,
+            traffic_budget: &traffic_budget,
+            available: &obs.node_available,
+            slot: self.config.slot,
+            packet_size: self.config.packet_size,
+        };
+        let mut s1_scratch = S1Scratch::default();
+        let mut outcome = ScheduleOutcome::default();
+        match self.config.scheduler {
+            SchedulerKind::Greedy => {
+                greedy_schedule_with(&s1_inputs, &mut s1_scratch, &mut outcome);
+            }
+            SchedulerKind::SequentialFix => {
+                sequential_fix_schedule_with(&s1_inputs, &mut s1_scratch, &mut outcome);
+            }
+        }
+
+        // S2 — source selection and admission control.
+        let mut admissions = resource_allocation(
+            &self.net,
+            &self.data,
+            self.config.lambda,
+            self.config.v,
+            self.config.k_max,
+        );
+        if !obs.node_available.is_empty() {
+            admissions.retain(|a| obs.is_node_available(a.source.index()));
+        }
+
+        // S3 + S4 with the inline degradation ladder.
+        let mut shed = 0usize;
+        let mut degradation: Vec<DegradationEvent> = Vec::new();
+        let beta_cap = Packets::new(self.beta.floor() as u64);
+        let routing_caps: Vec<(NodeId, NodeId, Packets)> = self
+            .net
+            .topology()
+            .ordered_pairs()
+            .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
+            .filter(|&(i, j)| obs.is_node_available(i.index()) && obs.is_node_available(j.index()))
+            .filter(|&(i, _)| match self.config.relay {
+                crate::RelayPolicy::MultiHop => true,
+                crate::RelayPolicy::OneHop => self.net.topology().node(i).kind().is_base_station(),
+            })
+            .map(|(i, j)| (i, j, beta_cap))
+            .collect();
+
+        let mut link_service: Vec<(NodeId, NodeId, Packets)> = Vec::new();
+        let (flows, energy_outcome) = loop {
+            self.link_service_into(&outcome, &obs.spectrum, &mut link_service);
+            let flows = route_flows(
+                &self.net,
+                &self.data,
+                &self.links,
+                &routing_caps,
+                &admissions,
+                &obs.session_demand,
+            );
+            let demand: Vec<Energy> = (0..nodes)
+                .map(|i| {
+                    let node = NodeId::from_index(i);
+                    let tx_power = outcome.schedule.transmission_from(node).and_then(|t| {
+                        outcome
+                            .schedule
+                            .transmissions()
+                            .iter()
+                            .position(|u| u == t)
+                            .map(|k| outcome.powers[k])
+                    });
+                    let receiving = outcome.schedule.transmission_to(node).is_some();
+                    self.models[i].slot_demand(tx_power, receiving, self.config.slot)
+                })
+                .collect();
+            let scaled_cost = greencell_energy::QuadraticCost::new(
+                self.energy.cost.quadratic() * obs.price_multiplier,
+                self.energy.cost.linear() * obs.price_multiplier,
+                self.energy.cost.constant() * obs.price_multiplier,
+            );
+            let input = EnergyManagementInput {
+                z: &z,
+                demand: &demand,
+                renewable: &obs.renewable,
+                batteries: &self.batteries,
+                grid_connected: &obs.grid_connected,
+                grid_limits: &self.grid_limits,
+                is_base_station: &self.is_bs,
+                cost: &scaled_cost,
+                v: self.config.v,
+            };
+            let solved = match self.config.energy_policy {
+                crate::EnergyPolicy::MarginalPrice => solve_energy_management(&input),
+                crate::EnergyPolicy::GridOnly => crate::solve_grid_only(&input),
+            };
+            match solved {
+                Ok(out) => break (flows, out),
+                Err(err) => {
+                    // Rung 1 — shed every transmission touching the
+                    // starving node and retry.
+                    if !outcome.schedule.is_empty() {
+                        let node = match &err {
+                            EnergyManagementError::Deficit { node, .. } => {
+                                NodeId::from_index((*node).min(nodes - 1))
+                            }
+                            _ => outcome.schedule.transmissions()[0].tx(),
+                        };
+                        let before = outcome.schedule.len();
+                        let reduced = pipeline::shed_node(
+                            &self.net,
+                            &outcome,
+                            node,
+                            &obs.spectrum,
+                            &self.phy,
+                            &self.max_powers,
+                        );
+                        let dropped = before - reduced.schedule.len();
+                        if dropped > 0 {
+                            outcome = reduced;
+                            shed += dropped;
+                            degradation.push(DegradationEvent::Shed {
+                                node: node.index(),
+                                dropped,
+                            });
+                            continue;
+                        }
+                    }
+                    if self.config.degradation == crate::DegradationPolicy::Strict {
+                        return Err(err.into());
+                    }
+                    // Rung 2 — the storage-oblivious grid-only solver.
+                    if let Ok(out) = crate::solve_grid_only(&input) {
+                        degradation.push(DegradationEvent::GridOnlyFallback);
+                        break (flows, out);
+                    }
+                    // Rung 3a — drop the whole schedule and retry.
+                    if !outcome.schedule.is_empty() {
+                        let dropped = outcome.schedule.len();
+                        shed += dropped;
+                        degradation.push(DegradationEvent::Shed {
+                            node: nodes, // sentinel: whole-schedule drop
+                            dropped,
+                        });
+                        outcome.clear();
+                        continue;
+                    }
+                    // Rung 3b — safe mode.
+                    let safe = crate::solve_safe_mode(&input);
+                    for &(node, deficit) in &safe.deficits {
+                        degradation.push(DegradationEvent::SafeMode { node, deficit });
+                    }
+                    admissions.clear();
+                    link_service.clear();
+                    break (
+                        greencell_queue::FlowPlan::new(nodes, self.net.session_count()),
+                        safe.outcome,
+                    );
+                }
+            }
+        };
+
+        // Drift-plus-penalty diagnostics.
+        let lyapunov_before = self.lyapunov_value(&z);
+        let psi1 = dpp::psi1(
+            self.beta,
+            link_service
+                .iter()
+                .map(|&(i, j, pkts)| self.links.h(i, j) * pkts.count_f64()),
+        );
+        let psi2 = dpp::psi2(
+            admissions.iter().map(|a| {
+                (
+                    self.data.backlog(a.source, a.session).count_f64(),
+                    a.packets.count_f64(),
+                )
+            }),
+            self.config.lambda,
+            self.config.v,
+        );
+        let psi3 = dpp::psi3(flows.iter_nonzero().map(|(s, i, j, l)| {
+            let coeff = -self.data.backlog(i, s).count_f64()
+                + self.data.backlog(j, s).count_f64()
+                + self.beta * self.links.h(i, j);
+            (coeff, l.count_f64())
+        }));
+
+        // Advance state.
+        let admission_triples: Vec<(SessionId, NodeId, Packets)> = admissions
+            .iter()
+            .filter(|a| a.packets > Packets::ZERO)
+            .map(|a| (a.session, a.source, a.packets))
+            .collect();
+        let routed = flows.total();
+        self.data.advance(&flows, &admission_triples);
+        self.links.advance(&flows, &link_service);
+        for (battery, decision) in self.batteries.iter_mut().zip(&energy_outcome.decisions) {
+            decision
+                .apply_to_battery(battery)
+                .expect("validated decision must apply");
+        }
+        let z_after: Vec<f64> = (0..nodes)
+            .map(|i| self.shifted_level(NodeId::from_index(i)))
+            .collect();
+        let lyapunov_after = self.lyapunov_value(&z_after);
+
+        let report = SlotReport {
+            slot: self.slot,
+            cost: energy_outcome.cost,
+            grid_draw: energy_outcome.grid_draw,
+            scheduled_links: outcome.schedule.len(),
+            admitted: admission_triples.iter().map(|(_, _, k)| *k).sum(),
+            routed,
+            psi1,
+            psi2,
+            psi3,
+            psi4: energy_outcome.objective,
+            lyapunov_before,
+            lyapunov_after,
+            shed_transmissions: shed,
+            degradation,
+        };
+        self.slot += 1;
         Ok(report)
     }
 
@@ -848,31 +1067,4 @@ impl Controller {
             )
         }));
     }
-}
-
-/// Rebuilds the schedule without any transmission touching `node`, then
-/// recomputes minimal powers.
-fn shed_node(
-    net: &Network,
-    outcome: &ScheduleOutcome,
-    node: NodeId,
-    spectrum: &greencell_phy::SpectrumState,
-    phy: &PhyConfig,
-    max_powers: &[Power],
-) -> ScheduleOutcome {
-    let mut schedule = Schedule::new();
-    for t in outcome.schedule.transmissions() {
-        if t.tx() != node && t.rx() != node {
-            schedule
-                .try_add(net, *t)
-                .expect("subset of a valid schedule stays valid");
-        }
-    }
-    let powers = if schedule.is_empty() {
-        Vec::new()
-    } else {
-        greencell_phy::min_power_assignment(net, &schedule, spectrum, phy, max_powers)
-            .unwrap_or_default()
-    };
-    ScheduleOutcome { schedule, powers }
 }

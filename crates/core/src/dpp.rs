@@ -18,6 +18,7 @@
 
 use crate::{ControllerConfig, EnergyConfig};
 use greencell_energy::CostFn;
+use greencell_energy::QuadraticCost;
 use greencell_net::Network;
 use greencell_phy::PhyConfig;
 use greencell_units::Energy;
@@ -92,6 +93,20 @@ pub fn penalty_constant_b(
         total += 0.5 * (c * c).max(d * d);
     }
     total
+}
+
+/// The slot's effective cost function: the provider's base quadratic `f`
+/// with every coefficient scaled by the observation's time-of-use price
+/// multiplier. Shared by the online S4 stage and the relaxed lower-bound
+/// controller (the multiplication order is part of the bit-exactness
+/// contract).
+#[must_use]
+pub fn scaled_cost(cost: &QuadraticCost, multiplier: f64) -> QuadraticCost {
+    QuadraticCost::new(
+        cost.quadratic() * multiplier,
+        cost.linear() * multiplier,
+        cost.constant() * multiplier,
+    )
 }
 
 /// Diagnostic: evaluates `Ψ̂₁ = −(β/δ)·Σ_ij H_ij·Σ_m c^m_ij α^m_ij Δt`

@@ -88,6 +88,7 @@ mod config;
 mod controller;
 pub mod dpp;
 mod lower_bound;
+pub mod pipeline;
 mod s1;
 mod s2;
 mod s3;
@@ -100,15 +101,17 @@ pub use config::{
 };
 pub use controller::{Controller, ControllerError, DegradationEvent, SlotReport, StageTimings};
 pub use lower_bound::{LowerBoundSeries, RelaxedController};
+pub use pipeline::SlotContext;
 pub use s1::{
     greedy_schedule, greedy_schedule_reference, greedy_schedule_with, sequential_fix_schedule,
     sequential_fix_schedule_reference, sequential_fix_schedule_with, S1Inputs, S1Scratch,
     ScheduleOutcome,
 };
-pub use s2::{resource_allocation, Admission};
-pub use s3::route_flows;
+pub use s2::{admission_valve_open, resource_allocation, resource_allocation_into, Admission};
+pub use s3::{route_flows, route_flows_into, S3Scratch};
 pub use s4::{
-    solve_energy_management, solve_grid_only, solve_safe_mode, EnergyManagementError,
-    EnergyManagementInput, EnergyOutcome, SafeModeOutcome,
+    solve_energy_management, solve_energy_management_into, solve_grid_only, solve_grid_only_into,
+    solve_safe_mode, EnergyManagementError, EnergyManagementInput, EnergyOutcome, S4Workspace,
+    SafeModeOutcome,
 };
 pub use state::SlotObservation;

@@ -18,10 +18,8 @@
 //! system's achieved time-averaged cost estimates `ψ*_P̄3` from below the
 //! true controller's, and `ψ*_P̄3 − B/V` lower-bounds the offline optimum.
 
-use crate::{
-    dpp, solve_energy_management, ControllerConfig, EnergyConfig, EnergyManagementInput,
-    SlotObservation,
-};
+use crate::pipeline::{self, RelayStage};
+use crate::{dpp, ControllerConfig, EnergyConfig, EnergyManagementInput, SlotObservation};
 use greencell_energy::Battery;
 use greencell_lp::{LinearProgram, Relation};
 use greencell_net::{Network, NodeId};
@@ -90,6 +88,10 @@ pub struct RelaxedController {
     series: LowerBoundSeries,
     admitted: TimeAverage,
     slot: u64,
+    // Slot-invariant constants + the relay stage from the shared `pipeline` registry.
+    grid_limits: Vec<Energy>,
+    is_bs: Vec<bool>,
+    relay_stage: &'static dyn RelayStage,
 }
 
 impl RelaxedController {
@@ -117,6 +119,11 @@ impl RelaxedController {
             .iter()
             .map(|c| c.battery.level().as_kilowatt_hours())
             .collect();
+        let grid_limits = energy.nodes.iter().map(|c| c.grid_limit).collect();
+        let nodes = net.topology().nodes();
+        let is_bs = nodes.iter().map(|nd| nd.kind().is_base_station()).collect();
+        let relay_stage =
+            pipeline::relay_stage(config.relay.key()).expect("built-in relay stage is registered");
         Self {
             q: vec![0.0; n * net.session_count()],
             g: vec![0.0; n * n],
@@ -130,6 +137,9 @@ impl RelaxedController {
             beta,
             gamma_max,
             slot: 0,
+            grid_limits,
+            is_bs,
+            relay_stage,
         }
     }
 
@@ -205,10 +215,7 @@ impl RelaxedController {
         // same two-layer reading as the exact controller — see `s3`).
         let mut cap = vec![0.0f64; n * n];
         for (i, j) in topo.ordered_pairs() {
-            let relay_ok = match self.config.relay {
-                crate::RelayPolicy::MultiHop => true,
-                crate::RelayPolicy::OneHop => topo.node(i).kind().is_base_station(),
-            };
+            let relay_ok = self.relay_stage.may_relay(&self.net, i);
             if relay_ok && !self.net.link_bands(i, j).is_empty() {
                 cap[i.index() * n + j.index()] = self.beta;
             }
@@ -242,7 +249,11 @@ impl RelaxedController {
                         .then(a.cmp(b))
                 })
                 .expect("at least one BS");
-            let k = if self.qi(s, source.index()) - self.config.lambda * self.config.v < 0.0 {
+            let k = if crate::admission_valve_open(
+                self.qi(s, source.index()),
+                self.config.lambda,
+                self.config.v,
+            ) {
                 self.config.k_max.count_f64()
             } else {
                 0.0
@@ -339,36 +350,24 @@ impl RelaxedController {
                     + Energy::from_joules(tx_energy[i] + rx_energy[i])
             })
             .collect();
-        let grid_limits: Vec<Energy> = self.energy.nodes.iter().map(|c| c.grid_limit).collect();
-        let is_bs: Vec<bool> = topo
-            .nodes()
-            .iter()
-            .map(|nd| nd.kind().is_base_station())
-            .collect();
-        let scaled_cost = greencell_energy::QuadraticCost::new(
-            self.energy.cost.quadratic() * obs.price_multiplier,
-            self.energy.cost.linear() * obs.price_multiplier,
-            self.energy.cost.constant() * obs.price_multiplier,
-        );
+        let scaled_cost = dpp::scaled_cost(&self.energy.cost, obs.price_multiplier);
         let input = EnergyManagementInput {
             z: &z,
             demand: &demand,
             renewable: &obs.renewable,
             batteries: &batteries,
             grid_connected: &obs.grid_connected,
-            grid_limits: &grid_limits,
-            is_base_station: &is_bs,
+            grid_limits: &self.grid_limits,
+            is_base_station: &self.is_bs,
             cost: &scaled_cost,
             v: self.config.v,
         };
         // Relaxed demand is below the admission budget by construction in
         // fault-free runs; under injected faults (outages, droughts) fall
-        // back down the same ladder as the exact controller — serving less
+        // back down the same chain as the exact controller — serving less
         // (or nothing) only lowers the relaxed cost, so the Theorem 5
         // bound stays a lower bound.
-        let outcome = solve_energy_management(&input)
-            .or_else(|_| crate::solve_grid_only(&input))
-            .unwrap_or_else(|_| crate::solve_safe_mode(&input).outcome);
+        let outcome = pipeline::solve_energy_with_fallbacks(&input);
 
         // Advance real-valued state.
         for (lvl, d) in self.levels.iter_mut().zip(&outcome.decisions) {

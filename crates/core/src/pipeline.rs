@@ -1,0 +1,648 @@
+//! The typed, pluggable S1–S4 slot pipeline (§IV-C as an explicit stage
+//! graph).
+//!
+//! [`crate::Controller::step`] is a thin driver over this module. Each
+//! subproblem of the paper's per-slot decomposition sits behind a trait —
+//! [`ScheduleStage`] for S1 link scheduling, [`RelayStage`] for the
+//! routing-eligibility seam, [`EnergyStage`] for S4 energy management —
+//! resolved once at construction through the static registry
+//! ([`schedule_stage`], [`relay_stage`], [`energy_stage`]) from the config
+//! enums' [`crate::SchedulerKind::key`] / [`crate::RelayPolicy::key`] /
+//! [`crate::EnergyPolicy::key`]. The degradation ladder (shed → grid-only
+//! → drop schedule → safe mode) is a chain of [`FallbackStage`] rungs
+//! selected by [`fallback_ladder`]; each rung sees the failed S4 input and
+//! the slot's mutable state through a [`FallbackCx`] and answers with a
+//! [`FallbackOutcome`].
+//!
+//! All per-slot scratch lives in one [`SlotContext`] arena retained across
+//! slots, so a steady-state slot touches the heap zero times (audited in
+//! `crates/core/tests/s1_zero_alloc.rs`). Stage boundaries carry small
+//! typed records ([`ObservationRecord`], [`ScheduleRecord`],
+//! [`AllocationRecord`], [`RoutingRecord`], [`EnergyRecord`]) that the
+//! driver assembles into the public [`crate::SlotReport`], and
+//! [`StageClock`] gives every boundary the same timing + span treatment.
+//!
+//! Everything here is bit-identical to the pre-pipeline monolithic
+//! controller: stage implementations call the exact same kernels in the
+//! exact same order, and the golden-fingerprint suite plus the
+//! `pipeline_equivalence` tests in `greencell-sim` hold that line.
+
+use crate::s1::S1Inputs;
+use crate::{
+    greedy_schedule_with, sequential_fix_schedule_with, solve_energy_management_into,
+    solve_grid_only_into, solve_safe_mode, Admission, DegradationEvent, DegradationPolicy,
+    EnergyManagementError, EnergyManagementInput, EnergyOutcome, S1Scratch, S3Scratch, S4Workspace,
+    ScheduleOutcome,
+};
+use greencell_net::{Network, NodeId, SessionId};
+use greencell_phy::{PhyConfig, Schedule, SpectrumState};
+use greencell_queue::FlowPlan;
+use greencell_trace::{Sink, Stage, TraceEvent};
+use greencell_units::{Energy, Packets, Power};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An S1 link-scheduling stage: fills `out` with the slot's schedule and
+/// minimal power assignment using caller-retained scratch.
+pub trait ScheduleStage: fmt::Debug + Sync {
+    /// The registry key this stage is looked up by.
+    fn key(&self) -> &'static str;
+    /// Runs S1 for one slot.
+    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome);
+}
+
+/// The relay-eligibility seam between S1/S3 and the topology: which nodes
+/// may originate transmissions and carry routed flow (Fig. 2(f) ablation).
+pub trait RelayStage: fmt::Debug + Sync {
+    /// The registry key this stage is looked up by.
+    fn key(&self) -> &'static str;
+    /// Whether `node` may transmit/relay under this policy.
+    fn may_relay(&self, net: &Network, node: NodeId) -> bool;
+}
+
+/// An S4 energy-management stage: solves the slot's sourcing problem into
+/// a caller-retained workspace and outcome.
+pub trait EnergyStage: fmt::Debug + Sync {
+    /// The registry key this stage is looked up by.
+    fn key(&self) -> &'static str;
+    /// Runs S4 for one slot.
+    ///
+    /// # Errors
+    ///
+    /// [`EnergyManagementError`] when the stage cannot source some node's
+    /// demand — the driver then walks the degradation ladder.
+    fn solve(
+        &self,
+        input: &EnergyManagementInput<'_>,
+        ws: &mut S4Workspace,
+        out: &mut EnergyOutcome,
+    ) -> Result<(), EnergyManagementError>;
+}
+
+/// Built-in S1 stage: the weight-greedy scheduler
+/// ([`crate::greedy_schedule`]).
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyStage;
+
+impl ScheduleStage for GreedyStage {
+    fn key(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome) {
+        greedy_schedule_with(inputs, scratch, out);
+    }
+}
+
+/// Built-in S1 stage: the paper's sequential-fix LP heuristic
+/// ([`crate::sequential_fix_schedule`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SequentialFixStage;
+
+impl ScheduleStage for SequentialFixStage {
+    fn key(&self) -> &'static str {
+        "sequential_fix"
+    }
+
+    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome) {
+        sequential_fix_schedule_with(inputs, scratch, out);
+    }
+}
+
+/// Built-in relay stage: any node may relay (the paper's proposed
+/// multi-hop architecture).
+#[derive(Debug, Clone, Copy)]
+pub struct MultiHopStage;
+
+impl RelayStage for MultiHopStage {
+    fn key(&self) -> &'static str {
+        "multi_hop"
+    }
+
+    fn may_relay(&self, _net: &Network, _node: NodeId) -> bool {
+        true
+    }
+}
+
+/// Built-in relay stage: only base stations transmit (traditional
+/// one-hop downlink).
+#[derive(Debug, Clone, Copy)]
+pub struct OneHopStage;
+
+impl RelayStage for OneHopStage {
+    fn key(&self) -> &'static str {
+        "one_hop"
+    }
+
+    fn may_relay(&self, net: &Network, node: NodeId) -> bool {
+        net.topology().node(node).kind().is_base_station()
+    }
+}
+
+/// Built-in S4 stage: the exact marginal-price equilibrium
+/// ([`crate::solve_energy_management`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MarginalPriceStage;
+
+impl EnergyStage for MarginalPriceStage {
+    fn key(&self) -> &'static str {
+        "marginal_price"
+    }
+
+    fn solve(
+        &self,
+        input: &EnergyManagementInput<'_>,
+        ws: &mut S4Workspace,
+        out: &mut EnergyOutcome,
+    ) -> Result<(), EnergyManagementError> {
+        solve_energy_management_into(input, ws, out)
+    }
+}
+
+/// Built-in S4 stage: the storage-oblivious grid-first baseline
+/// ([`crate::solve_grid_only`]) — the ablation policy registered through
+/// the same seam as the paper's solver.
+#[derive(Debug, Clone, Copy)]
+pub struct GridOnlyStage;
+
+impl EnergyStage for GridOnlyStage {
+    fn key(&self) -> &'static str {
+        "grid_only"
+    }
+
+    fn solve(
+        &self,
+        input: &EnergyManagementInput<'_>,
+        _ws: &mut S4Workspace,
+        out: &mut EnergyOutcome,
+    ) -> Result<(), EnergyManagementError> {
+        solve_grid_only_into(input, out)
+    }
+}
+
+static GREEDY: GreedyStage = GreedyStage;
+static SEQUENTIAL_FIX: SequentialFixStage = SequentialFixStage;
+static MULTI_HOP: MultiHopStage = MultiHopStage;
+static ONE_HOP: OneHopStage = OneHopStage;
+static MARGINAL_PRICE: MarginalPriceStage = MarginalPriceStage;
+static GRID_ONLY: GridOnlyStage = GridOnlyStage;
+
+static SCHEDULE_STAGES: [&dyn ScheduleStage; 2] = [&GREEDY, &SEQUENTIAL_FIX];
+static RELAY_STAGES: [&dyn RelayStage; 2] = [&MULTI_HOP, &ONE_HOP];
+static ENERGY_STAGES: [&dyn EnergyStage; 2] = [&MARGINAL_PRICE, &GRID_ONLY];
+
+/// Looks up a registered S1 stage by key (`"greedy"`, `"sequential_fix"`).
+#[must_use]
+pub fn schedule_stage(key: &str) -> Option<&'static dyn ScheduleStage> {
+    SCHEDULE_STAGES.iter().copied().find(|s| s.key() == key)
+}
+
+/// Looks up a registered relay stage by key (`"multi_hop"`, `"one_hop"`).
+#[must_use]
+pub fn relay_stage(key: &str) -> Option<&'static dyn RelayStage> {
+    RELAY_STAGES.iter().copied().find(|s| s.key() == key)
+}
+
+/// Looks up a registered S4 stage by key (`"marginal_price"`,
+/// `"grid_only"`).
+#[must_use]
+pub fn energy_stage(key: &str) -> Option<&'static dyn EnergyStage> {
+    ENERGY_STAGES.iter().copied().find(|s| s.key() == key)
+}
+
+/// What a [`FallbackStage`] rung decided about a failed S4 solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackOutcome {
+    /// The rung changed the slot's plan (shed transmissions); re-run
+    /// S3 + S4 on the reduced schedule.
+    Retry,
+    /// The rung produced a final energy outcome; the slot proceeds to the
+    /// state advance.
+    Resolved,
+    /// The rung does not apply here; try the next one.
+    Pass,
+    /// Abort the slot with the original error (the strict policy).
+    Abort,
+}
+
+/// One rung of the degradation ladder. Rungs run in the order
+/// [`fallback_ladder`] lists them, each seeing the S4 error and the slot's
+/// mutable state, until one answers something other than
+/// [`FallbackOutcome::Pass`].
+pub trait FallbackStage: fmt::Debug + Sync {
+    /// Stable rung name (for debugging).
+    fn name(&self) -> &'static str;
+    /// Attempts to recover from `err`.
+    fn attempt(&self, err: &EnergyManagementError, cx: &mut FallbackCx<'_>) -> FallbackOutcome;
+}
+
+/// Everything a [`FallbackStage`] may inspect or mutate: the environment
+/// the failed S4 solve ran in, plus the slot's in-flight decisions.
+pub struct FallbackCx<'a> {
+    /// The network under control.
+    pub net: &'a Network,
+    /// PHY parameters (for power re-assignment after shedding).
+    pub phy: &'a PhyConfig,
+    /// This slot's spectrum state.
+    pub spectrum: &'a SpectrumState,
+    /// Per-node transmit power caps.
+    pub max_powers: &'a [Power],
+    /// Node count.
+    pub nodes: usize,
+    /// Session count.
+    pub sessions: usize,
+    /// The slot index (for trace marks).
+    pub slot: u64,
+    /// The failed S4 input (its borrows stay valid through the ladder).
+    pub input: &'a EnergyManagementInput<'a>,
+    /// The S1 outcome — shedding rungs reduce it in place.
+    pub outcome: &'a mut ScheduleOutcome,
+    /// The S2 admissions — safe mode clears them.
+    pub admissions: &'a mut Vec<Admission>,
+    /// The realized link service — safe mode clears it.
+    pub link_service: &'a mut Vec<(NodeId, NodeId, Packets)>,
+    /// The S3 flows — safe mode resets them to the empty plan.
+    pub flows: &'a mut FlowPlan,
+    /// Where a resolving rung writes its energy outcome.
+    pub energy: &'a mut EnergyOutcome,
+    /// The slot's degradation log.
+    pub degradation: &'a mut Vec<DegradationEvent>,
+    /// Cumulative transmissions shed this slot.
+    pub shed: &'a mut usize,
+    /// Whether tracing is enabled for this slot.
+    pub traced: bool,
+    /// The trace sink (rungs emit marks only when `traced`).
+    pub sink: &'a mut dyn Sink,
+}
+
+impl FallbackCx<'_> {
+    /// Emits a degradation mark when tracing is enabled.
+    pub fn mark(&mut self, name: &'static str) {
+        if self.traced {
+            self.sink.record(TraceEvent::Mark {
+                slot: self.slot,
+                name,
+            });
+        }
+    }
+}
+
+/// Rung 1 — shed every transmission touching the starving node and retry;
+/// an `Invalid` decision sheds the first transmitter (drop load, stay
+/// safe). Passes when the schedule is already empty or shedding the
+/// starving node's links would drop nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ShedStage;
+
+impl FallbackStage for ShedStage {
+    fn name(&self) -> &'static str {
+        "shed"
+    }
+
+    fn attempt(&self, err: &EnergyManagementError, cx: &mut FallbackCx<'_>) -> FallbackOutcome {
+        if cx.outcome.schedule.is_empty() {
+            return FallbackOutcome::Pass;
+        }
+        let node = match err {
+            EnergyManagementError::Deficit { node, .. } => {
+                NodeId::from_index((*node).min(cx.nodes - 1))
+            }
+            _ => cx.outcome.schedule.transmissions()[0].tx(),
+        };
+        let before = cx.outcome.schedule.len();
+        let reduced = shed_node(cx.net, cx.outcome, node, cx.spectrum, cx.phy, cx.max_powers);
+        let dropped = before - reduced.schedule.len();
+        if dropped == 0 {
+            // The starving node is already idle: shedding its links cannot
+            // help. Fall through the ladder.
+            return FallbackOutcome::Pass;
+        }
+        *cx.outcome = reduced;
+        *cx.shed += dropped;
+        cx.degradation.push(DegradationEvent::Shed {
+            node: node.index(),
+            dropped,
+        });
+        cx.mark("degrade_shed");
+        FallbackOutcome::Retry
+    }
+}
+
+/// The strict policy's terminal rung: abort the slot.
+#[derive(Debug, Clone, Copy)]
+pub struct StrictAbortStage;
+
+impl FallbackStage for StrictAbortStage {
+    fn name(&self) -> &'static str {
+        "strict_abort"
+    }
+
+    fn attempt(&self, _err: &EnergyManagementError, _cx: &mut FallbackCx<'_>) -> FallbackOutcome {
+        FallbackOutcome::Abort
+    }
+}
+
+/// Rung 2 — the storage-oblivious grid-only solver; catches marginal-price
+/// internal failures and any case where abandoning the Lyapunov objective
+/// restores feasibility.
+#[derive(Debug, Clone, Copy)]
+pub struct GridOnlyFallbackStage;
+
+impl FallbackStage for GridOnlyFallbackStage {
+    fn name(&self) -> &'static str {
+        "grid_only_fallback"
+    }
+
+    fn attempt(&self, _err: &EnergyManagementError, cx: &mut FallbackCx<'_>) -> FallbackOutcome {
+        if solve_grid_only_into(cx.input, cx.energy).is_ok() {
+            cx.degradation.push(DegradationEvent::GridOnlyFallback);
+            cx.mark("degrade_grid_only");
+            FallbackOutcome::Resolved
+        } else {
+            FallbackOutcome::Pass
+        }
+    }
+}
+
+/// Rung 3a — still infeasible with traffic on the air: drop the whole
+/// schedule and retry on idle demand.
+#[derive(Debug, Clone, Copy)]
+pub struct DropScheduleStage;
+
+impl FallbackStage for DropScheduleStage {
+    fn name(&self) -> &'static str {
+        "drop_schedule"
+    }
+
+    fn attempt(&self, _err: &EnergyManagementError, cx: &mut FallbackCx<'_>) -> FallbackOutcome {
+        if cx.outcome.schedule.is_empty() {
+            return FallbackOutcome::Pass;
+        }
+        let dropped = cx.outcome.schedule.len();
+        *cx.shed += dropped;
+        cx.degradation.push(DegradationEvent::Shed {
+            node: cx.nodes, // sentinel: whole-schedule drop
+            dropped,
+        });
+        cx.mark("degrade_shed");
+        cx.outcome.clear();
+        FallbackOutcome::Retry
+    }
+}
+
+/// Rung 3b — safe mode: serve what physics allows, record each brown-out,
+/// admit and route nothing. Always resolves.
+#[derive(Debug, Clone, Copy)]
+pub struct SafeModeStage;
+
+impl FallbackStage for SafeModeStage {
+    fn name(&self) -> &'static str {
+        "safe_mode"
+    }
+
+    fn attempt(&self, _err: &EnergyManagementError, cx: &mut FallbackCx<'_>) -> FallbackOutcome {
+        let safe = solve_safe_mode(cx.input);
+        for &(node, deficit) in &safe.deficits {
+            cx.degradation
+                .push(DegradationEvent::SafeMode { node, deficit });
+            cx.mark("degrade_safe_mode");
+        }
+        cx.admissions.clear();
+        cx.link_service.clear();
+        cx.flows.reset(cx.nodes, cx.sessions);
+        *cx.energy = safe.outcome;
+        FallbackOutcome::Resolved
+    }
+}
+
+static SHED: ShedStage = ShedStage;
+static STRICT_ABORT: StrictAbortStage = StrictAbortStage;
+static GRID_ONLY_FALLBACK: GridOnlyFallbackStage = GridOnlyFallbackStage;
+static DROP_SCHEDULE: DropScheduleStage = DropScheduleStage;
+static SAFE_MODE: SafeModeStage = SafeModeStage;
+
+static GRACEFUL_LADDER: [&dyn FallbackStage; 4] =
+    [&SHED, &GRID_ONLY_FALLBACK, &DROP_SCHEDULE, &SAFE_MODE];
+static STRICT_LADDER: [&dyn FallbackStage; 2] = [&SHED, &STRICT_ABORT];
+
+/// The fallback ladder a degradation policy resolves to: graceful runs
+/// shed → grid-only → drop schedule → safe mode; strict runs shed → abort.
+#[must_use]
+pub fn fallback_ladder(policy: DegradationPolicy) -> &'static [&'static dyn FallbackStage] {
+    match policy {
+        DegradationPolicy::Graceful => &GRACEFUL_LADDER,
+        DegradationPolicy::Strict => &STRICT_LADDER,
+    }
+}
+
+/// The relaxed controller's S4 chain: marginal price, else grid-only, else
+/// safe mode (never fails). Shared with [`crate::RelaxedController`] so the
+/// lower bound cannot drift from the online ladder's solver order.
+#[must_use]
+pub fn solve_energy_with_fallbacks(input: &EnergyManagementInput<'_>) -> EnergyOutcome {
+    crate::solve_energy_management(input)
+        .or_else(|_| crate::solve_grid_only(input))
+        .unwrap_or_else(|_| solve_safe_mode(input).outcome)
+}
+
+/// Rebuilds the schedule without any transmission touching `node`, then
+/// recomputes minimal powers.
+pub(crate) fn shed_node(
+    net: &Network,
+    outcome: &ScheduleOutcome,
+    node: NodeId,
+    spectrum: &SpectrumState,
+    phy: &PhyConfig,
+    max_powers: &[Power],
+) -> ScheduleOutcome {
+    let mut schedule = Schedule::new();
+    for t in outcome.schedule.transmissions() {
+        if t.tx() != node && t.rx() != node {
+            schedule
+                .try_add(net, *t)
+                .expect("subset of a valid schedule stays valid");
+        }
+    }
+    let powers = if schedule.is_empty() {
+        Vec::new()
+    } else {
+        greencell_phy::min_power_assignment(net, &schedule, spectrum, phy, max_powers)
+            .unwrap_or_default()
+    };
+    ScheduleOutcome { schedule, powers }
+}
+
+/// The per-slot arena: every scratch buffer the S1–S4 pipeline touches,
+/// retained across slots so a steady-state [`crate::Controller::step`]
+/// performs zero heap allocations. Taken out of the controller with
+/// [`std::mem::take`] for the duration of a step (so `&self` helper calls
+/// stay legal) and put back before every non-aborting return.
+#[derive(Debug, Clone, Default)]
+pub struct SlotContext {
+    pub(crate) z: Vec<f64>,
+    pub(crate) traffic_budget: Vec<Energy>,
+    pub(crate) routing_caps: Vec<(NodeId, NodeId, Packets)>,
+    pub(crate) demand: Vec<Energy>,
+    pub(crate) z_after: Vec<f64>,
+    pub(crate) link_service: Vec<(NodeId, NodeId, Packets)>,
+    pub(crate) admission_triples: Vec<(SessionId, NodeId, Packets)>,
+    pub(crate) admissions: Vec<Admission>,
+    pub(crate) s1: S1Scratch,
+    pub(crate) outcome: ScheduleOutcome,
+    pub(crate) s3: S3Scratch,
+    pub(crate) flows: FlowPlan,
+    pub(crate) s4: S4Workspace,
+    pub(crate) energy: EnergyOutcome,
+}
+
+impl SlotContext {
+    /// Creates an empty arena; every buffer grows to its steady-state size
+    /// over the first slot and is retained afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Uniform stage-boundary instrumentation: accumulates the stage's
+/// wall-clock into the matching [`crate::StageTimings`] field *always*
+/// (the sweep engine reads timings from untraced runs) and emits the
+/// stage span only when the sink is enabled. Replaces the hand-wired
+/// `Instant` pairs the monolithic `step_traced` carried per stage; with
+/// [`greencell_trace::NoopSink`] the only per-slot wall-clock reads are
+/// the four S1–S4 pairs — exactly the monolith's set (the Slot/Advance
+/// spans stay gated behind `enabled()` in the driver).
+#[derive(Debug)]
+pub struct StageClock {
+    start: Instant,
+}
+
+impl StageClock {
+    /// Starts timing a stage.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops timing: accumulates into `acc` and, when `traced`, emits the
+    /// stage's span into `sink`.
+    pub fn stop(
+        self,
+        acc: &mut Duration,
+        slot: u64,
+        stage: Stage,
+        traced: bool,
+        sink: &mut dyn Sink,
+    ) {
+        let elapsed = self.start.elapsed();
+        *acc += elapsed;
+        if traced {
+            sink.record(TraceEvent::span_ended(
+                slot,
+                stage,
+                sink.now_nanos(),
+                elapsed,
+            ));
+        }
+    }
+}
+
+/// Typed record entering the pipeline: the validated observation boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObservationRecord {
+    /// The slot index this observation drives.
+    pub slot: u64,
+    /// Node count the observation was validated against.
+    pub nodes: usize,
+    /// Session count the observation was validated against.
+    pub sessions: usize,
+}
+
+/// Typed record at the schedule boundary: the S1 outcome the slot finally
+/// ran (after any degradation shedding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleRecord {
+    /// Number of scheduled transmissions.
+    pub scheduled_links: usize,
+}
+
+/// Typed record at the allocation boundary: what S2 admitted (after the
+/// availability filter and any safe-mode clearing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationRecord {
+    /// Total admitted packets `Σ_s k_s(t)`.
+    pub admitted: Packets,
+}
+
+/// Typed record at the routing boundary: what S3 moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingRecord {
+    /// Total packets moved by routing this slot.
+    pub routed: Packets,
+}
+
+/// Typed record at the energy boundary: the resolved S4 decision's
+/// headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyRecord {
+    /// The slot cost `f(P(t))`.
+    pub cost: f64,
+    /// Total base-station grid draw `P(t)`.
+    pub grid_draw: Energy,
+    /// The achieved objective `Ψ̂₄(t)`.
+    pub objective: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_all_builtin_keys() {
+        for key in ["greedy", "sequential_fix"] {
+            assert_eq!(schedule_stage(key).expect("registered").key(), key);
+        }
+        for key in ["multi_hop", "one_hop"] {
+            assert_eq!(relay_stage(key).expect("registered").key(), key);
+        }
+        for key in ["marginal_price", "grid_only"] {
+            assert_eq!(energy_stage(key).expect("registered").key(), key);
+        }
+        assert!(schedule_stage("no_such_stage").is_none());
+        assert!(relay_stage("no_such_stage").is_none());
+        assert!(energy_stage("no_such_stage").is_none());
+    }
+
+    #[test]
+    fn config_keys_round_trip_through_the_registry() {
+        use crate::{EnergyPolicy, RelayPolicy, SchedulerKind};
+        for kind in [SchedulerKind::Greedy, SchedulerKind::SequentialFix] {
+            assert!(schedule_stage(kind.key()).is_some());
+        }
+        for policy in [RelayPolicy::MultiHop, RelayPolicy::OneHop] {
+            assert!(relay_stage(policy.key()).is_some());
+        }
+        for policy in [EnergyPolicy::MarginalPrice, EnergyPolicy::GridOnly] {
+            assert!(energy_stage(policy.key()).is_some());
+        }
+    }
+
+    #[test]
+    fn ladders_match_their_policies() {
+        let graceful: Vec<_> = fallback_ladder(DegradationPolicy::Graceful)
+            .iter()
+            .map(|r| r.name())
+            .collect();
+        assert_eq!(
+            graceful,
+            ["shed", "grid_only_fallback", "drop_schedule", "safe_mode"]
+        );
+        let strict: Vec<_> = fallback_ladder(DegradationPolicy::Strict)
+            .iter()
+            .map(|r| r.name())
+            .collect();
+        assert_eq!(strict, ["shed", "strict_abort"]);
+    }
+}

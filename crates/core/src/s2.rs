@@ -64,28 +64,55 @@ pub fn resource_allocation(
     v: f64,
     k_max: Packets,
 ) -> Vec<Admission> {
-    net.sessions()
-        .iter()
-        .map(|session| {
-            let s = session.id();
-            let source = net
-                .topology()
-                .base_stations()
-                .min_by_key(|&b| (data.backlog(b, s), b))
-                .expect("network has at least one base station");
-            let q = data.backlog(source, s).count_f64();
-            let packets = if q - lambda * v < 0.0 {
-                k_max
-            } else {
-                Packets::ZERO
-            };
-            Admission {
-                session: s,
-                source,
-                packets,
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    resource_allocation_into(net, data, lambda, v, k_max, &mut out);
+    out
+}
+
+/// The paper's admission valve: admit `K^max_s` iff `Q^s_{s_s}(t) − λV < 0`
+/// (strict). Shared by the online S2 stage and the relaxed lower-bound
+/// controller so the threshold can never drift between the two.
+#[must_use]
+pub fn admission_valve_open(q: f64, lambda: f64, v: f64) -> bool {
+    q - lambda * v < 0.0
+}
+
+/// Runs S2 for every session into a caller-owned buffer (cleared first).
+/// Allocation-free once `out` has reached its steady-state capacity — this
+/// is the variant the pipeline's per-slot arena calls.
+///
+/// # Panics
+///
+/// Panics if the network has no base stations (prevented by
+/// `NetworkBuilder` validation).
+pub fn resource_allocation_into(
+    net: &Network,
+    data: &DataQueueBank,
+    lambda: f64,
+    v: f64,
+    k_max: Packets,
+    out: &mut Vec<Admission>,
+) {
+    out.clear();
+    out.extend(net.sessions().iter().map(|session| {
+        let s = session.id();
+        let source = net
+            .topology()
+            .base_stations()
+            .min_by_key(|&b| (data.backlog(b, s), b))
+            .expect("network has at least one base station");
+        let q = data.backlog(source, s).count_f64();
+        let packets = if admission_valve_open(q, lambda, v) {
+            k_max
+        } else {
+            Packets::ZERO
+        };
+        Admission {
+            session: s,
+            source,
+            packets,
+        }
+    }));
 }
 
 #[cfg(test)]

@@ -34,6 +34,26 @@ use greencell_net::{Network, NodeId, SessionId};
 use greencell_queue::{DataQueueBank, FlowPlan, LinkQueueBank};
 use greencell_units::Packets;
 
+/// Retained scratch for [`route_flows_into`]: remaining link capacities,
+/// per-node backlogs, the phase-2 candidate heap, and the one-session-per-
+/// link marker. All buffers are cleared and refilled each slot; none shrink,
+/// so steady-state routing performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct S3Scratch {
+    cap: Vec<(NodeId, NodeId, Packets)>,
+    backlog: Vec<Packets>,
+    combos: Vec<(f64, SessionId, usize)>,
+    link_used: Vec<bool>,
+}
+
+impl S3Scratch {
+    /// Creates empty scratch; buffers grow on first use and are retained.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs S3.
 ///
 /// `routing_caps` lists every link routing may use this slot with its flow
@@ -53,15 +73,51 @@ pub fn route_flows(
     admissions: &[Admission],
     session_demand: &[Packets],
 ) -> FlowPlan {
+    let mut scratch = S3Scratch::new();
+    let mut plan = FlowPlan::new(net.topology().len(), net.session_count());
+    route_flows_into(
+        net,
+        data,
+        links,
+        routing_caps,
+        admissions,
+        session_demand,
+        &mut scratch,
+        &mut plan,
+    );
+    plan
+}
+
+/// [`route_flows`] into caller-owned scratch and plan — the pipeline's
+/// allocation-free path. The plan is reset to the network's dimensions
+/// (retaining its buffer); decisions are identical to [`route_flows`].
+///
+/// # Panics
+///
+/// Panics if `session_demand.len()` differs from the session count.
+#[allow(clippy::too_many_arguments)]
+pub fn route_flows_into(
+    net: &Network,
+    data: &DataQueueBank,
+    links: &LinkQueueBank,
+    routing_caps: &[(NodeId, NodeId, Packets)],
+    admissions: &[Admission],
+    session_demand: &[Packets],
+    scratch: &mut S3Scratch,
+    plan: &mut FlowPlan,
+) {
     let sessions = net.session_count();
     assert_eq!(session_demand.len(), sessions, "one demand per session");
     let nodes = net.topology().len();
     let beta = links.beta();
-    let mut plan = FlowPlan::new(nodes, sessions);
+    plan.reset(nodes, sessions);
 
     // Remaining link capacity and remaining sender backlog (anti-phantom).
-    let mut cap: Vec<(NodeId, NodeId, Packets)> = routing_caps.to_vec();
-    let mut backlog: Vec<Packets> = Vec::with_capacity(nodes * sessions);
+    let cap = &mut scratch.cap;
+    cap.clear();
+    cap.extend_from_slice(routing_caps);
+    let backlog = &mut scratch.backlog;
+    backlog.clear();
     for s in 0..sessions {
         for i in 0..nodes {
             backlog.push(data.backlog(NodeId::from_index(i), SessionId::from_index(s)));
@@ -116,7 +172,8 @@ pub fn route_flows(
 
     // Phase 2: backpressure — globally greedy over (session, link) pairs
     // with negative coefficients, one session per link.
-    let mut combos: Vec<(f64, SessionId, usize)> = Vec::new();
+    let combos = &mut scratch.combos;
+    combos.clear();
     for (idx, &(i, j, c)) in cap.iter().enumerate() {
         if c == Packets::ZERO {
             continue;
@@ -136,9 +193,14 @@ pub fn route_flows(
             }
         }
     }
-    combos.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
-    let mut link_used = vec![false; cap.len()];
-    for (_, s, idx) in combos {
+    // Unstable sort is in-place (no merge buffer) and — because the
+    // `(session, link)` pair makes every triple distinct under this
+    // comparator — yields exactly the order a stable sort would.
+    combos.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let link_used = &mut scratch.link_used;
+    link_used.clear();
+    link_used.resize(cap.len(), false);
+    for &(_, s, idx) in combos.iter() {
         if link_used[idx] {
             continue;
         }
@@ -154,8 +216,6 @@ pub fn route_flows(
         backlog[bi] = backlog[bi].saturating_sub(amount);
         link_used[idx] = true;
     }
-
-    plan
 }
 
 #[cfg(test)]

@@ -102,6 +102,45 @@ pub struct EnergyOutcome {
     pub objective: f64,
 }
 
+impl EnergyOutcome {
+    /// An empty outcome (no decisions, zero draw/cost/objective) — the
+    /// starting state for the `_into` solvers' output buffer.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            decisions: Vec::new(),
+            grid_draw: Energy::ZERO,
+            cost: 0.0,
+            objective: 0.0,
+        }
+    }
+}
+
+impl Default for EnergyOutcome {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Retained workspace for [`solve_energy_management_into`]: the per-node
+/// environments, the base-station index list, and the per-node candidate
+/// solutions. Cleared and refilled each call; buffers never shrink, so the
+/// steady-state solve performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct S4Workspace {
+    envs: Vec<NodeEnv>,
+    bs_indices: Vec<usize>,
+    solutions: Vec<NodeSolution>,
+}
+
+impl S4Workspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// One node's candidate solution, in kWh components.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct NodeSolution {
@@ -241,23 +280,33 @@ fn mode_charge(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
     // Breakpoints of the piecewise-linear objective in u: the endpoints,
     // the point where leftover renewable saturates the charge room
     // (u = R − c_room), and where the grid-charge cap flips between the
-    // room and the connection limit.
-    let mut candidates = vec![u_min, u_max];
+    // room and the connection limit. At most four candidates, held in a
+    // fixed array (this is the hot inner loop of the price bisection; it
+    // must not touch the heap). The order [u_min, u_max, saturation, flip]
+    // is load-bearing: `min_by` keeps the *first* minimum at exact ties.
+    let mut candidates = [u_min, u_max, 0.0, 0.0];
+    let mut count = 2;
     let saturation = env.renewable - env.c_room;
     if saturation > u_min && saturation < u_max {
-        candidates.push(saturation);
+        candidates[count] = saturation;
+        count += 1;
     }
     // c_room − cr = g_max − g  ⇔  c_room − (R − u) = g_max − demand + u —
     // constant difference in u when cr is interior, so no extra breakpoint
     // beyond `saturation`; when cr is clamped at c_room the cap flip is at:
     let flip = env.demand - env.g_max + env.c_room;
     if flip > u_min && flip < u_max {
-        candidates.push(flip);
+        candidates[count] = flip;
+        count += 1;
     }
-    candidates.into_iter().map(build).min_by(|a, b| {
-        a.objective(env.z, price, env.eta)
-            .total_cmp(&b.objective(env.z, price, env.eta))
-    })
+    candidates[..count]
+        .iter()
+        .copied()
+        .map(build)
+        .min_by(|a, b| {
+            a.objective(env.z, price, env.eta)
+                .total_cmp(&b.objective(env.z, price, env.eta))
+        })
 }
 
 /// The node's optimal response to `price`; `None` if no mode is feasible.
@@ -292,9 +341,26 @@ fn node_at_price(env: &NodeEnv, price: f64) -> Option<NodeSolution> {
 pub fn solve_grid_only(
     input: &EnergyManagementInput<'_>,
 ) -> Result<EnergyOutcome, EnergyManagementError> {
+    let mut out = EnergyOutcome::empty();
+    solve_grid_only_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`solve_grid_only`] into a caller-owned outcome (cleared first) — the
+/// pipeline's allocation-free path. On `Err` the buffer's contents are
+/// unspecified.
+///
+/// # Errors
+///
+/// Same as [`solve_grid_only`].
+pub fn solve_grid_only_into(
+    input: &EnergyManagementInput<'_>,
+    out: &mut EnergyOutcome,
+) -> Result<(), EnergyManagementError> {
     let n = input.z.len();
     assert_eq!(input.demand.len(), n, "one demand per node");
-    let mut decisions = Vec::with_capacity(n);
+    let decisions = &mut out.decisions;
+    decisions.clear();
     let mut grid_draw = Energy::ZERO;
     let mut z_terms = 0.0;
     for i in 0..n {
@@ -339,12 +405,10 @@ pub fn solve_grid_only(
         decisions.push(decision);
     }
     let cost = input.cost.cost(grid_draw);
-    Ok(EnergyOutcome {
-        decisions,
-        grid_draw,
-        cost,
-        objective: z_terms + input.v * cost,
-    })
+    out.grid_draw = grid_draw;
+    out.cost = cost;
+    out.objective = z_terms + input.v * cost;
+    Ok(())
 }
 
 /// The safe-mode S4 result: the decisions plus which nodes browned out.
@@ -468,11 +532,35 @@ pub fn solve_safe_mode(input: &EnergyManagementInput<'_>) -> SafeModeOutcome {
 pub fn solve_energy_management(
     input: &EnergyManagementInput<'_>,
 ) -> Result<EnergyOutcome, EnergyManagementError> {
+    let mut ws = S4Workspace::new();
+    let mut out = EnergyOutcome::empty();
+    solve_energy_management_into(input, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// [`solve_energy_management`] into a caller-owned workspace and outcome —
+/// the pipeline's allocation-free path. The outcome is cleared first; on
+/// `Err` its contents are unspecified.
+///
+/// # Errors
+///
+/// Same as [`solve_energy_management`].
+pub fn solve_energy_management_into(
+    input: &EnergyManagementInput<'_>,
+    ws: &mut S4Workspace,
+    out: &mut EnergyOutcome,
+) -> Result<(), EnergyManagementError> {
     let n = input.z.len();
     assert_eq!(input.demand.len(), n, "one demand per node");
     let v = input.v;
+    let S4Workspace {
+        envs,
+        bs_indices,
+        solutions,
+    } = ws;
 
-    let envs: Vec<NodeEnv> = (0..n).map(|i| NodeEnv::from_input(input, i)).collect();
+    envs.clear();
+    envs.extend((0..n).map(|i| NodeEnv::from_input(input, i)));
     // Feasibility is price-independent (some mode exists or none does).
     for (i, env) in envs.iter().enumerate() {
         if node_at_price(env, 0.0).is_none() {
@@ -483,7 +571,8 @@ pub fn solve_energy_management(
         }
     }
 
-    let bs_indices: Vec<usize> = (0..n).filter(|&i| input.is_base_station[i]).collect();
+    bs_indices.clear();
+    bs_indices.extend((0..n).filter(|&i| input.is_base_station[i]));
     let p_ub: f64 = bs_indices.iter().map(|&i| envs[i].g_max).sum();
     let total_bs_draw = |price: f64| -> f64 {
         bs_indices
@@ -512,16 +601,15 @@ pub fn solve_energy_management(
 
     // Per-node solutions: users respond to price 0 (their draws are not
     // billed), base stations to the equilibrium price.
-    let mut solutions: Vec<NodeSolution> = (0..n)
-        .map(|i| {
-            let price = if input.is_base_station[i] {
-                p_star
-            } else {
-                0.0
-            };
-            node_at_price(&envs[i], price).expect("feasibility checked")
-        })
-        .collect();
+    solutions.clear();
+    solutions.extend((0..n).map(|i| {
+        let price = if input.is_base_station[i] {
+            p_star
+        } else {
+            0.0
+        };
+        node_at_price(&envs[i], price).expect("feasibility checked")
+    }));
 
     // Fractional fill at the equilibrium: price-tied continuous knobs are
     // adjusted to land the total draw exactly on f'⁻¹(p*/V).
@@ -529,7 +617,7 @@ pub fn solve_energy_management(
         let target = target.as_kilowatt_hours();
         let mut total: f64 = bs_indices.iter().map(|&i| solutions[i].draw()).sum();
         let tie_tol = 1e-6 * (1.0 + p_star.abs());
-        for &i in &bs_indices {
+        for &i in bs_indices.iter() {
             if (total - target).abs() <= FEAS_EPS {
                 break;
             }
@@ -605,7 +693,8 @@ pub fn solve_energy_management(
     }
 
     // Assemble, validate, and price the final decisions.
-    let mut decisions = Vec::with_capacity(n);
+    let decisions = &mut out.decisions;
+    decisions.clear();
     let mut grid_draw = Energy::ZERO;
     let mut z_terms = 0.0;
     for (i, sol) in solutions.iter().enumerate() {
@@ -651,12 +740,10 @@ pub fn solve_energy_management(
         decisions.push(decision);
     }
     let cost = input.cost.cost(grid_draw);
-    Ok(EnergyOutcome {
-        decisions,
-        grid_draw,
-        cost,
-        objective: z_terms + input.v * cost,
-    })
+    out.grid_draw = grid_draw;
+    out.cost = cost;
+    out.objective = z_terms + input.v * cost;
+    Ok(())
 }
 
 #[cfg(test)]

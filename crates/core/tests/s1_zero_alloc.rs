@@ -1,17 +1,23 @@
-//! Steady-state allocation audit for the greedy S1 path.
+//! Steady-state allocation audit for the per-slot control path.
 //!
-//! A counting global allocator wraps `System`; after a warm-up slot has
-//! grown every retained buffer ([`S1Scratch`], [`ScheduleOutcome`]),
-//! repeated `greedy_schedule_with` calls must perform **zero** heap
-//! allocations. This test binary is kept to a single `#[test]` so no
-//! concurrent test thread can pollute the counter.
+//! A counting global allocator wraps `System`. Two serial sections:
+//! first the greedy S1 kernel alone (the original PR-4 audit), then the
+//! **full pipeline slot** — once a warm-up has grown every buffer in the
+//! [`greencell_core::SlotContext`] arena, repeated [`Controller::step`]
+//! calls across S1–S4, the state advance, and report assembly must
+//! perform **zero** heap allocations. This test binary is kept to a
+//! single `#[test]` so no concurrent test thread can pollute the counter.
 
-use greencell_core::{greedy_schedule_with, S1Inputs, S1Scratch, ScheduleOutcome};
-use greencell_energy::NodeEnergyModel;
+use greencell_core::{
+    greedy_schedule_with, Controller, ControllerConfig, DegradationPolicy, EnergyConfig,
+    EnergyPolicy, NodeEnergyConfig, RelayPolicy, S1Inputs, S1Scratch, ScheduleOutcome,
+    SchedulerKind, SlotObservation,
+};
+use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
 use greencell_phy::{PhyConfig, SpectrumState};
 use greencell_queue::{FlowPlan, LinkQueueBank};
-use greencell_units::{Bandwidth, Energy, PacketSize, Packets, Power, TimeDelta};
+use greencell_units::{Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,7 +46,12 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static ALLOC: CountingAllocator = CountingAllocator;
 
 #[test]
-fn steady_state_greedy_s1_allocates_nothing() {
+fn steady_state_slot_allocates_nothing() {
+    steady_state_greedy_s1_section();
+    steady_state_full_pipeline_section();
+}
+
+fn steady_state_greedy_s1_section() {
     // Paper-like instance: 2 BS + 6 users, 2 bands, several backlogged
     // links so the greedy loop admits, probes, and rejects candidates.
     let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
@@ -118,6 +129,109 @@ fn steady_state_greedy_s1_allocates_nothing() {
         after - before,
         0,
         "steady-state greedy S1 performed {} heap allocations over 50 slots",
+        after - before
+    );
+}
+
+fn steady_state_full_pipeline_section() {
+    // Same 2 BS + 6 users geometry, now with sessions so every stage of
+    // the pipeline has work: S2 admits, S3 routes, S4 sources the energy.
+    let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+    b.add_base_station(Point::new(0.0, 0.0));
+    b.add_base_station(Point::new(1200.0, 0.0));
+    let mut users = Vec::new();
+    for k in 0..6 {
+        let angle = k as f64 * std::f64::consts::TAU / 6.0;
+        users.push(b.add_user(Point::new(600.0 + 500.0 * angle.cos(), 500.0 * angle.sin())));
+    }
+    for &u in users.iter().take(3) {
+        b.add_session(u, DataRate::from_kilobits_per_second(100.0));
+    }
+    let net = b.build().expect("valid network");
+    let n = net.topology().len();
+    let sessions = net.session_count();
+
+    let node_cfg = |is_bs: bool| NodeEnergyConfig {
+        battery: Battery::new(
+            Energy::from_kilowatt_hours(1.0),
+            Energy::from_kilowatt_hours(0.1),
+            Energy::from_kilowatt_hours(0.1),
+        ),
+        energy_model: NodeEnergyModel::new(
+            Energy::from_joules(10.0),
+            Energy::from_joules(5.0),
+            Power::from_milliwatts(100.0),
+        ),
+        max_power: if is_bs {
+            Power::from_watts(20.0)
+        } else {
+            Power::from_watts(1.0)
+        },
+        grid_limit: Energy::from_kilowatt_hours(0.2),
+    };
+    let energy = EnergyConfig {
+        nodes: net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|nd| node_cfg(nd.kind().is_base_station()))
+            .collect(),
+        cost: QuadraticCost::paper_default(),
+    };
+    let config = ControllerConfig {
+        v: 1e5,
+        lambda: 0.2,
+        k_max: Packets::new(1000),
+        packet_size: PacketSize::from_bits(10_000),
+        slot: TimeDelta::from_minutes(1.0),
+        scheduler: SchedulerKind::Greedy,
+        relay: RelayPolicy::MultiHop,
+        energy_policy: EnergyPolicy::MarginalPrice,
+        w_max: Bandwidth::from_megahertz(2.0),
+        degradation: DegradationPolicy::Graceful,
+    };
+    let phy = PhyConfig::new(1.0, 1e-20);
+    let mut ctl = Controller::new(net, phy, energy, config).expect("controller builds");
+
+    let obs = SlotObservation {
+        spectrum: SpectrumState::new(vec![
+            Bandwidth::from_megahertz(1.0),
+            Bandwidth::from_megahertz(2.0),
+        ]),
+        renewable: vec![Energy::from_joules(300.0); n],
+        grid_connected: vec![true; n],
+        session_demand: vec![Packets::new(600); sessions],
+        price_multiplier: 1.0,
+        node_available: vec![],
+    };
+
+    // Warm-up: grow the arena to steady state. Queues keep evolving across
+    // slots, so run long enough for every retained buffer (admissions,
+    // flows, S3 combos, S4 workspace, …) to reach its high-water mark.
+    let mut warmed_scheduled = 0usize;
+    for _ in 0..50 {
+        let report = ctl.step(&obs).expect("fault-free slot");
+        warmed_scheduled += report.scheduled_links;
+        assert!(
+            report.degradation.is_empty(),
+            "fixture must stay on the clean path or the audit is noisy"
+        );
+    }
+    assert!(
+        warmed_scheduled > 0,
+        "warm-up must schedule something or the audit is vacuous"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        let report = ctl.step(&obs).expect("fault-free slot");
+        assert!(report.degradation.is_empty());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state Controller::step performed {} heap allocations over 50 slots",
         after - before
     );
 }

@@ -24,7 +24,7 @@ use greencell_units::Packets;
 /// assert_eq!(plan.inflow(s, b).count(), 4);
 /// assert_eq!(plan.link_total(a, b).count(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowPlan {
     nodes: usize,
     sessions: usize,
@@ -41,6 +41,25 @@ impl FlowPlan {
             sessions,
             flows: vec![Packets::ZERO; sessions * nodes * nodes],
         }
+    }
+
+    /// Re-dimensions the plan to `nodes` × `sessions` and zeroes every
+    /// entry, retaining the backing allocation. The result is
+    /// indistinguishable from [`FlowPlan::new`] with the same dimensions;
+    /// this is the per-slot arena's reuse path (no heap traffic once the
+    /// buffer has reached its steady-state size).
+    pub fn reset(&mut self, nodes: usize, sessions: usize) {
+        self.nodes = nodes;
+        self.sessions = sessions;
+        self.flows.clear();
+        self.flows.resize(sessions * nodes * nodes, Packets::ZERO);
+    }
+
+    /// The empty 0×0 plan — the state a retained arena plan starts from
+    /// before its first [`FlowPlan::reset`].
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::new(0, 0)
     }
 
     fn idx(&self, s: SessionId, i: NodeId, j: NodeId) -> usize {
@@ -174,6 +193,17 @@ mod tests {
             entries,
             vec![(SessionId::from_index(0), ids(1), ids(2), Packets::new(9))]
         );
+    }
+
+    #[test]
+    fn reset_matches_fresh_plan() {
+        let mut p = FlowPlan::new(4, 2);
+        p.set(SessionId::from_index(1), ids(0), ids(3), Packets::new(5));
+        p.reset(3, 1);
+        assert_eq!(p, FlowPlan::new(3, 1));
+        p.set(SessionId::from_index(0), ids(1), ids(2), Packets::new(2));
+        p.reset(4, 2);
+        assert_eq!(p, FlowPlan::new(4, 2));
     }
 
     #[test]

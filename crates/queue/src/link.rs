@@ -123,15 +123,17 @@ impl LinkQueueBank {
     /// a link, or `i == j`.
     pub fn advance(&mut self, plan: &FlowPlan, service: &[(NodeId, NodeId, Packets)]) {
         assert_eq!(plan.node_count(), self.nodes, "plan/bank node mismatch");
-        let mut served = vec![Packets::ZERO; self.nodes * self.nodes];
-        for &(i, j, pkts) in service {
+        // Validate the sparse service list without a dense scratch map:
+        // the list holds at most one entry per scheduled transmission (a
+        // handful of links), so quadratic duplicate detection is cheaper
+        // than a per-slot `n²` allocation and keeps this path heap-free.
+        for (k, &(i, j, _)) in service.iter().enumerate() {
             assert!(i != j, "self-loop service {i} → {j}");
-            let idx = self.idx(i, j);
             assert!(
-                served[idx] == Packets::ZERO,
+                !service[..k].iter().any(|&(a, b, _)| a == i && b == j),
                 "duplicate service entry for link {i} → {j}"
             );
-            served[idx] = pkts;
+            debug_assert!(i.index() < self.nodes && j.index() < self.nodes);
         }
         for i_idx in 0..self.nodes {
             for j_idx in 0..self.nodes {
@@ -141,7 +143,11 @@ impl LinkQueueBank {
                 let (i, j) = (NodeId::from_index(i_idx), NodeId::from_index(j_idx));
                 let idx = self.idx(i, j);
                 let arrivals = plan.link_total(i, j);
-                self.queues[idx].advance(arrivals, served[idx]);
+                let served = service
+                    .iter()
+                    .find(|&&(a, b, _)| a == i && b == j)
+                    .map_or(Packets::ZERO, |&(_, _, pkts)| pkts);
+                self.queues[idx].advance(arrivals, served);
             }
         }
     }

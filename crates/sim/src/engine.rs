@@ -94,6 +94,9 @@ pub struct Simulator {
     watchdog: StabilityWatchdog,
     metrics: RunMetrics,
     slots_run: usize,
+    /// Drive the controller through its frozen pre-pipeline oracle instead
+    /// of the staged driver (equivalence testing only).
+    reference: bool,
 }
 
 impl Simulator {
@@ -165,13 +168,33 @@ impl Simulator {
             watchdog,
             metrics: RunMetrics::new(),
             slots_run: 0,
+            reference: false,
         })
+    }
+
+    /// Routes every subsequent step through the controller's frozen
+    /// pre-pipeline oracle (`Controller::step_reference`) instead of the
+    /// staged driver. Equivalence-test plumbing, not part of the public
+    /// API: observations, faults, and metrics are produced identically, so
+    /// a reference run and a pipeline run from the same scenario must
+    /// match bit for bit.
+    #[doc(hidden)]
+    pub fn set_reference(&mut self, reference: bool) {
+        self.reference = reference;
     }
 
     /// The controller under simulation.
     #[must_use]
     pub fn controller(&self) -> &Controller {
         &self.controller
+    }
+
+    /// Mutable access to the controller under simulation, e.g. to swap an
+    /// energy stage through [`Controller::set_energy_stage`] for an
+    /// ablation run. Swapping mid-run changes behaviour from the next slot
+    /// onward only; queue and battery state carry over.
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
     }
 
     /// The network under simulation.
@@ -393,7 +416,11 @@ impl Simulator {
             let cost = relaxed.step(&obs);
             self.metrics.record_relaxed(cost);
         }
-        let report = self.controller.step_traced(&obs, sink)?;
+        let report = if self.reference {
+            self.controller.step_reference(&obs)?
+        } else {
+            self.controller.step_traced(&obs, sink)?
+        };
 
         let net = self.controller.network();
         let topo = net.topology();

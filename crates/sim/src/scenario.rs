@@ -208,6 +208,10 @@ pub struct Scenario {
     /// fault-free). The plan expands from the scenario seed, so faulted
     /// runs replay bit-identically.
     pub faults: Option<crate::faults::FaultSpec>,
+    /// How the controller reacts to energy-management infeasibility
+    /// (default graceful: walk the shed → grid-only → drop-schedule →
+    /// safe-mode fallback ladder; strict aborts after shedding).
+    pub degradation: greencell_core::DegradationPolicy,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -261,6 +265,7 @@ impl Scenario {
             pricing: TouPricing::Flat,
             energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
             faults: None,
+            degradation: greencell_core::DegradationPolicy::Graceful,
             seed,
         }
     }
@@ -468,7 +473,7 @@ impl Scenario {
             relay: self.architecture.relay_policy(),
             energy_policy: self.energy_policy,
             w_max: self.max_bandwidth(),
-            degradation: greencell_core::DegradationPolicy::Graceful,
+            degradation: self.degradation,
         }
     }
 

@@ -65,3 +65,33 @@ fn both_policies_deliver_the_same_traffic() {
     assert_eq!(ma.delivered(), mb.delivered());
     assert_eq!(ma.routed_series(), mb.routed_series());
 }
+
+#[test]
+fn grid_only_stage_swapped_through_the_seam_matches_the_config_path() {
+    // The stage registry is the single seam for energy policies: a
+    // controller configured with `EnergyPolicy::MarginalPrice` but flipped
+    // to the registered `grid_only` stage must reproduce, bit for bit,
+    // a run configured with `EnergyPolicy::GridOnly` from the start.
+    let mut configured = Scenario::tiny(4242);
+    configured.energy_policy = greencell_core::EnergyPolicy::GridOnly;
+    let mut via_config = greencell_sim::Simulator::new(&configured).expect("build");
+
+    let swapped = Scenario::tiny(4242);
+    assert_eq!(
+        swapped.energy_policy,
+        greencell_core::EnergyPolicy::MarginalPrice,
+        "fixture must start on the paper's default policy"
+    );
+    let mut via_seam = greencell_sim::Simulator::new(&swapped).expect("build");
+    let stage =
+        greencell_core::pipeline::energy_stage("grid_only").expect("grid_only is registered");
+    via_seam.controller_mut().set_energy_stage(stage);
+    assert_eq!(via_seam.controller().energy_stage_key(), "grid_only");
+
+    for slot in 0..configured.horizon {
+        let a = via_config.step_with_report().expect("config path runs");
+        let b = via_seam.step_with_report().expect("seam path runs");
+        assert_eq!(a, b, "slot {slot} diverged between config and seam paths");
+    }
+    assert_eq!(via_config.metrics(), via_seam.metrics());
+}
