@@ -28,6 +28,15 @@ echo "== s1 kernel equivalence gate =="
 cargo test -p greencell-sim --test s1_kernel_equivalence -q $CARGO_FLAGS
 cargo test -p greencell-core --test prop_s1_kernel -q $CARGO_FLAGS
 
+echo "== s4 kernel equivalence gate =="
+# The warm-started S4 energy kernel must match the cold-bisection oracle
+# bit-for-bit: golden fingerprints plus an in-process lockstep over the
+# scenario battery (faults, degradation policies, policy axes, V = 0),
+# and lockstep property tests dragging stale warm state across random
+# instances.
+cargo test -p greencell-sim --test s4_kernel_equivalence -q $CARGO_FLAGS
+cargo test -p greencell-core --test prop_s4_kernel -q $CARGO_FLAGS
+
 echo "== pipeline equivalence gate =="
 # The staged S1–S4 pipeline driver must match the frozen pre-refactor
 # oracle bit-for-bit: seed scenarios, all four fault scenarios, both

@@ -9,17 +9,21 @@
 //!
 //! The record also carries the per-stage latency histogram (p50/p90/p99/
 //! max in nanoseconds) from a traced run of the same batch, so the
-//! baseline pins where the time goes, not just how much there is, and an
-//! `s1_kernel` A/B section comparing the pre-kernel cold-start S1
-//! reference against the incremental workspace kernel on the paper setup
-//! and three synthetic sizes.
+//! baseline pins where the time goes, not just how much there is, plus
+//! two kernel A/B sections: `s1_kernel` (pre-kernel cold-start S1
+//! reference vs. the incremental workspace kernel) and `s4_kernel` (the
+//! cold-bisection energy oracle vs. the warm-started threshold-replay
+//! kernel), each on the paper setup and three synthetic sizes.
 //!
 //! ```text
 //! cargo run --release -p greencell-bench --bin perf_baseline [points] [threads] [reps]
 //! ```
 
-use greencell_bench::S1Fixture;
-use greencell_core::{greedy_schedule_reference, greedy_schedule_with, S1Scratch, ScheduleOutcome};
+use greencell_bench::{S1Fixture, S4Fixture};
+use greencell_core::{
+    greedy_schedule_reference, greedy_schedule_with, solve_energy_management_into,
+    solve_energy_management_warm_into, EnergyOutcome, S1Scratch, S4Workspace, ScheduleOutcome,
+};
 use greencell_sim::{run_sweep, trace_points, Scenario, SweepOptions, SweepPoint, SweepReport};
 use greencell_trace::{RingSink, Stage};
 use std::hint::black_box;
@@ -85,6 +89,32 @@ fn s1_kernel_row(label: &str, fixture: &S1Fixture, samples: usize) -> String {
     });
     let speedup = cold / kernel.max(1.0);
     println!("s1_kernel {label}: cold {cold:.0} ns, kernel {kernel:.0} ns, {speedup:.2}x");
+    format!(
+        "    \"{label}\": {{ \"cold_ns\": {cold:.0}, \"kernel_ns\": {kernel:.0}, \
+         \"speedup\": {speedup:.4} }}"
+    )
+}
+
+/// Cold-bisection oracle vs. warm-started kernel S4 medians for one
+/// fixture, as a JSON object row. The kernel workspace is reused across
+/// samples, so every measured solve after the first takes the warm path —
+/// exactly how the pipeline runs it.
+fn s4_kernel_row(label: &str, fixture: &S4Fixture, samples: usize) -> String {
+    let input = fixture.input();
+    let mut ws = S4Workspace::new();
+    let mut out = EnergyOutcome::empty();
+    let cold = median_ns(samples, || {
+        solve_energy_management_into(&input, &mut ws, &mut out).expect("feasible fixture");
+        black_box(out.grid_draw);
+    });
+    let mut warm_ws = S4Workspace::new();
+    let kernel = median_ns(samples, || {
+        solve_energy_management_warm_into(&input, &mut warm_ws, &mut out)
+            .expect("feasible fixture");
+        black_box(out.grid_draw);
+    });
+    let speedup = cold / kernel.max(1.0);
+    println!("s4_kernel {label}: cold {cold:.0} ns, kernel {kernel:.0} ns, {speedup:.2}x");
     format!(
         "    \"{label}\": {{ \"cold_ns\": {cold:.0}, \"kernel_ns\": {kernel:.0}, \
          \"speedup\": {speedup:.4} }}"
@@ -177,6 +207,18 @@ fn main() {
         .map(|(label, fixture)| s1_kernel_row(label, fixture, 201))
         .collect();
 
+    // Same A/B for the S4 energy kernel against its cold-bisection oracle.
+    let s4_fixtures = [
+        ("paper", S4Fixture::paper(500)),
+        ("n8", S4Fixture::new(8, 42)),
+        ("n16", S4Fixture::new(16, 42)),
+        ("n32", S4Fixture::new(32, 42)),
+    ];
+    let s4_rows: Vec<String> = s4_fixtures
+        .iter()
+        .map(|(label, fixture)| s4_kernel_row(label, fixture, 201))
+        .collect();
+
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
          \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
@@ -185,11 +227,12 @@ fn main() {
          \"speedup\": {speedup:.4},\n  \
          \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
          \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }},\n  \
-         \"s1_kernel\": {{\n{}\n  }}\n}}\n",
+         \"s1_kernel\": {{\n{}\n  }},\n  \"s4_kernel\": {{\n{}\n  }}\n}}\n",
         slots as f64 / serial_s,
         slots as f64 / parallel_s,
         stage_rows.join(",\n"),
         kernel_rows.join(",\n"),
+        s4_rows.join(",\n"),
     );
     match std::fs::write("BENCH_sweep.json", &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),

@@ -12,8 +12,8 @@
 
 #![forbid(unsafe_code)]
 
-use greencell_core::{Controller, S1Inputs, SlotObservation};
-use greencell_energy::NodeEnergyModel;
+use greencell_core::{Controller, EnergyManagementInput, S1Inputs, SlotObservation};
+use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
 use greencell_phy::{PhyConfig, SpectrumState};
 use greencell_queue::{FlowPlan, LinkQueueBank};
@@ -215,6 +215,116 @@ impl S1Fixture {
             available: &[],
             slot: self.slot,
             packet_size: self.packet_size,
+        }
+    }
+}
+
+/// An owned S4 energy-management instance for benchmarking the
+/// marginal-price solvers at a chosen scale. Borrow the per-call view
+/// with [`S4Fixture::input`].
+pub struct S4Fixture {
+    z: Vec<f64>,
+    demand: Vec<Energy>,
+    renewable: Vec<Energy>,
+    batteries: Vec<Battery>,
+    grid_connected: Vec<bool>,
+    grid_limits: Vec<Energy>,
+    is_bs: Vec<bool>,
+    cost: QuadraticCost,
+    v: f64,
+}
+
+impl S4Fixture {
+    /// A random-but-deterministic paper-scale instance (`V = 1e5`, the
+    /// paper cost curve) with `nodes` nodes, every other one a base
+    /// station. Backlogs are drawn so the per-node mode-flip prices `−z`
+    /// and `−z·η` land on both sides of the equilibrium bracket — the
+    /// breakpoint structure the kernel's cold-start search walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        let mut rng = Rng::seed_from(seed);
+        let kwh = Energy::from_kilowatt_hours;
+        Self {
+            z: (0..nodes).map(|_| -rng.range_f64(1.0e4, 1.6e5)).collect(),
+            demand: (0..nodes).map(|_| kwh(rng.range_f64(0.0, 0.15))).collect(),
+            renewable: (0..nodes).map(|_| kwh(rng.range_f64(0.0, 0.2))).collect(),
+            batteries: (0..nodes)
+                .map(|_| {
+                    Battery::with_level(kwh(1.0), kwh(0.1), kwh(0.1), kwh(rng.range_f64(0.0, 1.0)))
+                })
+                .collect(),
+            grid_connected: vec![true; nodes],
+            grid_limits: vec![kwh(0.2); nodes],
+            is_bs: (0..nodes).map(|i| i % 2 == 0).collect(),
+            cost: QuadraticCost::paper_default(),
+            v: 1e5,
+        }
+    }
+
+    /// The paper setup (§VI): backlogs (`z = Z − θ`) and battery states
+    /// lifted from a controller warmed up for `warmup` slots of
+    /// `Scenario::paper`, with the scenario's cost curve, `V`, and grid
+    /// limits, and joule-scale demands/renewables like the live pipeline
+    /// feeds S4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails to build or the warm-up run fails.
+    #[must_use]
+    pub fn paper(warmup: usize) -> Self {
+        let mut scenario = Scenario::paper(42);
+        scenario.horizon = warmup.max(1);
+        let mut sim = Simulator::new(&scenario).expect("paper scenario builds");
+        sim.run().expect("paper warmup runs");
+        let controller = sim.controller();
+        let net = controller.network();
+        let nodes = net.topology().len();
+        let mut rng = Rng::seed_from(7);
+        let (a, b, c) = scenario.cost;
+        Self {
+            z: (0..nodes)
+                .map(|i| controller.shifted_level(NodeId::from_index(i)))
+                .collect(),
+            demand: (0..nodes)
+                .map(|_| Energy::from_joules(rng.range_f64(0.0, 4.0e5)))
+                .collect(),
+            renewable: (0..nodes)
+                .map(|_| Energy::from_joules(rng.range_f64(0.0, 3.0e5)))
+                .collect(),
+            batteries: (0..nodes)
+                .map(|i| *controller.battery(NodeId::from_index(i)))
+                .collect(),
+            grid_connected: vec![true; nodes],
+            grid_limits: vec![scenario.grid_limit; nodes],
+            is_bs: net
+                .topology()
+                .nodes()
+                .iter()
+                .map(|n| n.kind().is_base_station())
+                .collect(),
+            cost: QuadraticCost::new(a, b, c),
+            v: scenario.v,
+        }
+    }
+
+    /// The borrowed S4 input view of this fixture.
+    #[must_use]
+    pub fn input(&self) -> EnergyManagementInput<'_> {
+        EnergyManagementInput {
+            z: &self.z,
+            demand: &self.demand,
+            renewable: &self.renewable,
+            batteries: &self.batteries,
+            grid_connected: &self.grid_connected,
+            grid_limits: &self.grid_limits,
+            is_base_station: &self.is_bs,
+            cost: &self.cost,
+            v: self.v,
         }
     }
 }

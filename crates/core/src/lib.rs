@@ -110,8 +110,8 @@ pub use s1::{
 pub use s2::{admission_valve_open, resource_allocation, resource_allocation_into, Admission};
 pub use s3::{route_flows, route_flows_into, S3Scratch};
 pub use s4::{
-    solve_energy_management, solve_energy_management_into, solve_grid_only, solve_grid_only_into,
-    solve_safe_mode, EnergyManagementError, EnergyManagementInput, EnergyOutcome, S4Workspace,
-    SafeModeOutcome,
+    solve_energy_management, solve_energy_management_into, solve_energy_management_warm_into,
+    solve_grid_only, solve_grid_only_into, solve_safe_mode, EnergyManagementError,
+    EnergyManagementInput, EnergyOutcome, S4KernelState, S4Workspace, SafeModeOutcome,
 };
 pub use state::SlotObservation;

@@ -30,9 +30,9 @@
 use crate::s1::S1Inputs;
 use crate::{
     greedy_schedule_with, sequential_fix_schedule_with, solve_energy_management_into,
-    solve_grid_only_into, solve_safe_mode, Admission, DegradationEvent, DegradationPolicy,
-    EnergyManagementError, EnergyManagementInput, EnergyOutcome, S1Scratch, S3Scratch, S4Workspace,
-    ScheduleOutcome,
+    solve_energy_management_warm_into, solve_grid_only_into, solve_safe_mode, Admission,
+    DegradationEvent, DegradationPolicy, EnergyManagementError, EnergyManagementInput,
+    EnergyOutcome, S1Scratch, S3Scratch, S4Workspace, ScheduleOutcome,
 };
 use greencell_net::{Network, NodeId, SessionId};
 use greencell_phy::{PhyConfig, Schedule, SpectrumState};
@@ -139,14 +139,40 @@ impl RelayStage for OneHopStage {
     }
 }
 
-/// Built-in S4 stage: the exact marginal-price equilibrium
-/// ([`crate::solve_energy_management`]).
+/// Built-in S4 stage: the exact marginal-price equilibrium, solved by the
+/// warm-started threshold-replay kernel
+/// ([`crate::solve_energy_management_warm_into`]) — bit-identical to the
+/// frozen oracle behind [`MarginalPriceReferenceStage`], with the warm
+/// state living in the slot arena's [`S4Workspace`].
 #[derive(Debug, Clone, Copy)]
 pub struct MarginalPriceStage;
 
 impl EnergyStage for MarginalPriceStage {
     fn key(&self) -> &'static str {
         "marginal_price"
+    }
+
+    fn solve(
+        &self,
+        input: &EnergyManagementInput<'_>,
+        ws: &mut S4Workspace,
+        out: &mut EnergyOutcome,
+    ) -> Result<(), EnergyManagementError> {
+        solve_energy_management_warm_into(input, ws, out)
+    }
+}
+
+/// Built-in S4 stage: the frozen cold-bisection oracle
+/// ([`crate::solve_energy_management_into`]), kept registered so
+/// equivalence tests and A/B harnesses can pin the warm kernel against it
+/// through the full controller seam
+/// ([`crate::Controller::set_energy_stage`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MarginalPriceReferenceStage;
+
+impl EnergyStage for MarginalPriceReferenceStage {
+    fn key(&self) -> &'static str {
+        "marginal_price_reference"
     }
 
     fn solve(
@@ -185,11 +211,13 @@ static SEQUENTIAL_FIX: SequentialFixStage = SequentialFixStage;
 static MULTI_HOP: MultiHopStage = MultiHopStage;
 static ONE_HOP: OneHopStage = OneHopStage;
 static MARGINAL_PRICE: MarginalPriceStage = MarginalPriceStage;
+static MARGINAL_PRICE_REFERENCE: MarginalPriceReferenceStage = MarginalPriceReferenceStage;
 static GRID_ONLY: GridOnlyStage = GridOnlyStage;
 
 static SCHEDULE_STAGES: [&dyn ScheduleStage; 2] = [&GREEDY, &SEQUENTIAL_FIX];
 static RELAY_STAGES: [&dyn RelayStage; 2] = [&MULTI_HOP, &ONE_HOP];
-static ENERGY_STAGES: [&dyn EnergyStage; 2] = [&MARGINAL_PRICE, &GRID_ONLY];
+static ENERGY_STAGES: [&dyn EnergyStage; 3] =
+    [&MARGINAL_PRICE, &MARGINAL_PRICE_REFERENCE, &GRID_ONLY];
 
 /// Looks up a registered S1 stage by key (`"greedy"`, `"sequential_fix"`).
 #[must_use]
@@ -204,7 +232,7 @@ pub fn relay_stage(key: &str) -> Option<&'static dyn RelayStage> {
 }
 
 /// Looks up a registered S4 stage by key (`"marginal_price"`,
-/// `"grid_only"`).
+/// `"marginal_price_reference"`, `"grid_only"`).
 #[must_use]
 pub fn energy_stage(key: &str) -> Option<&'static dyn EnergyStage> {
     ENERGY_STAGES.iter().copied().find(|s| s.key() == key)
@@ -607,7 +635,7 @@ mod tests {
         for key in ["multi_hop", "one_hop"] {
             assert_eq!(relay_stage(key).expect("registered").key(), key);
         }
-        for key in ["marginal_price", "grid_only"] {
+        for key in ["marginal_price", "marginal_price_reference", "grid_only"] {
             assert_eq!(energy_stage(key).expect("registered").key(), key);
         }
         assert!(schedule_stage("no_such_stage").is_none());

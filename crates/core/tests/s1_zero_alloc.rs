@@ -1,16 +1,19 @@
 //! Steady-state allocation audit for the per-slot control path.
 //!
-//! A counting global allocator wraps `System`. Two serial sections:
+//! A counting global allocator wraps `System`. Three serial sections:
 //! first the greedy S1 kernel alone (the original PR-4 audit), then the
-//! **full pipeline slot** — once a warm-up has grown every buffer in the
+//! warm-started S4 energy kernel alone (threshold search + guarded
+//! replay on a drifting instance), then the **full pipeline slot** —
+//! once a warm-up has grown every buffer in the
 //! [`greencell_core::SlotContext`] arena, repeated [`Controller::step`]
 //! calls across S1–S4, the state advance, and report assembly must
 //! perform **zero** heap allocations. This test binary is kept to a
 //! single `#[test]` so no concurrent test thread can pollute the counter.
 
 use greencell_core::{
-    greedy_schedule_with, Controller, ControllerConfig, DegradationPolicy, EnergyConfig,
-    EnergyPolicy, NodeEnergyConfig, RelayPolicy, S1Inputs, S1Scratch, ScheduleOutcome,
+    greedy_schedule_with, solve_energy_management_warm_into, Controller, ControllerConfig,
+    DegradationPolicy, EnergyConfig, EnergyManagementInput, EnergyOutcome, EnergyPolicy,
+    NodeEnergyConfig, RelayPolicy, S1Inputs, S1Scratch, S4Workspace, ScheduleOutcome,
     SchedulerKind, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
@@ -48,7 +51,66 @@ static ALLOC: CountingAllocator = CountingAllocator;
 #[test]
 fn steady_state_slot_allocates_nothing() {
     steady_state_greedy_s1_section();
+    steady_state_warm_s4_section();
     steady_state_full_pipeline_section();
+}
+
+fn steady_state_warm_s4_section() {
+    // Paper-scale 8-node instance, 4 base stations. One backlog drifts
+    // each slot so the kernel re-verifies (and occasionally re-brackets)
+    // its cached threshold instead of coasting on the exact-hit path.
+    let n = 8;
+    let kwh = Energy::from_kilowatt_hours;
+    let mut z: Vec<f64> = (0..n).map(|i| -(60_000.0 + 3_000.0 * i as f64)).collect();
+    let demand: Vec<Energy> = (0..n).map(|i| kwh(0.02 + 0.01 * (i % 3) as f64)).collect();
+    let renewable: Vec<Energy> = (0..n).map(|i| kwh(0.01 * (i % 4) as f64)).collect();
+    let batteries: Vec<Battery> = (0..n)
+        .map(|_| Battery::new(kwh(1.0), kwh(0.1), kwh(0.1)))
+        .collect();
+    let grid_connected = vec![true; n];
+    let grid_limits = vec![kwh(0.2); n];
+    let is_bs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+    let cost = QuadraticCost::paper_default();
+
+    let mut ws = S4Workspace::new();
+    let mut out = EnergyOutcome::empty();
+    let solve = |z: &[f64], ws: &mut S4Workspace, out: &mut EnergyOutcome| {
+        let input = EnergyManagementInput {
+            z,
+            demand: &demand,
+            renewable: &renewable,
+            batteries: &batteries,
+            grid_connected: &grid_connected,
+            grid_limits: &grid_limits,
+            is_base_station: &is_bs,
+            cost: &cost,
+            v: 1e5,
+        };
+        solve_energy_management_warm_into(&input, ws, out).expect("feasible instance");
+    };
+
+    // Warm-up: one cold solve grows every workspace buffer (envs,
+    // solutions, cached user responses, breakpoints), then a warm one.
+    for _ in 0..2 {
+        solve(&z, &mut ws, &mut out);
+    }
+    assert!(
+        out.equilibrium_price.is_some(),
+        "fixture must hit the marginal-price path or the audit is vacuous"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for slot in 0..50 {
+        z[0] = -(60_000.0 + 17.0 * (slot % 13) as f64);
+        solve(&z, &mut ws, &mut out);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state warm S4 kernel performed {} heap allocations over 50 slots",
+        after - before
+    );
 }
 
 fn steady_state_greedy_s1_section() {

@@ -9,7 +9,13 @@
 //!   simplex with bounded variables, used by the sequential-fix link
 //!   scheduler (S1) and the relaxed lower-bound controller `P̄3`;
 //! * [`bisect_increasing`] / [`golden_section_min`] — scalar searches used
-//!   by the S4 marginal-price solver.
+//!   by the S4 marginal-price solver;
+//! * [`bisect_replay`] / [`bisect_replay_guarded`] /
+//!   [`piecewise_sign_threshold`] — the threshold-replay machinery behind
+//!   the warm-started S4 kernel: find the sign threshold of the equilibrium
+//!   residual in O(1) probes, then replay the cold bisection's arithmetic
+//!   bit-for-bit, spending real evaluations only on midpoints inside a
+//!   guard band where the computed sign may flicker.
 //!
 //! The simplex is tuned for *correctness and reproducibility*, not raw
 //! speed: Dantzig pricing with an automatic switch to Bland's rule after a
@@ -40,5 +46,8 @@
 mod search;
 mod simplex;
 
-pub use search::{bisect_increasing, golden_section_min};
+pub use search::{
+    bisect_increasing, bisect_replay, bisect_replay_guarded, golden_section_min,
+    piecewise_sign_threshold,
+};
 pub use simplex::{LinearProgram, LpError, Relation, Solution, VarId};
