@@ -47,6 +47,45 @@ cargo test -p greencell-sim --test pipeline_equivalence -q $CARGO_FLAGS
 cargo test -p greencell-core --test prop_pipeline_config -q $CARGO_FLAGS
 cargo test -p greencell-core --test s1_zero_alloc -q $CARGO_FLAGS
 
+echo "== snapshot equivalence gate =="
+# Crash-safe restore: snapshot at any slot boundary, round-trip through
+# the on-disk image, restore, and replay — SlotReports, RunMetrics, and
+# watchdog verdicts must be bit-identical to the uninterrupted run across
+# all four fault archetypes and both schedulers, and corrupt/mismatched
+# snapshot files must surface as typed errors.
+cargo test -p greencell-sim --test snapshot_equivalence -q $CARGO_FLAGS
+
+echo "== sweep resume gate =="
+# Resumable checkpointed sweeps: interrupt after k points, resume at any
+# worker count, byte-compare the deterministic stability report against a
+# one-shot sweep; corrupt checkpoints are quarantined, never trusted.
+cargo test -p greencell-sim --test sweep_resume -q $CARGO_FLAGS
+
+echo "== serve smoke gate =="
+# End-to-end service posture through the release binary: pipe a short
+# observation feed (including a malformed line) through `greencell serve`
+# twice against the same state dir; the second session must restore from
+# the snapshot the first one wrote.
+SERVE_DIR=$(mktemp -d)
+printf '%s\n' \
+  '{"renewable_w":[2.0,1.0,0.0,3.0,1.0],"grid":[true,true,false,true,true],"demand":[2,1]}' \
+  'not json' \
+  '{"renewable_w":[1.0,0.0,2.0,1.0,0.0],"grid":[true,true,true,true,false],"demand":[1,2]}' \
+  '{"cmd":"snapshot"}' \
+  '{"cmd":"stop"}' \
+  | ./target/release/greencell serve --tiny --users 4 --sessions 2 \
+      --state-dir "$SERVE_DIR" --status-every 1 --snapshot-every 0 \
+      > "$SERVE_DIR/events1.jsonl"
+grep -q '"event":"snapshot"' "$SERVE_DIR/events1.jsonl"
+grep -q '"event":"reject"' "$SERVE_DIR/events1.jsonl"
+printf '%s\n' '{"cmd":"status"}' '{"cmd":"stop"}' \
+  | ./target/release/greencell serve --tiny --users 4 --sessions 2 \
+      --state-dir "$SERVE_DIR" \
+      > "$SERVE_DIR/events2.jsonl"
+grep -q '"event":"start","slot":2,"restored":true' "$SERVE_DIR/events2.jsonl"
+rm -rf "$SERVE_DIR"
+echo "serve smoke: restore-on-startup verified"
+
 echo "== criterion benches compile =="
 cargo bench --workspace --no-run -q $CARGO_FLAGS
 

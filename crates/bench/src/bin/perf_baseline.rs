@@ -234,7 +234,7 @@ fn main() {
         kernel_rows.join(",\n"),
         s4_rows.join(",\n"),
     );
-    match std::fs::write("BENCH_sweep.json", &json) {
+    match greencell_sim::write_text_atomic(std::path::Path::new("BENCH_sweep.json"), &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),
         Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
     }

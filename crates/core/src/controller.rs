@@ -22,7 +22,7 @@ use crate::{
 use greencell_energy::{Battery, NodeEnergyModel};
 use greencell_net::{Network, NodeId, SessionId};
 use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig};
-use greencell_queue::{DataQueueBank, LinkQueueBank};
+use greencell_queue::{DataQueueBank, LinkQueueBank, PacketQueue};
 use greencell_trace::{names, NoopSink, Sink, Stage, TraceEvent};
 use greencell_units::{Energy, Packets, Power};
 use std::error::Error;
@@ -207,6 +207,32 @@ impl StageTimings {
     }
 }
 
+/// The complete evolving state of a [`Controller`] — everything that
+/// changes from slot to slot, captured by [`Controller::export_state`] and
+/// replayed by [`Controller::import_state`].
+///
+/// Holds the battery fleet `x_i(t)` (including any runtime capacity fade
+/// or charge blocks a fault injected), the data queue bank's packing
+/// (`queues[s·n + i]` plus per-session delivered/phantom counters), and
+/// the link bank's `queues[i·n + j]` packing. Construction facts (network,
+/// configs, `β`, resolved stages) are deliberately absent: a restore
+/// rebuilds those from the same inputs and only overlays this state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// The next slot index to run (0-based).
+    pub slot: u64,
+    /// Per-node batteries, verbatim (level, limits, fade, charge block).
+    pub batteries: Vec<Battery>,
+    /// Data queues in the bank's `queues[s·n + i]` layout.
+    pub data_queues: Vec<PacketQueue>,
+    /// Per-session delivered totals.
+    pub delivered: Vec<Packets>,
+    /// Per-session phantom-forward totals.
+    pub phantom: Vec<Packets>,
+    /// Link queues in the bank's `queues[i·n + j]` layout.
+    pub link_queues: Vec<PacketQueue>,
+}
+
 /// The online finite-queue-aware energy-cost controller (the paper's
 /// decomposition algorithm, §IV-C).
 ///
@@ -384,6 +410,59 @@ impl Controller {
     #[must_use]
     pub fn stage_timings(&self) -> StageTimings {
         self.timings
+    }
+
+    /// The next slot index [`Controller::step`] will run (0-based; equals
+    /// the number of slots stepped so far).
+    #[must_use]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// Captures every piece of state that evolves across slots — the queue
+    /// banks `Q^s_i`/`G_ij`, the batteries `x_i`, and the slot counter —
+    /// as a [`ControllerState`] a later [`Controller::import_state`] can
+    /// replay from.
+    ///
+    /// Derived constants (`β`, `γ_max`, `B`), the resolved pipeline stages,
+    /// and the per-slot arena are *not* captured: they are pure functions
+    /// of the construction inputs, and the S1/S4 warm-kernel equivalence
+    /// gates prove the pipeline's decisions are bit-identical whether its
+    /// workspaces are warm or freshly defaulted.
+    #[must_use]
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            slot: self.slot,
+            batteries: self.batteries.clone(),
+            data_queues: self.data.queues().to_vec(),
+            delivered: self.data.delivered_per_session().to_vec(),
+            phantom: self.data.phantom_per_session().to_vec(),
+            link_queues: self.links.queues().to_vec(),
+        }
+    }
+
+    /// Overwrites the evolving state from a captured [`ControllerState`],
+    /// resetting the per-slot arena and stage timings (warm kernels restart
+    /// cold — provably without affecting decisions, wall-clock restarts
+    /// from zero by design).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions disagree with this controller's
+    /// network (battery count, queue-bank layouts).
+    pub fn import_state(&mut self, state: &ControllerState) {
+        assert_eq!(
+            state.batteries.len(),
+            self.batteries.len(),
+            "battery count mismatch"
+        );
+        self.slot = state.slot;
+        self.batteries.clone_from(&state.batteries);
+        self.data
+            .restore(&state.data_queues, &state.delivered, &state.phantom);
+        self.links.restore(&state.link_queues);
+        self.ctx = SlotContext::default();
+        self.timings = StageTimings::default();
     }
 
     /// Swaps the S4 stage for any object registered through the

@@ -99,8 +99,10 @@ pub use config::{
     ControllerConfig, DegradationPolicy, EnergyConfig, EnergyPolicy, NodeEnergyConfig, RelayPolicy,
     SchedulerKind,
 };
-pub use controller::{Controller, ControllerError, DegradationEvent, SlotReport, StageTimings};
-pub use lower_bound::{LowerBoundSeries, RelaxedController};
+pub use controller::{
+    Controller, ControllerError, ControllerState, DegradationEvent, SlotReport, StageTimings,
+};
+pub use lower_bound::{LowerBoundSeries, RelaxedController, RelaxedState};
 pub use pipeline::SlotContext;
 pub use s1::{
     greedy_schedule, greedy_schedule_reference, greedy_schedule_with, sequential_fix_schedule,

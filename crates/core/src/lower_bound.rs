@@ -70,6 +70,31 @@ impl LowerBoundSeries {
     }
 }
 
+/// The complete evolving state of a [`RelaxedController`] — captured by
+/// [`RelaxedController::export_state`], replayed by
+/// [`RelaxedController::import_state`]. Everything else on the controller
+/// (`β`, `γ_max`, `B`, the relay stage) is a construction fact a restore
+/// rebuilds from the same inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelaxedState {
+    /// The next slot index to run (0-based).
+    pub slot: u64,
+    /// Real-valued battery levels in kWh, one per node.
+    pub levels: Vec<f64>,
+    /// Real-valued data queues in the `q[s·n + i]` layout.
+    pub q: Vec<f64>,
+    /// Real-valued virtual link queues in the `g[i·n + j]` layout.
+    pub g: Vec<f64>,
+    /// Running sum of relaxed slot costs `Σ f(P̄(t))`.
+    pub cost_sum: f64,
+    /// Number of cost samples recorded.
+    pub cost_count: u64,
+    /// Running sum of admitted packets `Σ_t Σ_s k_s(t)`.
+    pub admitted_sum: f64,
+    /// Number of admission samples recorded.
+    pub admitted_count: u64,
+}
+
 /// The online relaxed controller (see module docs).
 #[derive(Debug, Clone)]
 pub struct RelaxedController {
@@ -164,6 +189,42 @@ impl RelaxedController {
 
     fn qi(&self, s: usize, i: usize) -> f64 {
         self.q[s * self.net.topology().len() + i]
+    }
+
+    /// Captures the evolving real-valued state (levels, queues, running
+    /// averages, slot counter) as a [`RelaxedState`].
+    #[must_use]
+    pub fn export_state(&self) -> RelaxedState {
+        RelaxedState {
+            slot: self.slot,
+            levels: self.levels.clone(),
+            q: self.q.clone(),
+            g: self.g.clone(),
+            cost_sum: self.series.avg_cost.sum(),
+            cost_count: self.series.avg_cost.count(),
+            admitted_sum: self.admitted.sum(),
+            admitted_count: self.admitted.count(),
+        }
+    }
+
+    /// Overwrites the evolving state from a captured [`RelaxedState`]. The
+    /// series' gap constants `B` and `V` stay as built — they are pure
+    /// functions of the construction inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's vector dimensions disagree with this
+    /// controller's network.
+    pub fn import_state(&mut self, state: &RelaxedState) {
+        assert_eq!(state.levels.len(), self.levels.len(), "node count mismatch");
+        assert_eq!(state.q.len(), self.q.len(), "data-queue layout mismatch");
+        assert_eq!(state.g.len(), self.g.len(), "link-queue layout mismatch");
+        self.slot = state.slot;
+        self.levels.clone_from(&state.levels);
+        self.q.clone_from(&state.q);
+        self.g.clone_from(&state.g);
+        self.series.avg_cost = TimeAverage::from_parts(state.cost_sum, state.cost_count);
+        self.admitted = TimeAverage::from_parts(state.admitted_sum, state.admitted_count);
     }
 
     /// Runs one relaxed slot; returns the slot's cost `f(P̄(t))`.

@@ -157,6 +157,33 @@ impl Battery {
         b
     }
 
+    /// Rebuilds a battery from its full captured state — the restore half
+    /// of snapshotting. Unlike [`Battery::new`], the capacity and limits
+    /// here may already be fade-scaled (see [`Battery::fade_capacity`]),
+    /// so every runtime-mutable field is taken verbatim.
+    ///
+    /// # Panics
+    ///
+    /// As [`Battery::with_efficiency`], plus if `level ∉ [0, capacity]`.
+    #[must_use]
+    pub fn from_parts(
+        capacity: Energy,
+        charge_limit: Energy,
+        discharge_limit: Energy,
+        efficiency: f64,
+        level: Energy,
+        charge_blocked: bool,
+    ) -> Self {
+        let mut b = Self::with_efficiency(capacity, charge_limit, discharge_limit, efficiency);
+        assert!(
+            level.is_non_negative() && level.as_joules() <= capacity.as_joules() + EPS_JOULES,
+            "level outside [0, x^max]"
+        );
+        b.level = level;
+        b.charge_blocked = charge_blocked;
+        b
+    }
+
     /// The current level `x_i(t)`.
     #[must_use]
     pub fn level(&self) -> Energy {
@@ -370,6 +397,29 @@ mod tests {
     fn error_display() {
         let e = BatteryError::SimultaneousChargeDischarge;
         assert!(e.to_string().contains("same slot"));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_faded_blocked_battery() {
+        let mut b = Battery::with_efficiency(kwh(1.0), kwh(0.1), kwh(0.06), 0.9);
+        b.apply(kwh(0.1), Energy::ZERO).unwrap();
+        b.fade_capacity(0.7);
+        b.set_charge_blocked(true);
+        let rebuilt = Battery::from_parts(
+            b.capacity(),
+            b.charge_limit(),
+            b.discharge_limit(),
+            b.charge_efficiency(),
+            b.level(),
+            b.charge_blocked(),
+        );
+        assert_eq!(rebuilt, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "level outside")]
+    fn from_parts_rejects_overfull_level() {
+        let _ = Battery::from_parts(kwh(1.0), kwh(0.1), kwh(0.06), 1.0, kwh(1.5), false);
     }
 
     #[test]

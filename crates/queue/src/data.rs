@@ -136,6 +136,45 @@ impl DataQueueBank {
         self.phantom_forwarded[s.index()]
     }
 
+    /// Every queue in the bank, laid out `queues[s·n + i]` (session-major,
+    /// matching Eq. (15)'s indexing) — the raw state a snapshot captures.
+    #[must_use]
+    pub fn queues(&self) -> &[PacketQueue] {
+        &self.queues
+    }
+
+    /// Per-session delivered totals, in session-id order.
+    #[must_use]
+    pub fn delivered_per_session(&self) -> &[Packets] {
+        &self.delivered
+    }
+
+    /// Per-session phantom-forward totals, in session-id order.
+    #[must_use]
+    pub fn phantom_per_session(&self) -> &[Packets] {
+        &self.phantom_forwarded
+    }
+
+    /// Overwrites the bank's mutable state with a previously captured one —
+    /// the restore half of snapshotting. Dimensions (node count, session
+    /// count, destinations) are construction facts and stay as built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the bank's dimensions.
+    pub fn restore(&mut self, queues: &[PacketQueue], delivered: &[Packets], phantom: &[Packets]) {
+        assert_eq!(queues.len(), self.queues.len(), "queue count mismatch");
+        assert_eq!(delivered.len(), self.delivered.len(), "session mismatch");
+        assert_eq!(
+            phantom.len(),
+            self.phantom_forwarded.len(),
+            "session mismatch"
+        );
+        self.queues.copy_from_slice(queues);
+        self.delivered.copy_from_slice(delivered);
+        self.phantom_forwarded.copy_from_slice(phantom);
+    }
+
     /// Applies one slot of Eq. (15).
     ///
     /// `admissions` lists `(s, s_s(t), k_s(t))` — the packets the chosen
@@ -278,6 +317,34 @@ mod tests {
         let total: u64 = all.iter().map(|(_, _, p)| p.count()).sum();
         assert_eq!(total, b.total_backlog().count());
         assert!(all.contains(&(n(0), s(0), Packets::new(5))));
+    }
+
+    #[test]
+    fn restore_roundtrips_a_lived_in_bank() {
+        let mut b = bank();
+        b.advance(&FlowPlan::new(4, 2), &[(s(0), n(0), Packets::new(6))]);
+        let mut p = FlowPlan::new(4, 2);
+        p.set(s(0), n(0), n(2), Packets::new(9)); // over-forward: phantoms
+        b.advance(&p, &[]);
+        let mut fresh = bank();
+        fresh.restore(
+            b.queues(),
+            b.delivered_per_session(),
+            b.phantom_per_session(),
+        );
+        assert_eq!(fresh, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue count mismatch")]
+    fn restore_rejects_wrong_dimensions() {
+        let mut b = bank();
+        let small = DataQueueBank::new(2, &[n(1)]);
+        let (delivered, phantom) = (
+            b.delivered_per_session().to_vec(),
+            b.phantom_per_session().to_vec(),
+        );
+        b.restore(small.queues(), &delivered, &phantom);
     }
 
     #[test]

@@ -99,6 +99,25 @@ impl LinkQueueBank {
         self.queues.iter().map(PacketQueue::backlog).sum()
     }
 
+    /// Every link queue in the bank, laid out `queues[i·n + j]` (diagonal
+    /// entries are always empty) — the raw state a snapshot captures.
+    #[must_use]
+    pub fn queues(&self) -> &[PacketQueue] {
+        &self.queues
+    }
+
+    /// Overwrites the bank's queues with a previously captured set — the
+    /// restore half of snapshotting. `β` and the node count are
+    /// construction facts and stay as built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues.len()` disagrees with the bank's `n²` layout.
+    pub fn restore(&mut self, queues: &[PacketQueue]) {
+        assert_eq!(queues.len(), self.queues.len(), "queue count mismatch");
+        self.queues.copy_from_slice(queues);
+    }
+
     /// Iterates over the non-empty link queues as `(i, j, G_ij)`.
     pub fn backlogs(&self) -> impl Iterator<Item = (NodeId, NodeId, Packets)> + '_ {
         (0..self.nodes).flat_map(move |i| {
@@ -207,6 +226,17 @@ mod tests {
         bank.advance(&plan, &[]);
         let listed: Vec<_> = bank.backlogs().collect();
         assert_eq!(listed, vec![(n(0), n(2), Packets::new(4))]);
+    }
+
+    #[test]
+    fn restore_roundtrips_a_lived_in_bank() {
+        let mut bank = LinkQueueBank::new(3, 2.0);
+        let mut plan = FlowPlan::new(3, 1);
+        plan.set(SessionId::from_index(0), n(0), n(1), Packets::new(7));
+        bank.advance(&plan, &[(n(0), n(1), Packets::new(3))]);
+        let mut fresh = LinkQueueBank::new(3, 2.0);
+        fresh.restore(bank.queues());
+        assert_eq!(fresh, bank);
     }
 
     #[test]

@@ -33,6 +33,29 @@ impl PacketQueue {
         }
     }
 
+    /// Rebuilds a queue from its captured state — backlog plus the three
+    /// lifetime counters ([`PacketQueue::total_arrivals`],
+    /// [`PacketQueue::total_offered`], [`PacketQueue::total_wasted`]) — the
+    /// snapshot/restore inverse of reading them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wasted > offered` (the truncation can never exceed the
+    /// service that produced it).
+    #[must_use]
+    pub fn from_parts(backlog: Packets, arrivals: u64, offered: u64, wasted: u64) -> Self {
+        assert!(
+            wasted <= offered,
+            "wasted service {wasted} exceeds offered {offered}"
+        );
+        Self {
+            backlog,
+            total_arrivals: arrivals,
+            total_offered: offered,
+            total_wasted: wasted,
+        }
+    }
+
     /// The current backlog `Q(t)`.
     #[must_use]
     pub fn backlog(&self) -> Packets {
@@ -148,6 +171,26 @@ mod tests {
     fn with_backlog_starts_nonempty() {
         let q = PacketQueue::with_backlog(Packets::new(9));
         assert_eq!(q.backlog().count(), 9);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_a_lived_in_queue() {
+        let mut q = PacketQueue::new();
+        q.advance(Packets::new(3), Packets::new(0));
+        q.advance(Packets::new(2), Packets::new(7)); // wastes 4
+        let rebuilt = PacketQueue::from_parts(
+            q.backlog(),
+            q.total_arrivals(),
+            q.total_offered(),
+            q.total_wasted(),
+        );
+        assert_eq!(rebuilt, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds offered")]
+    fn from_parts_rejects_impossible_waste() {
+        let _ = PacketQueue::from_parts(Packets::ZERO, 0, 1, 2);
     }
 
     #[test]

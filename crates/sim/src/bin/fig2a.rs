@@ -48,7 +48,7 @@ fn main() {
                     ));
                 }
                 if let Err(e) = std::fs::create_dir_all(dir)
-                    .and_then(|()| std::fs::write(dir.join("fig2a.csv"), csv))
+                    .and_then(|()| greencell_sim::write_text_atomic(&dir.join("fig2a.csv"), &csv))
                 {
                     eprintln!("could not write CSV to {}: {e}", dir.display());
                 } else {

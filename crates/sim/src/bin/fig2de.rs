@@ -46,8 +46,8 @@ fn main() {
             if let Some(dir) = &out_dir {
                 let dir = std::path::Path::new(dir);
                 if let Err(e) = std::fs::create_dir_all(dir)
-                    .and_then(|()| std::fs::write(dir.join("fig2d.csv"), &bs))
-                    .and_then(|()| std::fs::write(dir.join("fig2e.csv"), &users))
+                    .and_then(|()| greencell_sim::write_text_atomic(&dir.join("fig2d.csv"), &bs))
+                    .and_then(|()| greencell_sim::write_text_atomic(&dir.join("fig2e.csv"), &users))
                 {
                     eprintln!("could not write CSVs to {}: {e}", dir.display());
                 } else {

@@ -1,0 +1,486 @@
+//! Resumable checkpointed sweeps.
+//!
+//! [`run_sweep_checkpointed`] behaves exactly like
+//! [`crate::sweep::run_sweep`] — same submission-order outcomes,
+//! bit-identical at any worker count — but persists every completed
+//! point to a checkpoint file as it lands. Killed mid-sweep and
+//! restarted, it salvages the completed points (verifying each against
+//! its submitted label, seed, and scenario fingerprint, so an edited
+//! sweep never resurrects stale results), recomputes only the missing
+//! ones, and produces final reports **byte-identical** to a
+//! never-interrupted sweep.
+//!
+//! The checkpoint file reuses the snapshot container (two lines, FNV-1a
+//! checksummed payload, atomic temp + rename writes — see
+//! [`crate::snapshot`]) with its own `format` tag. A torn or corrupt
+//! checkpoint is **quarantined** — renamed to `<path>.corrupt` — and the
+//! sweep restarts from scratch, reporting the typed
+//! [`SimError::CorruptSnapshot`] through [`CheckpointStats`] rather than
+//! failing or panicking.
+
+use crate::faults::WatchdogReport;
+use crate::snapshot::{
+    arr, bool_of, f64_of, fnv1a_64, get, hex_f64, hex_u64, metrics_json, metrics_of, u64_of,
+    usize_of,
+};
+use crate::sweep::{
+    json_escape, parallel_map_ordered, run_point, PointOutcome, RunTelemetry, SweepOptions,
+    SweepPoint, SweepReport,
+};
+use crate::SimError;
+use greencell_core::StageTimings;
+use greencell_trace::json::{parse, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The `format` tag every checkpoint header carries.
+pub const CHECKPOINT_FORMAT: &str = "greencell-checkpoint";
+
+/// The checkpoint format version this build writes and reads.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// What a checkpointed sweep recovered, recomputed, and rejected.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointStats {
+    /// Points recovered from the checkpoint (fingerprint-verified).
+    pub salvaged: usize,
+    /// Points actually simulated this invocation.
+    pub recomputed: usize,
+    /// Checkpoint entries discarded because their label, seed, or
+    /// scenario fingerprint no longer matches the submitted point.
+    pub stale: usize,
+    /// Where a corrupt checkpoint was moved, if one was quarantined.
+    pub quarantined: Option<PathBuf>,
+    /// The typed validation error that triggered the quarantine.
+    pub quarantine_error: Option<SimError>,
+}
+
+fn io_err(path: &Path, e: &dyn std::fmt::Display) -> SimError {
+    SimError::Io(format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// Duration / telemetry / outcome codecs (exact: u64 nanos, f64 bits).
+// ---------------------------------------------------------------------------
+
+fn duration_json(d: Duration) -> String {
+    hex_u64(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+fn duration_of(v: &Value) -> Result<Duration, String> {
+    Ok(Duration::from_nanos(u64_of(v)?))
+}
+
+fn watchdog_report_json(w: &WatchdogReport) -> String {
+    format!(
+        "[{},{},{},{},{},{},{}]",
+        hex_u64(w.slots as u64),
+        hex_f64(w.trailing_slope),
+        hex_f64(w.peak_backlog),
+        hex_f64(w.final_backlog),
+        hex_f64(w.battery_floor_kwh),
+        hex_u64(w.divergent_slots as u64),
+        w.stable,
+    )
+}
+
+fn watchdog_report_of(v: &Value) -> Result<WatchdogReport, String> {
+    let a = arr(v)?;
+    if a.len() != 7 {
+        return Err(format!("watchdog report has {} fields, need 7", a.len()));
+    }
+    Ok(WatchdogReport {
+        slots: usize_of(&a[0])?,
+        trailing_slope: f64_of(&a[1])?,
+        peak_backlog: f64_of(&a[2])?,
+        final_backlog: f64_of(&a[3])?,
+        battery_floor_kwh: f64_of(&a[4])?,
+        divergent_slots: usize_of(&a[5])?,
+        stable: bool_of(&a[6])?,
+    })
+}
+
+fn telemetry_json(t: &RunTelemetry) -> String {
+    let s = &t.stages;
+    format!(
+        "{{\"slots\":{},\"wall_ns\":{},\"slots_per_sec\":{},\"stages\":[{},{},{},{},{}],\"final_backlog_bs\":{},\"final_backlog_users\":{},\"final_buffer_bs_kwh\":{},\"final_buffer_users_wh\":{},\"degraded_slots\":{},\"degradation_events\":{},\"watchdog\":{}}}",
+        hex_u64(t.slots as u64),
+        duration_json(t.wall),
+        hex_f64(t.slots_per_sec),
+        duration_json(s.s1),
+        duration_json(s.s2),
+        duration_json(s.s3),
+        duration_json(s.s4),
+        hex_u64(s.slots),
+        hex_f64(t.final_backlog_bs),
+        hex_f64(t.final_backlog_users),
+        hex_f64(t.final_buffer_bs_kwh),
+        hex_f64(t.final_buffer_users_wh),
+        hex_u64(t.degraded_slots),
+        hex_u64(t.degradation_events),
+        watchdog_report_json(&t.watchdog),
+    )
+}
+
+fn telemetry_of(v: &Value) -> Result<RunTelemetry, String> {
+    let stages = arr(get(v, "stages")?)?;
+    if stages.len() != 5 {
+        return Err(format!(
+            "stage timings have {} fields, need 5",
+            stages.len()
+        ));
+    }
+    Ok(RunTelemetry {
+        slots: usize_of(get(v, "slots")?)?,
+        wall: duration_of(get(v, "wall_ns")?)?,
+        slots_per_sec: f64_of(get(v, "slots_per_sec")?)?,
+        stages: StageTimings {
+            s1: duration_of(&stages[0])?,
+            s2: duration_of(&stages[1])?,
+            s3: duration_of(&stages[2])?,
+            s4: duration_of(&stages[3])?,
+            slots: u64_of(&stages[4])?,
+        },
+        final_backlog_bs: f64_of(get(v, "final_backlog_bs")?)?,
+        final_backlog_users: f64_of(get(v, "final_backlog_users")?)?,
+        final_buffer_bs_kwh: f64_of(get(v, "final_buffer_bs_kwh")?)?,
+        final_buffer_users_wh: f64_of(get(v, "final_buffer_users_wh")?)?,
+        degraded_slots: u64_of(get(v, "degraded_slots")?)?,
+        degradation_events: u64_of(get(v, "degradation_events")?)?,
+        watchdog: watchdog_report_of(get(v, "watchdog")?)?,
+    })
+}
+
+fn outcome_json(fp: u64, o: &PointOutcome) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"seed\":{},\"scenario_fp\":{},\"penalty_b\":{},\"relaxed_admitted\":{},\"telemetry\":{},\"metrics\":{}}}",
+        json_escape(&o.label),
+        hex_u64(o.seed),
+        hex_u64(fp),
+        hex_f64(o.penalty_b),
+        o.relaxed_admitted
+            .map_or_else(|| "null".to_string(), hex_f64),
+        telemetry_json(&o.telemetry),
+        metrics_json(&o.metrics),
+    )
+}
+
+/// A salvaged checkpoint entry: the outcome plus the scenario fingerprint
+/// it was computed under.
+struct SavedEntry {
+    scenario_fp: u64,
+    outcome: PointOutcome,
+}
+
+fn entry_of(v: &Value) -> Result<SavedEntry, String> {
+    let relaxed_admitted = match get(v, "relaxed_admitted")? {
+        Value::Null => None,
+        other => Some(f64_of(other)?),
+    };
+    let label = get(v, "label")?
+        .as_str()
+        .ok_or_else(|| "label must be a string".to_string())?
+        .to_string();
+    Ok(SavedEntry {
+        scenario_fp: u64_of(get(v, "scenario_fp")?)?,
+        outcome: PointOutcome {
+            label,
+            seed: u64_of(get(v, "seed")?)?,
+            metrics: metrics_of(get(v, "metrics")?)?,
+            telemetry: telemetry_of(get(v, "telemetry")?)?,
+            penalty_b: f64_of(get(v, "penalty_b")?)?,
+            relaxed_admitted,
+        },
+    })
+}
+
+fn checkpoint_string(entries: &[Option<(u64, PointOutcome)>]) -> String {
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            e.as_ref()
+                .map_or_else(|| "null".to_string(), |(fp, o)| outcome_json(*fp, o))
+        })
+        .collect();
+    let payload = format!("{{\"entries\":[{}]}}", rows.join(","));
+    let checksum = fnv1a_64(payload.as_bytes());
+    format!(
+        "{{\"format\":\"{CHECKPOINT_FORMAT}\",\"version\":{CHECKPOINT_VERSION},\"checksum\":\"0x{checksum:016x}\"}}\n{payload}\n"
+    )
+}
+
+/// Parses a checkpoint file image (same two-line validated container as
+/// snapshots, different format tag).
+fn parse_checkpoint(text: &str, path: &Path) -> Result<Vec<Option<SavedEntry>>, SimError> {
+    let path_str = path.display().to_string();
+    let corrupt = |detail: String| SimError::CorruptSnapshot {
+        path: path_str.clone(),
+        detail,
+    };
+    let (header_line, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| corrupt("missing payload line".to_string()))?;
+    let payload = rest.strip_suffix('\n').unwrap_or(rest);
+    if payload.contains('\n') {
+        return Err(corrupt("more than two lines".to_string()));
+    }
+    let header = parse(header_line).map_err(|e| corrupt(format!("unparseable header: {e}")))?;
+    match header.get("format").and_then(Value::as_str) {
+        Some(CHECKPOINT_FORMAT) => {}
+        Some(other) => {
+            return Err(corrupt(format!(
+                "format is `{other}`, expected `{CHECKPOINT_FORMAT}`"
+            )))
+        }
+        None => return Err(corrupt("header has no format tag".to_string())),
+    }
+    let version = header
+        .get("version")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| corrupt("header has no version".to_string()))?;
+    if version != f64::from(CHECKPOINT_VERSION) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let found = if version.fract() == 0.0 && (0.0..=f64::from(u32::MAX)).contains(&version) {
+            version as u32
+        } else {
+            return Err(corrupt(format!("version `{version}` is not a u32")));
+        };
+        return Err(SimError::SnapshotVersionMismatch {
+            path: path_str,
+            expected: CHECKPOINT_VERSION,
+            found,
+        });
+    }
+    let declared = header
+        .get("checksum")
+        .ok_or_else(|| corrupt("header has no checksum".to_string()))
+        .and_then(|v| u64_of(v).map_err(|e| corrupt(format!("bad checksum field: {e}"))))?;
+    let actual = fnv1a_64(payload.as_bytes());
+    if declared != actual {
+        return Err(corrupt(format!(
+            "checksum mismatch: header declares 0x{declared:016x}, payload hashes to 0x{actual:016x}"
+        )));
+    }
+    let value = parse(payload).map_err(|e| corrupt(format!("unparseable payload: {e}")))?;
+    arr(get(&value, "entries").map_err(&corrupt)?)
+        .map_err(&corrupt)?
+        .iter()
+        .map(|entry| match entry {
+            Value::Null => Ok(None),
+            other => entry_of(other).map(Some).map_err(&corrupt),
+        })
+        .collect()
+}
+
+/// Like [`run_sweep_checkpointed`], but also reports what was salvaged,
+/// recomputed, and (if the checkpoint was corrupt) quarantined.
+///
+/// # Errors
+///
+/// Returns the first (by submission order) point failure, or an I/O error
+/// reading/writing the checkpoint. A *corrupt* checkpoint is not an
+/// error: it is quarantined to `<path>.corrupt` and reported through the
+/// stats.
+///
+/// # Panics
+///
+/// Panics only on poisoned internal mutexes (a worker panicked).
+pub fn run_sweep_checkpointed_stats(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint: &Path,
+) -> Result<(SweepReport, CheckpointStats), SimError> {
+    let start = Instant::now();
+    let mut stats = CheckpointStats::default();
+    let fingerprints: Vec<u64> = points
+        .iter()
+        .map(|p| crate::snapshot::fingerprint_debug(&p.scenario))
+        .collect();
+    let mut entries: Vec<Option<(u64, PointOutcome)>> = (0..points.len()).map(|_| None).collect();
+
+    match std::fs::read_to_string(checkpoint) {
+        Ok(text) => match parse_checkpoint(&text, checkpoint) {
+            Ok(saved) => {
+                for (i, slot) in saved.into_iter().enumerate() {
+                    let Some(entry) = slot else { continue };
+                    let Some(point) = points.get(i) else {
+                        stats.stale += 1;
+                        continue;
+                    };
+                    if entry.outcome.label == point.label
+                        && entry.outcome.seed == point.scenario.seed
+                        && entry.scenario_fp == fingerprints[i]
+                    {
+                        entries[i] = Some((entry.scenario_fp, entry.outcome));
+                        stats.salvaged += 1;
+                    } else {
+                        stats.stale += 1;
+                    }
+                }
+            }
+            Err(
+                e @ (SimError::CorruptSnapshot { .. } | SimError::SnapshotVersionMismatch { .. }),
+            ) => {
+                let mut name = checkpoint
+                    .file_name()
+                    .map_or_else(|| "checkpoint".into(), std::ffi::OsStr::to_os_string);
+                name.push(".corrupt");
+                let quarantine = checkpoint.with_file_name(name);
+                std::fs::rename(checkpoint, &quarantine).map_err(|io| io_err(checkpoint, &io))?;
+                stats.quarantined = Some(quarantine);
+                stats.quarantine_error = Some(e);
+            }
+            Err(other) => return Err(other),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err(checkpoint, &e)),
+    }
+
+    let missing: Vec<(usize, SweepPoint)> = points
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| entries[*i].is_none())
+        .map(|(i, p)| (i, p.clone()))
+        .collect();
+    stats.recomputed = missing.len();
+
+    if !missing.is_empty() {
+        let state = Mutex::new(&mut entries);
+        let results: Vec<Result<(), SimError>> =
+            parallel_map_ordered(missing, opts.threads, |_, (idx, point)| {
+                let outcome = run_point(&point.label, &point.scenario)?;
+                let guard = &mut *state.lock().expect("checkpoint state poisoned");
+                guard[idx] = Some((fingerprints[idx], outcome));
+                // Persist inside the lock: each landing point checkpoints
+                // the sweep-so-far atomically, so a kill at any moment
+                // loses at most the in-flight points.
+                crate::fsio::write_text_atomic(checkpoint, &checkpoint_string(guard))
+                    .map_err(|e| io_err(checkpoint, &e))
+            });
+        for result in results {
+            result?;
+        }
+    }
+
+    let outcomes: Vec<PointOutcome> = entries
+        .into_iter()
+        .map(|e| e.expect("all points salvaged or recomputed").1)
+        .collect();
+    Ok((
+        SweepReport {
+            outcomes,
+            threads: opts.threads,
+            total_wall: start.elapsed(),
+        },
+        stats,
+    ))
+}
+
+/// [`crate::sweep::run_sweep`] with crash-safe resume: completed points
+/// persist to `checkpoint` (atomically, checksummed) as they land; a
+/// restart salvages them and runs only what is missing. Final reports are
+/// byte-identical to a never-interrupted sweep at any worker count.
+///
+/// # Errors
+///
+/// Returns the first (by submission order) point failure, or an I/O error
+/// on the checkpoint path itself. Corrupt checkpoints are quarantined,
+/// not fatal — use [`run_sweep_checkpointed_stats`] to observe that.
+pub fn run_sweep_checkpointed(
+    points: &[SweepPoint],
+    opts: &SweepOptions,
+    checkpoint: &Path,
+) -> Result<SweepReport, SimError> {
+    run_sweep_checkpointed_stats(points, opts, checkpoint).map(|(report, _)| report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("greencell-ckpt-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn tiny_points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|i| SweepPoint::new(format!("p{i}"), Scenario::tiny(300 + i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn checkpointed_sweep_matches_plain_sweep() {
+        let dir = temp_dir("plain");
+        let points = tiny_points(3);
+        let plain = crate::sweep::run_sweep(&points, &SweepOptions::serial()).expect("plain");
+        let (ckpt, stats) =
+            run_sweep_checkpointed_stats(&points, &SweepOptions::serial(), &dir.join("sweep.ckpt"))
+                .expect("checkpointed");
+        assert_eq!(stats.salvaged, 0);
+        assert_eq!(stats.recomputed, 3);
+        assert_eq!(ckpt.stability_json(), plain.stability_json());
+        for (a, b) in ckpt.outcomes.iter().zip(&plain.outcomes) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn second_run_salvages_everything() {
+        let dir = temp_dir("salvage");
+        let path = dir.join("sweep.ckpt");
+        let points = tiny_points(4);
+        let first =
+            run_sweep_checkpointed(&points, &SweepOptions::with_threads(2), &path).expect("first");
+        let (second, stats) =
+            run_sweep_checkpointed_stats(&points, &SweepOptions::serial(), &path).expect("second");
+        assert_eq!(stats.salvaged, 4);
+        assert_eq!(stats.recomputed, 0);
+        // Salvaged outcomes are the *original* run's, telemetry included.
+        assert_eq!(second.outcomes, first.outcomes);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn edited_points_invalidate_only_their_entries() {
+        let dir = temp_dir("stale");
+        let path = dir.join("sweep.ckpt");
+        let mut points = tiny_points(3);
+        run_sweep_checkpointed(&points, &SweepOptions::serial(), &path).expect("first");
+        // Edit one point's scenario: its entry must be recomputed.
+        points[1].scenario.horizon += 5;
+        let (_, stats) =
+            run_sweep_checkpointed_stats(&points, &SweepOptions::serial(), &path).expect("second");
+        assert_eq!(stats.salvaged, 2);
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.recomputed, 1);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_quarantined_not_fatal() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("sweep.ckpt");
+        let points = tiny_points(2);
+        run_sweep_checkpointed(&points, &SweepOptions::serial(), &path).expect("first");
+        // Tear the file.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("tear");
+        let (report, stats) =
+            run_sweep_checkpointed_stats(&points, &SweepOptions::serial(), &path).expect("resume");
+        assert_eq!(stats.salvaged, 0);
+        assert_eq!(stats.recomputed, 2);
+        let quarantine = stats.quarantined.expect("quarantined path");
+        assert!(quarantine.exists(), "quarantine file must exist");
+        assert!(matches!(
+            stats.quarantine_error,
+            Some(SimError::CorruptSnapshot { .. })
+        ));
+        assert_eq!(report.outcomes.len(), 2);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

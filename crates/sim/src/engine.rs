@@ -27,6 +27,26 @@ pub enum SimError {
     /// Results could not be serialized (e.g. mismatched series lengths in
     /// a CSV block).
     Serialize(String),
+    /// A snapshot or checkpoint file failed validation — torn write,
+    /// checksum mismatch, malformed payload, or state that contradicts the
+    /// scenario it claims to belong to. The file is unusable but the error
+    /// is recoverable: callers quarantine the file and fall back to an
+    /// older snapshot or a fresh start.
+    CorruptSnapshot {
+        /// The offending file (or `"<memory>"` for in-memory decodes).
+        path: String,
+        /// What failed, with expected/found values where applicable.
+        detail: String,
+    },
+    /// The snapshot was written by an incompatible format version.
+    SnapshotVersionMismatch {
+        /// The offending file.
+        path: String,
+        /// The version this build reads.
+        expected: u32,
+        /// The version the file declares.
+        found: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +56,17 @@ impl fmt::Display for SimError {
             Self::Controller(e) => write!(f, "controller failed: {e}"),
             Self::Io(msg) => write!(f, "I/O failed: {msg}"),
             Self::Serialize(msg) => write!(f, "serialization failed: {msg}"),
+            Self::CorruptSnapshot { path, detail } => {
+                write!(f, "corrupt snapshot {path}: {detail}")
+            }
+            Self::SnapshotVersionMismatch {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "snapshot {path} has format version {found}, this build reads {expected}"
+            ),
         }
     }
 }
@@ -45,7 +76,10 @@ impl Error for SimError {
         match self {
             Self::Network(e) => Some(e),
             Self::Controller(e) => Some(e),
-            Self::Io(_) | Self::Serialize(_) => None,
+            Self::Io(_)
+            | Self::Serialize(_)
+            | Self::CorruptSnapshot { .. }
+            | Self::SnapshotVersionMismatch { .. } => None,
         }
     }
 }
@@ -79,21 +113,24 @@ impl From<std::io::Error> for SimError {
 /// behind Fig. 2(f).
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    scenario: Scenario,
-    controller: Controller,
-    relaxed: Option<RelaxedController>,
-    band_rng: Rng,
-    renewable_rng: Rng,
-    grid_rng: Rng,
-    demand_rng: Rng,
+    // Fields are crate-visible so the snapshot codec (`crate::snapshot`)
+    // can capture and overwrite the evolving state; external callers go
+    // through the accessors and `snapshot()`/`restore()`.
+    pub(crate) scenario: Scenario,
+    pub(crate) controller: Controller,
+    pub(crate) relaxed: Option<RelaxedController>,
+    pub(crate) band_rng: Rng,
+    pub(crate) renewable_rng: Rng,
+    pub(crate) grid_rng: Rng,
+    pub(crate) demand_rng: Rng,
     /// One sticky connectivity chain per node (used under
     /// [`GridModel::Markov`]; base stations' entries are ignored).
-    grid_chains: Vec<MarkovOnOff>,
+    pub(crate) grid_chains: Vec<MarkovOnOff>,
     /// The pre-expanded fault schedule, when the scenario injects faults.
-    fault_plan: Option<FaultPlan>,
-    watchdog: StabilityWatchdog,
-    metrics: RunMetrics,
-    slots_run: usize,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) watchdog: StabilityWatchdog,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) slots_run: usize,
     /// Drive the controller through its frozen pre-pipeline oracle instead
     /// of the staged driver (equivalence testing only).
     reference: bool,
@@ -225,6 +262,30 @@ impl Simulator {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Slots advanced so far — the fault-plan cursor and the next slot
+    /// index [`Simulator::step`] will run.
+    #[must_use]
+    pub fn slots_run(&self) -> usize {
+        self.slots_run
+    }
+
+    /// The scenario this simulator was built from.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the remaining horizon and finalizes — identical to
+    /// [`Simulator::run`], which already continues from `slots_run`; the
+    /// alias exists so restore-and-resume call sites read as what they do.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecoverable controller errors.
+    pub fn resume(&mut self) -> Result<&RunMetrics, SimError> {
+        self.run()
     }
 
     /// Samples one slot's random observation, overlaying any faults the

@@ -411,6 +411,24 @@ pub struct WatchdogReport {
     pub stable: bool,
 }
 
+/// The complete evolving state of a [`StabilityWatchdog`] — captured by
+/// [`StabilityWatchdog::export_state`], replayed by
+/// [`StabilityWatchdog::import_state`]. The window size and threshold are
+/// construction facts and deliberately absent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogState {
+    /// The trailing backlog samples, oldest first (at most the window).
+    pub tail: Vec<f64>,
+    /// Total slots recorded over the run so far.
+    pub slots: usize,
+    /// Running peak backlog (packets; 0 before any sample).
+    pub peak_backlog: f64,
+    /// Running fleet-battery floor (kWh; `+∞` before any sample).
+    pub battery_floor_kwh: f64,
+    /// Slots whose windowed slope exceeded the divergence threshold.
+    pub divergent_slots: usize,
+}
+
 /// Watches a run's total data backlog for divergence and verifies
 /// recovery after transient faults.
 ///
@@ -418,11 +436,24 @@ pub struct WatchdogReport {
 /// per-run shadow is a windowed least-squares slope that returns to ≈ 0
 /// once the admission valve and the degradation ladder have absorbed a
 /// disturbance. A slope persistently above the threshold flags divergence.
+///
+/// Memory is bounded: only the trailing window of samples is kept (the
+/// slope, peak, floor, and divergence count are all computable from the
+/// tail plus O(1) running aggregates), so the watchdog — and any snapshot
+/// of it — stays O(window) no matter how long the run goes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StabilityWatchdog {
     window: usize,
     slope_threshold: f64,
-    backlog: Vec<f64>,
+    /// The trailing `min(window, slots)` backlog samples, oldest first —
+    /// the only part of the history [`StabilityWatchdog::trailing_slope`]
+    /// reads, so memory stays bounded over arbitrarily long runs (the
+    /// long-running serve mode's requirement) and snapshots stay O(window).
+    tail: std::collections::VecDeque<f64>,
+    /// Total samples recorded (the full-history length the report quotes).
+    slots: usize,
+    /// Running peak backlog, folded incrementally from 0.
+    peak_backlog: f64,
     battery_floor_kwh: f64,
     divergent_slots: usize,
 }
@@ -440,7 +471,9 @@ impl StabilityWatchdog {
         Self {
             window,
             slope_threshold,
-            backlog: Vec::new(),
+            tail: std::collections::VecDeque::with_capacity(window),
+            slots: 0,
+            peak_backlog: 0.0,
             battery_floor_kwh: f64::INFINITY,
             divergent_slots: 0,
         }
@@ -461,9 +494,14 @@ impl StabilityWatchdog {
     /// Records one slot's total backlog (packets) and fleet battery level
     /// (kWh).
     pub fn record(&mut self, total_backlog: f64, total_battery_kwh: f64) {
-        self.backlog.push(total_backlog);
+        if self.tail.len() == self.window {
+            self.tail.pop_front();
+        }
+        self.tail.push_back(total_backlog);
+        self.slots += 1;
+        self.peak_backlog = self.peak_backlog.max(total_backlog);
         self.battery_floor_kwh = self.battery_floor_kwh.min(total_battery_kwh);
-        if self.backlog.len() >= self.window && self.trailing_slope() > self.slope_threshold {
+        if self.slots >= self.window && self.trailing_slope() > self.slope_threshold {
             self.divergent_slots += 1;
         }
     }
@@ -472,18 +510,17 @@ impl StabilityWatchdog {
     /// (packets/slot); 0 with fewer than 2 samples.
     #[must_use]
     pub fn trailing_slope(&self) -> f64 {
-        let tail_len = self.backlog.len().min(self.window);
+        let tail_len = self.tail.len();
         if tail_len < 2 {
             return 0.0;
         }
-        let tail = &self.backlog[self.backlog.len() - tail_len..];
         // Ordinary least squares on (t, backlog): slope = cov / var.
         let n = tail_len as f64;
         let t_mean = (n - 1.0) / 2.0;
-        let y_mean = tail.iter().sum::<f64>() / n;
+        let y_mean = self.tail.iter().sum::<f64>() / n;
         let mut cov = 0.0;
         let mut var = 0.0;
-        for (t, &y) in tail.iter().enumerate() {
+        for (t, &y) in self.tail.iter().enumerate() {
             let dt = t as f64 - t_mean;
             cov += dt * (y - y_mean);
             var += dt * dt;
@@ -494,7 +531,7 @@ impl StabilityWatchdog {
     /// Whether the watchdog currently flags divergence.
     #[must_use]
     pub fn is_divergent(&self) -> bool {
-        self.backlog.len() >= self.window && self.trailing_slope() > self.slope_threshold
+        self.slots >= self.window && self.trailing_slope() > self.slope_threshold
     }
 
     /// The divergence threshold (packets/slot).
@@ -503,15 +540,58 @@ impl StabilityWatchdog {
         self.slope_threshold
     }
 
+    /// The trailing window length (slots).
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Captures the evolving state (tail samples, counters, running
+    /// extremes) as a [`WatchdogState`] — O(window) regardless of how long
+    /// the run has been going.
+    #[must_use]
+    pub fn export_state(&self) -> WatchdogState {
+        WatchdogState {
+            tail: self.tail.iter().copied().collect(),
+            slots: self.slots,
+            peak_backlog: self.peak_backlog,
+            battery_floor_kwh: self.battery_floor_kwh,
+            divergent_slots: self.divergent_slots,
+        }
+    }
+
+    /// Overwrites the evolving state from a captured [`WatchdogState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is internally inconsistent with this watchdog's
+    /// window (more tail samples than the window holds, or a tail shorter
+    /// than `min(window, slots)`).
+    pub fn import_state(&mut self, state: &WatchdogState) {
+        assert!(
+            state.tail.len() <= self.window,
+            "tail exceeds the watchdog window"
+        );
+        assert_eq!(
+            state.tail.len(),
+            state.slots.min(self.window),
+            "tail must hold the trailing min(window, slots) samples"
+        );
+        self.tail = state.tail.iter().copied().collect();
+        self.slots = state.slots;
+        self.peak_backlog = state.peak_backlog;
+        self.battery_floor_kwh = state.battery_floor_kwh;
+        self.divergent_slots = state.divergent_slots;
+    }
+
     /// The end-of-run verdict.
     #[must_use]
     pub fn report(&self) -> WatchdogReport {
-        let peak = self.backlog.iter().copied().fold(0.0f64, f64::max);
         WatchdogReport {
-            slots: self.backlog.len(),
+            slots: self.slots,
             trailing_slope: self.trailing_slope(),
-            peak_backlog: peak,
-            final_backlog: self.backlog.last().copied().unwrap_or(0.0),
+            peak_backlog: self.peak_backlog,
+            final_backlog: self.tail.back().copied().unwrap_or(0.0),
             battery_floor_kwh: if self.battery_floor_kwh.is_finite() {
                 self.battery_floor_kwh
             } else {

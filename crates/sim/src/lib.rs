@@ -31,20 +31,31 @@
 #![warn(missing_docs)]
 
 mod arch;
+pub mod checkpoint;
 mod engine;
 pub mod experiments;
 pub mod faults;
+pub mod fsio;
 mod metrics;
 pub mod report;
 mod scenario;
+pub mod serve;
+pub mod snapshot;
 pub mod sweep;
 pub mod trace;
 
 pub use arch::Architecture;
+pub use checkpoint::{
+    run_sweep_checkpointed, run_sweep_checkpointed_stats, CheckpointStats, CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+};
 pub use engine::{SimError, Simulator};
-pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport};
+pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport, WatchdogState};
+pub use fsio::write_text_atomic;
 pub use metrics::RunMetrics;
 pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};
+pub use serve::{run_serve, ServeConfig, ServeSummary, StopReason, SNAP_LATEST, SNAP_PREV};
+pub use snapshot::{fnv1a_64, SimSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use sweep::{
     derive_point_seed, run_point, run_point_traced, run_sweep, run_sweep_reseeded,
     run_sweep_traced, write_telemetry, PointOutcome, RunTelemetry, SweepOptions, SweepPoint,

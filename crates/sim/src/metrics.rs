@@ -9,23 +9,26 @@ use greencell_stochastic::Series;
 /// (Fig. 2(e)), backlogs in packets (Fig. 2(b)/(c)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
-    cost: Series,
-    grid_kwh: Series,
-    backlog_bs: Series,
-    backlog_users: Series,
-    buffer_bs_kwh: Series,
-    buffer_users_wh: Series,
-    admitted: Series,
-    routed: Series,
-    scheduled_links: Series,
-    relaxed_cost: Series,
-    lyapunov: Series,
-    delivered_total: u64,
-    delivered_per_session: Vec<u64>,
-    shed_total: u64,
-    degraded_slots: u64,
-    degradation_events: u64,
-    lower_bound: Option<f64>,
+    // Fields are crate-visible so the snapshot codec (`crate::snapshot`)
+    // can serialize and rebuild a run's metrics without widening the
+    // public API; everything else goes through the accessors below.
+    pub(crate) cost: Series,
+    pub(crate) grid_kwh: Series,
+    pub(crate) backlog_bs: Series,
+    pub(crate) backlog_users: Series,
+    pub(crate) buffer_bs_kwh: Series,
+    pub(crate) buffer_users_wh: Series,
+    pub(crate) admitted: Series,
+    pub(crate) routed: Series,
+    pub(crate) scheduled_links: Series,
+    pub(crate) relaxed_cost: Series,
+    pub(crate) lyapunov: Series,
+    pub(crate) delivered_total: u64,
+    pub(crate) delivered_per_session: Vec<u64>,
+    pub(crate) shed_total: u64,
+    pub(crate) degraded_slots: u64,
+    pub(crate) degradation_events: u64,
+    pub(crate) lower_bound: Option<f64>,
 }
 
 impl RunMetrics {

@@ -23,7 +23,6 @@ use crate::faults::WatchdogReport;
 use crate::{RunMetrics, Scenario, SimError, Simulator};
 use greencell_core::StageTimings;
 use greencell_trace::{RingSink, TraceBundle, Track};
-use std::io::Write;
 use std::num::NonZeroUsize;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -251,7 +250,7 @@ fn package_outcome(
 /// Work is claimed through an atomic cursor, so load-imbalanced points
 /// never idle a worker; each result lands in its submission-index slot, so
 /// the output order is independent of completion order.
-fn parallel_map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+pub(crate) fn parallel_map_ordered<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -388,7 +387,7 @@ pub fn run_sweep_reseeded(
 // Telemetry serialization (hand-rolled: the workspace is dependency-free).
 // ---------------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -405,7 +404,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serializes a finite f64 for JSON (JSON has no NaN/Inf literals).
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -605,9 +604,7 @@ pub(crate) fn write_text(path: &Path, text: &str) -> Result<(), SimError> {
                 .map_err(|e| SimError::Io(format!("{}: {e}", parent.display())))?;
         }
     }
-    let mut f = std::fs::File::create(path)
-        .map_err(|e| SimError::Io(format!("{}: {e}", path.display())))?;
-    f.write_all(text.as_bytes())
+    crate::fsio::write_text_atomic(path, text)
         .map_err(|e| SimError::Io(format!("{}: {e}", path.display())))
 }
 

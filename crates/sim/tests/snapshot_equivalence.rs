@@ -1,0 +1,189 @@
+//! Kill-and-resume equivalence: snapshotting a run at any slot boundary,
+//! round-tripping the snapshot through its on-disk JSON image, restoring,
+//! and running the remainder must be **bit-identical** to never having
+//! stopped — per-slot `SlotReport`s, final `RunMetrics`, and the
+//! watchdog's verdict alike — across fault scenarios and both S1
+//! schedulers. Also covers the corrupt-file paths: torn writes, flipped
+//! bytes, and future versions must surface as typed errors, never panics.
+
+use greencell_core::{SchedulerKind, SlotReport};
+use greencell_sim::{
+    FaultSpec, GridModel, RunMetrics, Scenario, SimError, SimSnapshot, Simulator, WatchdogReport,
+};
+use proptest::prelude::*;
+
+/// The four fault archetypes the resilience suite exercises.
+fn fault_spec(pick: usize) -> FaultSpec {
+    match pick {
+        0 => FaultSpec::bs_outage(),
+        1 => FaultSpec::band_loss(),
+        2 => FaultSpec::renewable_drought(3, 9),
+        _ => FaultSpec::price_spike(2, 8, 4.0),
+    }
+}
+
+fn scenario(seed: u64, fault_pick: usize, scheduler: SchedulerKind) -> Scenario {
+    let mut s = Scenario::tiny(seed);
+    s.horizon = 14;
+    s.scheduler = scheduler;
+    s.faults = Some(fault_spec(fault_pick));
+    s.track_lower_bound = true;
+    // Markov connectivity exercises the per-node chain state in snapshots.
+    s.grid_model = GridModel::Markov {
+        stay_on: 0.9,
+        stay_off: 0.7,
+    };
+    s
+}
+
+/// Steps `sim` to its horizon collecting every slot report, then
+/// finalizes; returns the reports, final metrics, and watchdog verdict.
+fn run_collecting(mut sim: Simulator) -> (Vec<SlotReport>, RunMetrics, WatchdogReport) {
+    let horizon = sim.scenario().horizon;
+    let mut reports = Vec::with_capacity(horizon);
+    while sim.slots_run() < horizon {
+        reports.push(sim.step_with_report().expect("slot steps"));
+    }
+    // `run` finds the horizon already reached and just finalizes.
+    let metrics = sim.run().expect("finalize").clone();
+    let verdict = sim.watchdog().report();
+    (reports, metrics, verdict)
+}
+
+/// The core equivalence check: interrupt at `snap_at`, round-trip the
+/// snapshot through its file image, restore, finish, compare everything.
+fn assert_kill_resume_identical(scenario: &Scenario, snap_at: usize) {
+    let (full_reports, full_metrics, full_verdict) =
+        run_collecting(Simulator::new(scenario).expect("scenario builds"));
+
+    let mut first = Simulator::new(scenario).expect("scenario builds");
+    let mut head = Vec::with_capacity(snap_at);
+    for _ in 0..snap_at {
+        head.push(first.step_with_report().expect("head slot steps"));
+    }
+    let image = first.snapshot().to_file_string();
+    drop(first); // the "crash"
+    let snap = SimSnapshot::parse_str(&image, "<resume>").expect("image parses");
+    assert_eq!(snap.slots_run(), snap_at);
+    let resumed = Simulator::restore(scenario, &snap).expect("restore succeeds");
+    let (tail, resumed_metrics, resumed_verdict) = run_collecting(resumed);
+
+    head.extend(tail);
+    assert_eq!(head, full_reports, "per-slot reports diverged");
+    assert_eq!(resumed_metrics, full_metrics, "metrics diverged");
+    assert_eq!(resumed_verdict, full_verdict, "watchdog verdict diverged");
+}
+
+#[test]
+fn kill_and_resume_is_bit_identical_across_faults_and_schedulers() {
+    for scheduler in [SchedulerKind::Greedy, SchedulerKind::SequentialFix] {
+        for fault_pick in 0..4 {
+            let s = scenario(41 + fault_pick as u64, fault_pick, scheduler);
+            // Mid-run, immediately, and one-slot-left boundaries.
+            for snap_at in [0, 7, s.horizon - 1] {
+                assert_kill_resume_identical(&s, snap_at);
+            }
+        }
+    }
+}
+
+#[test]
+fn restored_fault_plan_lands_on_the_same_schedule() {
+    let s = scenario(97, 0, SchedulerKind::Greedy);
+    let mut sim = Simulator::new(&s).expect("scenario builds");
+    for _ in 0..5 {
+        sim.step().expect("slot steps");
+    }
+    let snap = sim.snapshot();
+    let restored = Simulator::restore(&s, &snap).expect("restore succeeds");
+    // The regenerated plan must be the exact schedule the original run was
+    // following — same pre-expanded slots, cursor carried by `slots_run`.
+    assert_eq!(restored.fault_plan(), sim.fault_plan());
+    assert_eq!(restored.slots_run(), sim.slots_run());
+    let plan = restored.fault_plan().expect("scenario injects faults");
+    for t in sim.slots_run()..s.horizon {
+        assert_eq!(
+            plan.slot(t),
+            sim.fault_plan().expect("plan").slot(t),
+            "fault schedule diverged at slot {t}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_file_survives_disk_and_quarantines_corruption() {
+    let dir = std::env::temp_dir().join(format!("greencell-snap-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let s = scenario(53, 2, SchedulerKind::Greedy);
+    let mut sim = Simulator::new(&s).expect("scenario builds");
+    for _ in 0..6 {
+        sim.step().expect("slot steps");
+    }
+    let snap = sim.snapshot();
+    let path = dir.join("run.snap");
+    snap.write(&path).expect("atomic write");
+    let back = SimSnapshot::read(&path).expect("read back");
+    let resumed = Simulator::restore(&s, &back).expect("restore succeeds");
+    assert_eq!(resumed.slots_run(), 6);
+
+    // Torn write: truncate the file mid-payload.
+    let text = std::fs::read_to_string(&path).expect("read");
+    let torn = dir.join("torn.snap");
+    std::fs::write(&torn, &text[..text.len() * 2 / 3]).expect("write torn");
+    assert!(matches!(
+        SimSnapshot::read(&torn),
+        Err(SimError::CorruptSnapshot { .. })
+    ));
+
+    // Bit rot: flip one payload byte (keep the line structure intact).
+    let mut rotted = text.clone().into_bytes();
+    let payload_start = text.find('\n').expect("two lines") + 1;
+    rotted[payload_start + 40] ^= 0x01;
+    let rot = dir.join("rot.snap");
+    std::fs::write(&rot, rotted).expect("write rotted");
+    match SimSnapshot::read(&rot) {
+        Err(SimError::CorruptSnapshot { detail, .. }) => {
+            assert!(
+                detail.contains("checksum") || detail.contains("unparseable"),
+                "{detail}"
+            );
+        }
+        other => panic!("expected CorruptSnapshot, got {other:?}"),
+    }
+
+    // Future version: typed mismatch with both versions reported.
+    let bumped = text.replace("\"version\":1", "\"version\":7");
+    let vfile = dir.join("v7.snap");
+    std::fs::write(&vfile, bumped).expect("write bumped");
+    assert!(matches!(
+        SimSnapshot::read(&vfile),
+        Err(SimError::SnapshotVersionMismatch {
+            expected: 1,
+            found: 7,
+            ..
+        })
+    ));
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot/restore equivalence holds at *any* slot boundary, under
+    /// any of the four fault archetypes, with either scheduler.
+    #[test]
+    fn resume_equivalence_holds_anywhere(
+        seed in 0u64..1_000,
+        snap_at in 0usize..14,
+        fault_pick in 0usize..4,
+        sequential in any::<bool>(),
+    ) {
+        let scheduler = if sequential {
+            SchedulerKind::SequentialFix
+        } else {
+            SchedulerKind::Greedy
+        };
+        assert_kill_resume_identical(&scenario(seed, fault_pick, scheduler), snap_at);
+    }
+}

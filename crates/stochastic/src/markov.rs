@@ -76,6 +76,15 @@ impl MarkovOnOff {
     pub fn state(&self) -> bool {
         self.state
     }
+
+    /// The chain's random stream, for snapshotting its position. A chain
+    /// rebuilt via [`MarkovOnOff::new`] with the same probabilities, the
+    /// current [`MarkovOnOff::state`], and `Rng::from_state(rng().state())`
+    /// continues the exact sample path.
+    #[must_use]
+    pub fn rng(&self) -> &Rng {
+        &self.rng
+    }
 }
 
 impl Process<bool> for MarkovOnOff {
@@ -131,6 +140,19 @@ mod tests {
         assert!(flips < 1_000, "too many flips for a sticky chain: {flips}");
         let on = samples.iter().filter(|&&s| s).count() as f64 / samples.len() as f64;
         assert!((on - 0.5).abs() < 0.2, "stationary share drifted: {on}");
+    }
+
+    #[test]
+    fn rebuilt_chain_continues_the_sample_path() {
+        let mut a = MarkovOnOff::new(0.9, 0.8, true, Rng::seed_from(21)).unwrap();
+        for _ in 0..17 {
+            a.observe();
+        }
+        let mut b =
+            MarkovOnOff::new(0.9, 0.8, a.state(), Rng::from_state(a.rng().state())).unwrap();
+        for _ in 0..200 {
+            assert_eq!(a.observe(), b.observe());
+        }
     }
 
     #[test]

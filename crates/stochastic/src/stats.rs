@@ -33,6 +33,14 @@ impl TimeAverage {
         Self::default()
     }
 
+    /// Rebuilds an average from a captured `(sum, count)` pair — the
+    /// inverse of reading [`TimeAverage::sum`] and [`TimeAverage::count`],
+    /// used to restore running estimates from a snapshot.
+    #[must_use]
+    pub fn from_parts(sum: f64, count: u64) -> Self {
+        Self { sum, count }
+    }
+
     /// Records one observation.
     pub fn record(&mut self, x: f64) {
         self.sum += x;
@@ -348,6 +356,16 @@ mod tests {
     #[test]
     fn time_average_empty_is_zero() {
         assert_eq!(TimeAverage::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn time_average_from_parts_roundtrips() {
+        let mut avg = TimeAverage::new();
+        for x in [0.5, 1.25, -3.0] {
+            avg.record(x);
+        }
+        let rebuilt = TimeAverage::from_parts(avg.sum(), avg.count());
+        assert_eq!(rebuilt, avg);
     }
 
     #[test]

@@ -18,6 +18,8 @@ pub struct Command {
     pub v_values: Option<Vec<f64>>,
     /// Output directory for CSV artifacts, if requested.
     pub out_dir: Option<String>,
+    /// Service-mode tunables (meaningful for [`Action::Serve`] only).
+    pub serve: ServeFlags,
 }
 
 /// The CLI's subcommands.
@@ -37,8 +39,37 @@ pub enum Action {
     Sweeps,
     /// Traced run: chrome-trace export + stage-latency histograms.
     Trace,
+    /// Long-running service: observations on stdin, events on stdout,
+    /// auto-snapshot/restore through a state directory.
+    Serve,
     /// Print usage.
     Help,
+}
+
+/// Tunables for the `serve` action (mirrors
+/// `greencell_sim::ServeConfig`, but parsed here so the CLI layer owns
+/// all flag handling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeFlags {
+    /// `--snapshot-every N` — auto-snapshot period in slots (0 disables).
+    pub snapshot_every: usize,
+    /// `--status-every N` — status-event period in slots (0 disables).
+    pub status_every: usize,
+    /// `--error-budget N` — malformed lines tolerated before stopping.
+    pub error_budget: usize,
+    /// `--state-dir DIR` — snapshot directory (none disables persistence).
+    pub state_dir: Option<String>,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        Self {
+            snapshot_every: 50,
+            status_every: 10,
+            error_budget: 10,
+            state_dir: None,
+        }
+    }
 }
 
 /// Error explaining what part of the invocation was malformed.
@@ -71,6 +102,10 @@ ACTIONS:
              chrome trace, a deterministic event dump, and a Fig. 2
              time-series CSV (default under results/), then prints the
              stage-latency histogram summary
+    serve    long-running service: JSON observation lines on stdin, JSON
+             event lines (status gauges, watchdog verdicts, snapshot
+             notices) on stdout; auto-snapshots to --state-dir and
+             restores from the latest valid snapshot on startup
     help     this text
 
 FLAGS (all optional):
@@ -89,6 +124,12 @@ FLAGS (all optional):
     --tiny              use the small test scenario instead of the paper's
     --track-lower-bound co-run the relaxed lower-bound controller
     --out DIR           also write CSV artifacts to DIR
+
+SERVE FLAGS:
+    --state-dir DIR     snapshot directory (enables crash recovery)
+    --snapshot-every N  auto-snapshot period in slots, 0 = off  [50]
+    --status-every N    status-event period in slots, 0 = off   [10]
+    --error-budget N    malformed lines tolerated before stop   [10]
 ";
 
 fn parse_flag_value<T: std::str::FromStr>(key: &str, value: Option<&str>) -> Result<T, ParseError> {
@@ -114,6 +155,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("fig2f") => Action::Fig2f,
         Some("sweeps") => Action::Sweeps,
         Some("trace") => Action::Trace,
+        Some("serve") => Action::Serve,
         Some(other) => return Err(ParseError(format!("unknown action: {other}"))),
     };
 
@@ -123,9 +165,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut track_lower = false;
     let mut out_dir = None;
     let mut v_values = None;
+    let mut serve = ServeFlags::default();
 
     while let Some(flag) = it.next() {
         match flag {
+            "--snapshot-every" => serve.snapshot_every = parse_flag_value(flag, it.next())?,
+            "--status-every" => serve.status_every = parse_flag_value(flag, it.next())?,
+            "--error-budget" => serve.error_budget = parse_flag_value(flag, it.next())?,
+            "--state-dir" => {
+                serve.state_dir = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--state-dir needs a directory".into()))?
+                        .to_string(),
+                );
+            }
             "--seed" => seed = parse_flag_value(flag, it.next())?,
             "--tiny" => tiny = true,
             "--track-lower-bound" => track_lower = true,
@@ -167,6 +220,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         scenario,
         v_values,
         out_dir,
+        serve,
     })
 }
 
@@ -294,6 +348,21 @@ mod tests {
         let cmd = parse(&argv("run --tiny --track-lower-bound")).unwrap();
         assert_eq!(cmd.scenario.users, 4);
         assert!(cmd.scenario.track_lower_bound);
+    }
+
+    #[test]
+    fn serve_flags() {
+        let cmd = parse(&argv(
+            "serve --tiny --state-dir state --snapshot-every 25 --status-every 5 --error-budget 3",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Serve);
+        assert_eq!(cmd.serve.state_dir.as_deref(), Some("state"));
+        assert_eq!(cmd.serve.snapshot_every, 25);
+        assert_eq!(cmd.serve.status_every, 5);
+        assert_eq!(cmd.serve.error_budget, 3);
+        // Defaults hold when unspecified.
+        assert_eq!(parse(&argv("serve")).unwrap().serve, ServeFlags::default());
     }
 
     #[test]

@@ -34,7 +34,32 @@ fn dispatch(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
         Action::Fig2f => fig2f(cmd),
         Action::Sweeps => sweeps(cmd),
         Action::Trace => trace(cmd),
+        Action::Serve => serve(cmd),
     }
+}
+
+fn serve(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let config = greencell::sim::ServeConfig {
+        snapshot_every: cmd.serve.snapshot_every,
+        status_every: cmd.serve.status_every,
+        error_budget: cmd.serve.error_budget,
+        state_dir: cmd.serve.state_dir.as_ref().map(std::path::PathBuf::from),
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let summary = greencell::sim::run_serve(&cmd.scenario, &config, stdin.lock(), &mut stdout)?;
+    eprintln!(
+        "serve: {} slot(s) stepped ({} total), {} line(s) rejected, {} snapshot(s), stopped: {}",
+        summary.slots_stepped,
+        summary.total_slots,
+        summary.rejected_lines,
+        summary.snapshots_written,
+        summary.stop_reason.as_str()
+    );
+    if summary.stop_reason == greencell::sim::StopReason::ErrorBudgetExhausted {
+        return Err("serve stopped: malformed-input budget exhausted".into());
+    }
+    Ok(())
 }
 
 fn trace(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
@@ -202,7 +227,7 @@ fn write_artifacts(
         let dir = std::path::Path::new(dir);
         std::fs::create_dir_all(dir)?;
         for (name, contents) in files {
-            std::fs::write(dir.join(name), contents)?;
+            greencell_sim::write_text_atomic(&dir.join(name), contents)?;
         }
         eprintln!("wrote {} file(s) to {}", files.len(), dir.display());
     }
