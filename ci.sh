@@ -61,6 +61,20 @@ echo "== sweep resume gate =="
 # one-shot sweep; corrupt checkpoints are quarantined, never trusted.
 cargo test -p greencell-sim --test sweep_resume -q $CARGO_FLAGS
 
+echo "== city equivalence gate =="
+# The sharded city path (grid index + interference pruning + per-cluster
+# solves) must match the dense single-controller path bit-for-bit when the
+# cutoff is disabled, and pruning may only zero gains that sit below the
+# thermal noise floor (property-tested over random shadowed layouts).
+cargo test -p greencell-sim --test city_equivalence -q $CARGO_FLAGS
+cargo test -p greencell-phy --test prop_pruning -q $CARGO_FLAGS
+
+echo "== city determinism gate =="
+# City runs are bit-identical across worker counts and seeds reproduce
+# byte-identical layouts; the steady-state city slot allocates nothing.
+cargo test -p greencell-sim --test city_determinism -q $CARGO_FLAGS
+cargo test -p greencell-sim --test city_zero_alloc -q $CARGO_FLAGS
+
 echo "== serve smoke gate =="
 # End-to-end service posture through the release binary: pipe a short
 # observation feed (including a malformed line) through `greencell serve`
@@ -88,6 +102,12 @@ echo "serve smoke: restore-on-startup verified"
 
 echo "== criterion benches compile =="
 cargo bench --workspace --no-run -q $CARGO_FLAGS
+
+echo "== city_scale bench smoke (n = 10^2) =="
+# Run the smallest city tier end-to-end so the scaling bench can never
+# silently bit-rot; the full n ∈ {10^2..10^4} sweep (and the 10^5 XL tier)
+# stays a manual `cargo bench --bench city_scale` run.
+CITY_SCALE_SMOKE=1 cargo bench -p greencell-bench --bench city_scale -q $CARGO_FLAGS
 
 echo "== trace determinism gate =="
 # Short paper-scenario traced run. --check re-parses the chrome-trace JSON

@@ -24,7 +24,10 @@ use greencell_core::{
     greedy_schedule_reference, greedy_schedule_with, solve_energy_management_into,
     solve_energy_management_warm_into, EnergyOutcome, S1Scratch, S4Workspace, ScheduleOutcome,
 };
-use greencell_sim::{run_sweep, trace_points, Scenario, SweepOptions, SweepPoint, SweepReport};
+use greencell_net::GridIndex;
+use greencell_sim::{
+    run_sweep, trace_points, CitySim, Scenario, SweepOptions, SweepPoint, SweepReport,
+};
 use greencell_trace::{RingSink, Stage};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -118,6 +121,51 @@ fn s4_kernel_row(label: &str, fixture: &S4Fixture, samples: usize) -> String {
     format!(
         "    \"{label}\": {{ \"cold_ns\": {cold:.0}, \"kernel_ns\": {kernel:.0}, \
          \"speedup\": {speedup:.4} }}"
+    )
+}
+
+/// One `city_scale` record: steady-state sharded slot latency (p50/p99 in
+/// nanoseconds over `samples` slots after warm-up) plus the structural
+/// numbers the scaling claim rests on — cluster count, largest cluster,
+/// and occupied grid cells (per-slot cost should track the latter,
+/// near-linearly, not n²).
+fn city_row(users: usize, workers: usize, samples: usize) -> String {
+    let n_bs = (users / 50).max(2);
+    let scenario = Scenario::city(users, n_bs, Scenario::default_city_area(n_bs), 4242);
+    let layout = scenario.build_layout();
+    let occupied = scenario.cutoff_radius_m().map_or(0, |d_cut| {
+        let mut index = GridIndex::new(d_cut, scenario.area_m, scenario.area_m);
+        for &p in &layout.positions {
+            index.insert(p);
+        }
+        index.occupied_cells()
+    });
+    let mut sim = CitySim::with_workers(&scenario, workers).expect("city scenario builds");
+    let clusters = sim.controller().decomposition().len();
+    let largest = sim.controller().decomposition().largest();
+    for _ in 0..samples / 10 + 1 {
+        sim.step().expect("warm-up slot");
+    }
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let obs = sim.next_observation();
+            let start = Instant::now();
+            black_box(sim.controller_mut().step(&obs).expect("steady-state slot"));
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    let p50 = times[samples / 2];
+    let p99 = times[(samples * 99 / 100).min(samples - 1)];
+    println!(
+        "city_scale n{users}: {clusters} clusters (largest {largest}), {occupied} occupied \
+         cells, slot p50 {p50} ns / p99 {p99} ns at {workers} worker(s)"
+    );
+    format!(
+        "    \"n{users}\": {{ \"users\": {users}, \"nodes\": {}, \"clusters\": {clusters}, \
+         \"largest_cluster\": {largest}, \"occupied_cells\": {occupied}, \
+         \"slot_p50_ns\": {p50}, \"slot_p99_ns\": {p99}, \"workers\": {workers} }}",
+        layout.len()
     )
 }
 
@@ -219,6 +267,15 @@ fn main() {
         .map(|(label, fixture)| s4_kernel_row(label, fixture, 201))
         .collect();
 
+    // City-scale sharded-slot latency sweep. Cluster solves only fan out
+    // when threads > 1; at threads == 1 the global "degenerate" label
+    // applies to these rows too.
+    let city_workers = threads.max(1);
+    let city_rows: Vec<String> = [100usize, 1_000, 10_000]
+        .iter()
+        .map(|&users| city_row(users, city_workers, 61))
+        .collect();
+
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
          \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
@@ -227,12 +284,14 @@ fn main() {
          \"speedup\": {speedup:.4},\n  \
          \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
          \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }},\n  \
-         \"s1_kernel\": {{\n{}\n  }},\n  \"s4_kernel\": {{\n{}\n  }}\n}}\n",
+         \"s1_kernel\": {{\n{}\n  }},\n  \"s4_kernel\": {{\n{}\n  }},\n  \
+         \"city_scale\": {{\n{}\n  }}\n}}\n",
         slots as f64 / serial_s,
         slots as f64 / parallel_s,
         stage_rows.join(",\n"),
         kernel_rows.join(",\n"),
         s4_rows.join(",\n"),
+        city_rows.join(",\n"),
     );
     match greencell_sim::write_text_atomic(std::path::Path::new("BENCH_sweep.json"), &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),

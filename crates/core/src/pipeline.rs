@@ -475,7 +475,12 @@ pub fn solve_energy_with_fallbacks(input: &EnergyManagementInput<'_>) -> EnergyO
 
 /// Rebuilds the schedule without any transmission touching `node`, then
 /// recomputes minimal powers.
-pub(crate) fn shed_node(
+///
+/// Public because sharded (cluster-parallel) drivers replay the graceful
+/// ladder's shed rung against the owning cluster's sub-network; using this
+/// exact routine keeps their fallback numerics bit-identical to
+/// [`crate::Controller`]'s.
+pub fn shed_node(
     net: &Network,
     outcome: &ScheduleOutcome,
     node: NodeId,

@@ -53,6 +53,14 @@ impl ScheduleOutcome {
         self.schedule.clear();
         self.powers.clear();
     }
+
+    /// Pre-allocates room for `entries` transmissions and their powers —
+    /// pass the single-radio bound `⌊n/2⌋` to make every later slot
+    /// allocation-free regardless of how large schedules get.
+    pub fn reserve(&mut self, entries: usize) {
+        self.schedule.reserve(entries);
+        self.powers.reserve(entries);
+    }
 }
 
 /// Reusable S1 buffers: the candidate list, the per-band
@@ -87,6 +95,20 @@ impl S1Scratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Grows every buffer for a `nodes`-node, `bands`-band network whose
+    /// per-slot candidate list never exceeds `max_candidates` (a static
+    /// bound is `Σ_{(i,j)} |ℳ_i ∩ ℳ_j|` over ordered pairs). After this,
+    /// scheduling allocates nothing even when traffic hits a new peak.
+    pub fn reserve(&mut self, nodes: usize, bands: usize, max_candidates: usize) {
+        self.candidates.reserve(max_candidates);
+        self.active.reserve(max_candidates.min(MAX_SF_CANDIDATES));
+        self.pkts_per_band.reserve(bands);
+        self.tx_ok.reserve(nodes);
+        self.rx_ok.reserve(nodes);
+        self.busy.reserve(nodes);
+        self.ws.reserve(nodes / 2 + 1);
     }
 }
 

@@ -52,6 +52,16 @@ impl S3Scratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Grows the buffers for `nodes` nodes, `sessions` sessions, and up to
+    /// `links` routable links, so a steady-state slot allocates nothing
+    /// even when the backpressure candidate set hits a new peak.
+    pub fn reserve(&mut self, nodes: usize, sessions: usize, links: usize) {
+        self.cap.reserve(links);
+        self.backlog.reserve(nodes * sessions);
+        self.combos.reserve(links * sessions);
+        self.link_used.reserve(links);
+    }
 }
 
 /// Runs S3.

@@ -36,6 +36,7 @@ pub struct NetworkBuilder {
     bands: Vec<BandSet>,
     sessions: Vec<(NodeId, DataRate)>,
     shadowing_db: Vec<(NodeId, NodeId, f64)>,
+    gain_floor: f64,
 }
 
 impl NetworkBuilder {
@@ -49,6 +50,7 @@ impl NetworkBuilder {
             bands: Vec::new(),
             sessions: Vec::new(),
             shadowing_db: Vec::new(),
+            gain_floor: 0.0,
         }
     }
 
@@ -90,6 +92,27 @@ impl NetworkBuilder {
         self.shadowing_db
             .retain(|&(a, b, _)| !((a == i && b == j) || (a == j && b == i)));
         self.shadowing_db.push((i, j, db));
+        self
+    }
+
+    /// Sets the interference pruning floor: after shadowing, every gain
+    /// strictly below `floor` becomes exactly `0.0` in the assembled
+    /// [`Topology`]. `0.0` (the default) disables pruning — the gain
+    /// matrix is bit-identical to the unpruned one. Callers pick a floor
+    /// below which a link can neither be scheduled nor raise interference
+    /// above thermal noise (see `PhyConfig::prune_gain_floor` in
+    /// `greencell-phy`), so pruning only discards physically irrelevant
+    /// cross terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is negative or non-finite.
+    pub fn set_gain_floor(&mut self, floor: f64) -> &mut Self {
+        assert!(
+            floor >= 0.0 && floor.is_finite(),
+            "gain floor must be finite and non-negative, got {floor}"
+        );
+        self.gain_floor = floor;
         self
     }
 
@@ -140,7 +163,12 @@ impl NetworkBuilder {
             sessions.push(Session::new(sid, dest, demand));
         }
         Ok(Network::assemble(
-            Topology::with_shadowing(self.nodes.clone(), self.path_loss, &self.shadowing_db),
+            Topology::with_shadowing(
+                self.nodes.clone(),
+                self.path_loss,
+                &self.shadowing_db,
+                self.gain_floor,
+            ),
             self.band_count,
             self.bands.clone(),
             sessions,
@@ -247,6 +275,25 @@ mod tests {
         b.set_shadowing_db(u, bs, -10.0);
         let re = b.build().unwrap();
         assert!((re.topology().gain(bs, u) / g0 - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_floor_flows_through_to_the_topology() {
+        let mut b = base();
+        let bs = b.add_base_station(Point::new(0.0, 0.0));
+        let near = b.add_user(Point::new(100.0, 0.0));
+        let far = b.add_user(Point::new(9000.0, 0.0));
+        b.add_session(near, DataRate::ZERO);
+        let plain = b.build().unwrap();
+        let floor = plain.topology().gain(bs, far) * 2.0;
+        b.set_gain_floor(floor);
+        let pruned = b.build().unwrap();
+        assert_eq!(pruned.topology().gain_floor(), floor);
+        assert_eq!(pruned.topology().gain(bs, far), 0.0);
+        assert_eq!(
+            pruned.topology().gain(bs, near),
+            plain.topology().gain(bs, near)
+        );
     }
 
     #[test]

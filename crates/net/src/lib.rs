@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod grid;
 mod network;
 mod node;
 mod pathloss;
@@ -41,6 +42,7 @@ mod spectrum;
 mod topology;
 
 pub use builder::NetworkBuilder;
+pub use grid::GridIndex;
 pub use network::{Network, NetworkError};
 pub use node::{Node, NodeId, NodeKind, Point};
 pub use pathloss::PathLossModel;

@@ -15,18 +15,22 @@ pub struct Topology {
     path_loss: PathLossModel,
     /// Row-major `len × len`; diagonal entries are 0 (no self links).
     gains: Vec<f64>,
+    /// Interference pruning floor: gains strictly below this were set to
+    /// exactly `0.0`. `0.0` means no pruning was applied.
+    gain_floor: f64,
 }
 
 impl Topology {
     #[cfg(test)]
     pub(crate) fn new(kinds_positions: Vec<(NodeKind, Point)>, path_loss: PathLossModel) -> Self {
-        Self::with_shadowing(kinds_positions, path_loss, &[])
+        Self::with_shadowing(kinds_positions, path_loss, &[], 0.0)
     }
 
     pub(crate) fn with_shadowing(
         kinds_positions: Vec<(NodeKind, Point)>,
         path_loss: PathLossModel,
         shadowing_db: &[(NodeId, NodeId, f64)],
+        gain_floor: f64,
     ) -> Self {
         let nodes: Vec<Node> = kinds_positions
             .into_iter()
@@ -48,10 +52,23 @@ impl Topology {
             gains[a.0 * n + b.0] *= factor;
             gains[b.0 * n + a.0] *= factor;
         }
+        // Pruning runs last so the predicate sees the *final* (shadowed)
+        // gain. A strict `<` keeps the floor itself and makes floor = 0.0
+        // an exact no-op: every retained entry is bit-identical to the
+        // unpruned matrix, every pruned entry is exactly 0.0 (which the
+        // sparse S1 kernel skips structurally).
+        if gain_floor > 0.0 {
+            for g in &mut gains {
+                if *g < gain_floor {
+                    *g = 0.0;
+                }
+            }
+        }
         Self {
             nodes,
             path_loss,
             gains,
+            gain_floor,
         }
     }
 
@@ -144,6 +161,14 @@ impl Topology {
         self.path_loss
     }
 
+    /// The interference pruning floor applied at construction: every gain
+    /// strictly below it was replaced by exactly `0.0`. Returns `0.0` when
+    /// the matrix is unpruned.
+    #[must_use]
+    pub fn gain_floor(&self) -> f64 {
+        self.gain_floor
+    }
+
     /// Iterates over all ordered pairs `(i, j)`, `i ≠ j` — the candidate
     /// directed links of the network.
     pub fn ordered_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
@@ -201,6 +226,27 @@ mod tests {
         let pairs: Vec<_> = t.ordered_pairs().collect();
         assert_eq!(pairs.len(), 6);
         assert!(pairs.iter().all(|(i, j)| i != j));
+    }
+
+    #[test]
+    fn gain_floor_prunes_to_exact_zero_and_zero_floor_is_noop() {
+        let layout = vec![
+            (NodeKind::BaseStation, Point::new(0.0, 0.0)),
+            (NodeKind::User, Point::new(100.0, 0.0)),
+            (NodeKind::User, Point::new(5000.0, 0.0)),
+        ];
+        let model = PathLossModel::new(62.5, 4.0);
+        let plain = Topology::with_shadowing(layout.clone(), model, &[], 0.0);
+        let far = plain.gain(NodeId(0), NodeId(2));
+        let near = plain.gain(NodeId(0), NodeId(1));
+        let floor = (far + near) / 2.0;
+        let pruned = Topology::with_shadowing(layout, model, &[], floor);
+        assert_eq!(pruned.gain_floor(), floor);
+        assert_eq!(pruned.gain(NodeId(0), NodeId(2)), 0.0);
+        assert_eq!(pruned.gain(NodeId(2), NodeId(0)), 0.0);
+        // Retained entries are bit-identical, and the floor itself survives.
+        assert_eq!(pruned.gain(NodeId(0), NodeId(1)), near);
+        assert_eq!(plain.gain_floor(), 0.0);
     }
 
     #[test]

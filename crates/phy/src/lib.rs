@@ -111,6 +111,39 @@ impl PhyConfig {
     pub fn noise_density(&self) -> f64 {
         self.noise_density
     }
+
+    /// The largest propagation gain that is *provably irrelevant* to the
+    /// physical model, given the narrowest band `min_bandwidth` any link
+    /// can see and the largest transmit power `max_power` any node may
+    /// use:
+    ///
+    /// `F = min(Γ, 1) · η · W_min / p_max`.
+    ///
+    /// For any gain `g < F` and any power `p ≤ p_max`:
+    ///
+    /// * as a **signal**, `p·g < Γ·η·W_min ≤ Γ·N_j` — the link misses the
+    ///   SINR threshold even with zero interference, so it can never be
+    ///   scheduled;
+    /// * as **interference**, `p·g < η·W_min ≤ N_j` — the cross term sits
+    ///   below the receiver's thermal noise floor.
+    ///
+    /// Zeroing such gains (see `Topology::gain_floor` in `greencell-net`)
+    /// therefore only discards entries already below the noise floor.
+    /// Returns `0.0` (pruning disabled) when the noise density is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_power` is not strictly positive.
+    #[must_use]
+    pub fn prune_gain_floor(
+        &self,
+        min_bandwidth: greencell_units::Bandwidth,
+        max_power: greencell_units::Power,
+    ) -> f64 {
+        let p = max_power.as_watts();
+        assert!(p > 0.0, "max power must be positive, got {p} W");
+        self.sinr_threshold.min(1.0) * self.noise_density * min_bandwidth.as_hertz() / p
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +155,21 @@ mod tests {
         let c = PhyConfig::new(1.0, 1e-20);
         assert_eq!(c.sinr_threshold(), 1.0);
         assert_eq!(c.noise_density(), 1e-20);
+    }
+
+    #[test]
+    fn prune_floor_is_below_the_interference_noise_floor() {
+        use greencell_units::{Bandwidth, Power};
+        let c = PhyConfig::new(1.0, 3e-17);
+        let w = Bandwidth::from_megahertz(1.0);
+        let p = Power::from_watts(20.0);
+        let floor = c.prune_gain_floor(w, p);
+        assert_eq!(floor, 3e-17 * 1e6 / 20.0);
+        // Any pruned gain times any legal power sits below η·W_min.
+        assert!(floor * p.as_watts() <= c.noise_density() * w.as_hertz());
+        // Γ < 1 tightens the floor further (signal feasibility binds).
+        let c2 = PhyConfig::new(0.5, 3e-17);
+        assert_eq!(c2.prune_gain_floor(w, p), 0.5 * 3e-17 * 1e6 / 20.0);
     }
 
     #[test]

@@ -66,6 +66,19 @@ pub struct ColdStartBuffers {
     p: Vec<f64>,
 }
 
+impl ColdStartBuffers {
+    /// Pre-allocates for a solve over `entries` transmissions (the dense
+    /// cross-gain matrix is `entries²`), so a later solve at or below that
+    /// size performs no heap allocation.
+    pub fn reserve(&mut self, entries: usize) {
+        self.direct_gain.reserve(entries);
+        self.noise.reserve(entries);
+        self.cap.reserve(entries);
+        self.cross.reserve(entries * entries);
+        self.p.reserve(entries);
+    }
+}
+
 /// Computes the component-wise minimal transmit powers under which every
 /// transmission in `schedule` achieves `SINR ≥ Γ`, or proves that none
 /// exist within the per-node caps.

@@ -145,6 +145,14 @@ impl Schedule {
         self.transmissions.clear();
     }
 
+    /// Pre-allocates room for `entries` further transmissions, so
+    /// [`Schedule::try_add`] up to that many performs no heap allocation.
+    /// The single-radio constraint caps any schedule at `⌊n/2⌋` entries,
+    /// making that the natural bound to pass.
+    pub fn reserve(&mut self, entries: usize) {
+        self.transmissions.reserve(entries);
+    }
+
     /// `true` if `node` already transmits or receives in this schedule.
     #[must_use]
     pub fn is_busy(&self, node: NodeId) -> bool {

@@ -151,6 +151,38 @@ impl PowerControlWorkspace {
         }
     }
 
+    /// Grows every internal buffer — including the elimination and CSR
+    /// scratch of the final solve — to hold `entries` concurrent
+    /// transmissions without further allocation. The single-radio
+    /// constraint caps schedules at `⌊n/2⌋` entries; pass that plus one
+    /// (for the outstanding probe) and steady-state scheduling allocates
+    /// nothing no matter how traffic peaks evolve.
+    pub fn reserve(&mut self, entries: usize) {
+        self.txs.reserve(entries);
+        self.direct_gain.reserve(entries);
+        self.noise.reserve(entries);
+        self.cap.reserve(entries);
+        self.row_sum.reserve(entries);
+        self.p.reserve(entries);
+        self.p_saved.reserve(entries);
+        self.lu.reserve(entries * entries);
+        self.rhs.reserve(entries);
+        self.csr_start.reserve(entries + 1);
+        self.csr_col.reserve(entries * entries);
+        self.csr_gain.reserve(entries * entries);
+        // Both spines need room: rows migrate between `spare_rows` and
+        // `cross` as candidates come and go.
+        self.cross.reserve(entries);
+        self.spare_rows.reserve(entries);
+        while self.cross.len() + self.spare_rows.len() < entries {
+            self.spare_rows.push(Vec::new());
+        }
+        for row in self.cross.iter_mut().chain(&mut self.spare_rows) {
+            row.reserve(entries);
+        }
+        self.cold.reserve(entries);
+    }
+
     /// Appends `t` to the interference system: one new row (gains from
     /// every existing transmitter into `t`'s receiver) and one new column
     /// (gain from `t`'s transmitter into every existing receiver), both

@@ -1,0 +1,132 @@
+//! Property tests for interference pruning: on random layouts (with and
+//! without shadowing), a floored topology differs from the unfloored one
+//! ONLY in entries that are exactly `0.0` — and every such entry was
+//! provably below the thermal noise floor, so pruning can never delete a
+//! physically relevant signal or interference term.
+
+use greencell_net::{Network, NetworkBuilder, NodeId, PathLossModel, Point};
+use greencell_phy::PhyConfig;
+use greencell_stochastic::Rng;
+use greencell_units::{Bandwidth, Power};
+use proptest::prelude::*;
+
+const MAX_POWER_W: f64 = 20.0;
+const MIN_BANDWIDTH_MHZ: f64 = 1.0;
+
+/// Builds a random layout deterministically from `seed` — one BS plus
+/// users spread wide enough that some pairs clear any realistic cutoff
+/// and some do not — applying `floor` as the pruning floor. Shadowing
+/// offsets (when enabled) are drawn from the same stream on every call,
+/// so two calls differing only in `floor` see identical inputs.
+fn build(seed: u64, nodes: usize, shadowed: bool, floor: f64) -> Network {
+    let mut rng = Rng::seed_from(seed);
+    let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+    b.add_base_station(Point::new(0.0, 0.0));
+    for _ in 1..nodes {
+        let x = rng.range_f64(1.0, 8000.0);
+        let y = rng.range_f64(1.0, 8000.0);
+        b.add_user(Point::new(x, y));
+    }
+    if shadowed {
+        for i in 0..nodes {
+            for j in (i + 1)..nodes {
+                if rng.chance(0.3) {
+                    b.set_shadowing_db(
+                        NodeId::from_index(i),
+                        NodeId::from_index(j),
+                        rng.range_f64(-12.0, 12.0),
+                    );
+                }
+            }
+        }
+    }
+    b.set_gain_floor(floor);
+    b.build().expect("valid network")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every entry of the floored gain matrix is either bit-identical to
+    /// the unfloored entry or exactly `0.0`; a zeroed entry implies the
+    /// original gain was strictly below the floor, hence — for any legal
+    /// power — below the noise floor both as signal and as interference.
+    #[test]
+    fn pruning_only_zeroes_gains_below_the_noise_floor(
+        seed in 0u64..10_000,
+        nodes in 2usize..16,
+        shadowed in any::<bool>(),
+        noise_exp in -18.0f64..-15.0,
+        gamma in 0.25f64..4.0,
+    ) {
+        let phy = PhyConfig::new(gamma, 10f64.powf(noise_exp));
+        let floor = phy.prune_gain_floor(
+            Bandwidth::from_megahertz(MIN_BANDWIDTH_MHZ),
+            Power::from_watts(MAX_POWER_W),
+        );
+        prop_assert!(floor > 0.0);
+        let floored = build(seed, nodes, shadowed, floor);
+        let plain = build(seed, nodes, shadowed, 0.0);
+        let (ft, pt) = (floored.topology(), plain.topology());
+        prop_assert_eq!(ft.gain_floor(), floor);
+        prop_assert_eq!(pt.gain_floor(), 0.0);
+        let noise_w =
+            phy.noise_density() * Bandwidth::from_megahertz(MIN_BANDWIDTH_MHZ).as_hertz();
+        for (i, j) in pt.ordered_pairs() {
+            let g = pt.gain(i, j);
+            let f = ft.gain(i, j);
+            if f == 0.0 && g != 0.0 {
+                // Pruned: strictly below the floor, and provably inert —
+                // received power under the cap misses Γ·N as a signal and
+                // sits below the thermal noise power N as interference.
+                prop_assert!(g < floor, "zeroed gain {} was not below floor {}", g, floor);
+                prop_assert!(g * MAX_POWER_W < phy.sinr_threshold() * noise_w);
+                prop_assert!(g * MAX_POWER_W < noise_w);
+            } else {
+                // Retained: bit-identical to the unpruned matrix, and at
+                // or above the floor (strict-< pruning keeps the floor).
+                prop_assert_eq!(f.to_bits(), g.to_bits(), "gain ({:?}, {:?}) changed", i, j);
+                prop_assert!(f >= floor);
+            }
+        }
+    }
+
+    /// A floor of `0.0` (pruning disabled) is an exact no-op: gains are
+    /// bit-identical to a build that never set a floor at all.
+    #[test]
+    fn zero_floor_is_bitwise_noop(
+        seed in 0u64..10_000,
+        nodes in 2usize..12,
+        shadowed in any::<bool>(),
+    ) {
+        let explicit = build(seed, nodes, shadowed, 0.0);
+        let mut rng = Rng::seed_from(seed);
+        let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 1);
+        b.add_base_station(Point::new(0.0, 0.0));
+        for _ in 1..nodes {
+            let x = rng.range_f64(1.0, 8000.0);
+            let y = rng.range_f64(1.0, 8000.0);
+            b.add_user(Point::new(x, y));
+        }
+        if shadowed {
+            for i in 0..nodes {
+                for j in (i + 1)..nodes {
+                    if rng.chance(0.3) {
+                        b.set_shadowing_db(
+                            NodeId::from_index(i),
+                            NodeId::from_index(j),
+                            rng.range_f64(-12.0, 12.0),
+                        );
+                    }
+                }
+            }
+        }
+        let implicit = b.build().expect("valid network");
+        let (et, it) = (explicit.topology(), implicit.topology());
+        prop_assert_eq!(et.gain_floor(), 0.0);
+        for (i, j) in it.ordered_pairs() {
+            prop_assert_eq!(et.gain(i, j).to_bits(), it.gain(i, j).to_bits());
+            prop_assert!(it.gain(i, j) > 0.0, "unpruned gain must stay positive");
+        }
+    }
+}

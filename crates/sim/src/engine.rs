@@ -47,6 +47,14 @@ pub enum SimError {
         /// The version the file declares.
         found: u32,
     },
+    /// The scenario asks for a feature the sharded city-scale path does
+    /// not support (e.g. shadowing, faults, or Markov grid chains, which
+    /// all couple nodes across cluster boundaries or depend on global node
+    /// order). Run such scenarios through the dense [`Simulator`] instead.
+    UnsupportedAtScale {
+        /// The unsupported feature, for the error message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -67,6 +75,9 @@ impl fmt::Display for SimError {
                 f,
                 "snapshot {path} has format version {found}, this build reads {expected}"
             ),
+            Self::UnsupportedAtScale { detail } => {
+                write!(f, "unsupported by the sharded city-scale path: {detail}")
+            }
         }
     }
 }
@@ -79,7 +90,8 @@ impl Error for SimError {
             Self::Io(_)
             | Self::Serialize(_)
             | Self::CorruptSnapshot { .. }
-            | Self::SnapshotVersionMismatch { .. } => None,
+            | Self::SnapshotVersionMismatch { .. }
+            | Self::UnsupportedAtScale { .. } => None,
         }
     }
 }
@@ -131,6 +143,10 @@ pub struct Simulator {
     pub(crate) watchdog: StabilityWatchdog,
     pub(crate) metrics: RunMetrics,
     pub(crate) slots_run: usize,
+    /// Nearest-BS index per session destination — the diurnal profile's
+    /// "cell". Derived from the network in [`Simulator::new`], never
+    /// serialized: snapshots rebuild it from the scenario.
+    session_cells: Vec<usize>,
     /// Drive the controller through its frozen pre-pipeline oracle instead
     /// of the staged driver (equivalence testing only).
     reference: bool,
@@ -191,6 +207,23 @@ impl Simulator {
             .map(|_| scenario.demand_packets_per_slot().count_f64())
             .sum();
         let watchdog = StabilityWatchdog::for_demand(total_demand);
+        let session_cells: Vec<usize> = net
+            .sessions()
+            .iter()
+            .map(|sess| {
+                let dest = net.topology().node(sess.destination()).position();
+                net.topology()
+                    .base_stations()
+                    .enumerate()
+                    .min_by(|&(a, i), &(b, j)| {
+                        let da = net.topology().node(i).position().distance_to(dest);
+                        let db = net.topology().node(j).position().distance_to(dest);
+                        da.as_meters().total_cmp(&db.as_meters()).then(a.cmp(&b))
+                    })
+                    .map(|(cell, _)| cell)
+                    .unwrap_or(0)
+            })
+            .collect();
         let controller = Controller::new(net, phy, energy, config)?;
         Ok(Self {
             scenario: scenario.clone(),
@@ -205,6 +238,7 @@ impl Simulator {
             watchdog,
             metrics: RunMetrics::new(),
             slots_run: 0,
+            session_cells,
             reference: false,
         })
     }
@@ -347,12 +381,20 @@ impl Simulator {
                 node.kind().is_base_station() || draw
             })
             .collect();
-        // Per-session nominal demand (sessions may be heterogeneous).
+        // Per-session nominal demand (sessions may be heterogeneous),
+        // optionally modulated by the per-cell diurnal profile before any
+        // stochastic draw so Constant and Poisson share the same mean.
+        let n_cells = s.bs_positions.len();
         let session_demand: Vec<Packets> = net
             .sessions()
             .iter()
-            .map(|sess| {
-                let nominal = (sess.demand() * s.slot).whole_packets(s.packet_size);
+            .enumerate()
+            .map(|(sid, sess)| {
+                let mut nominal = (sess.demand() * s.slot).whole_packets(s.packet_size);
+                if let Some(profile) = s.diurnal {
+                    nominal =
+                        profile.scale(nominal, self.slots_run, self.session_cells[sid], n_cells);
+                }
                 match s.demand_model {
                     crate::DemandModel::Constant => nominal,
                     crate::DemandModel::Poisson => {

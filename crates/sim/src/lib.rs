@@ -38,6 +38,7 @@ pub mod faults;
 pub mod fsio;
 mod metrics;
 pub mod report;
+pub mod scale;
 mod scenario;
 pub mod serve;
 pub mod snapshot;
@@ -53,7 +54,10 @@ pub use engine::{SimError, Simulator};
 pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport, WatchdogState};
 pub use fsio::write_text_atomic;
 pub use metrics::RunMetrics;
-pub use scenario::{DemandModel, GridModel, Scenario, TouPricing};
+pub use scale::{CitySim, ClusterSet, ShardedController};
+pub use scenario::{
+    DemandModel, DiurnalProfile, GridModel, Placement, Scenario, ScenarioLayout, TouPricing,
+};
 pub use serve::{run_serve, ServeConfig, ServeSummary, StopReason, SNAP_LATEST, SNAP_PREV};
 pub use snapshot::{fnv1a_64, SimSnapshot, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use sweep::{

@@ -1,0 +1,186 @@
+//! The city-scale scenario generator: Poisson-disk base stations,
+//! hotspot users, diurnal traffic, and lossless interference pruning.
+
+use greencell_net::{GridIndex, Point};
+use greencell_stochastic::Rng;
+
+use crate::scenario::{DiurnalProfile, Placement, Scenario};
+use crate::sweep::derive_point_seed;
+
+/// The city calibration's noise density (W/Hz). The paper's `10⁻²⁰` makes
+/// the pruning radius planet-sized (every watt reaches everyone); `3×10⁻¹⁷`
+/// is the same "make path loss move watts" recalibration as
+/// [`Scenario::fig2f_calibrated`] and yields a ~2.5 km cutoff.
+pub const CITY_NOISE_DENSITY: f64 = 3e-17;
+
+/// Base stations are at least this many cutoff radii apart, so per-BS
+/// hotspot clusters (σ = [`CITY_HOTSPOT_SIGMA_FACTOR`]·d_cut, radius
+/// clamped to 2σ) cannot bridge neighboring cells: the closest two users
+/// of different cells can get is `(1.7 − 4·0.15)·d_cut = 1.1·d_cut`,
+/// which is beyond the cutoff.
+pub const CITY_BS_SPACING_FACTOR: f64 = 1.7;
+
+/// Hotspot standard deviation as a fraction of the cutoff radius.
+pub const CITY_HOTSPOT_SIGMA_FACTOR: f64 = 0.15;
+
+/// Stream salt for the BS-placement RNG (distinct from the sweep's
+/// point-seed space by convention: sweeps use small point indices).
+const CITY_PLACEMENT_SALT: u64 = 0x6369_7479_5f62_7300; // "city_bs\0"
+
+impl Scenario {
+    /// A deterministic city-scale scenario: `n_bs` Poisson-disk base
+    /// stations in an `area_m × area_m` square, `n_users` users clustered
+    /// in Gaussian hotspots around them, one session per ~50 users (at
+    /// least 2), a 24-slot diurnal traffic profile phase-shifted per cell,
+    /// and the lossless interference pruning floor pre-applied
+    /// ([`Scenario::interference_gain_floor`]).
+    ///
+    /// Everything else — powers, batteries, bands, cost — is the paper's
+    /// §VI configuration, except the noise density, which uses the
+    /// `CITY_NOISE_DENSITY` calibration so pruning has a finite radius.
+    /// All randomness derives from `seed`: base-station positions come
+    /// from a dedicated salted stream, user positions and sessions from
+    /// the scenario's usual topology stream.
+    ///
+    /// Use [`Scenario::default_city_area`] for an area sized to keep the
+    /// BS density at the spacing the hotspot-separation argument assumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `area_m` is not positive and finite.
+    #[must_use]
+    pub fn city(n_users: usize, n_bs: usize, area_m: f64, seed: u64) -> Self {
+        assert!(
+            area_m > 0.0 && area_m.is_finite(),
+            "city area must be positive and finite, got {area_m}"
+        );
+        let mut s = Self::paper(seed);
+        s.noise_density = CITY_NOISE_DENSITY;
+        s.users = n_users;
+        s.area_m = area_m;
+        s.horizon = 50;
+        s.sessions = (n_users / 50).max(2);
+        s.gain_floor = s.interference_gain_floor();
+        let d_cut = s
+            .cutoff_radius_m()
+            .expect("positive noise density implies a positive pruning floor");
+        s.placement = Placement::Hotspots {
+            sigma_m: CITY_HOTSPOT_SIGMA_FACTOR * d_cut,
+            fraction: 1.0,
+        };
+        s.diurnal = Some(DiurnalProfile {
+            period_slots: 24,
+            min_fraction: 0.25,
+        });
+        s.bs_positions = poisson_disk_positions(
+            n_bs,
+            area_m,
+            CITY_BS_SPACING_FACTOR * d_cut,
+            derive_point_seed(seed, CITY_PLACEMENT_SALT),
+        );
+        s
+    }
+
+    /// The deployment-area side (meters) that gives `n_bs` base stations
+    /// twice the square footprint their minimum Poisson-disk spacing
+    /// needs: `side = √(2·n_bs) · 1.7·d_cut`, with `d_cut` the city
+    /// calibration's ~2.5 km cutoff radius. Dart throwing converges fast
+    /// at this density and cells stay interference-separated.
+    #[must_use]
+    pub fn default_city_area(n_bs: usize) -> f64 {
+        let mut probe = Self::paper(0);
+        probe.noise_density = CITY_NOISE_DENSITY;
+        probe.gain_floor = probe.interference_gain_floor();
+        let d_cut = probe
+            .cutoff_radius_m()
+            .expect("positive noise density implies a positive pruning floor");
+        ((2 * n_bs.max(1)) as f64).sqrt() * CITY_BS_SPACING_FACTOR * d_cut
+    }
+}
+
+/// Deterministic Poisson-disk dart throwing: draws uniform candidates and
+/// accepts those at least `min_spacing_m` from every accepted point, using
+/// a [`GridIndex`] for `O(1)` expected rejection tests. If a spacing level
+/// stalls (64 consecutive misses per remaining point), the spacing shrinks
+/// by 20% and throwing resumes — so the function always returns exactly
+/// `n` points, trading spacing for completion in degenerate areas.
+fn poisson_disk_positions(n: usize, area_m: f64, min_spacing_m: f64, seed: u64) -> Vec<(f64, f64)> {
+    let mut rng = Rng::seed_from(seed);
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(n);
+    let mut spacing = min_spacing_m;
+    while out.len() < n && spacing > min_spacing_m * 1e-3 {
+        let mut index = GridIndex::new(spacing, area_m, area_m);
+        for &(x, y) in &out {
+            index.insert(Point::new(x, y));
+        }
+        let budget = 64 * (n - out.len());
+        let mut misses = 0usize;
+        while out.len() < n && misses < budget {
+            let x = rng.range_f64(0.0, area_m);
+            let y = rng.range_f64(0.0, area_m);
+            if index.has_neighbor_within(Point::new(x, y), spacing) {
+                misses += 1;
+                continue;
+            }
+            index.insert(Point::new(x, y));
+            out.push((x, y));
+        }
+        spacing *= 0.8;
+    }
+    // Degenerate area: accept unconditionally rather than loop forever.
+    while out.len() < n {
+        out.push((rng.range_f64(0.0, area_m), rng.range_f64(0.0, area_m)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_disk_respects_the_minimum_spacing() {
+        let pts = poisson_disk_positions(20, 20_000.0, 4000.0, 7);
+        assert_eq!(pts.len(), 20);
+        for (a, &(xa, ya)) in pts.iter().enumerate() {
+            for &(xb, yb) in &pts[a + 1..] {
+                let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+                assert!(d >= 4000.0 * 0.8 * 1e-3, "degenerate collapse: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_disk_is_deterministic_in_the_seed() {
+        let a = poisson_disk_positions(50, 50_000.0, 4000.0, 99);
+        let b = poisson_disk_positions(50, 50_000.0, 4000.0, 99);
+        assert_eq!(a, b);
+        let c = poisson_disk_positions(50, 50_000.0, 4000.0, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn city_scenario_is_calibrated_for_pruning() {
+        let s = Scenario::city(200, 4, Scenario::default_city_area(4), 11);
+        assert_eq!(s.users, 200);
+        assert_eq!(s.bs_positions.len(), 4);
+        assert_eq!(s.sessions, 4);
+        assert!(s.gain_floor > 0.0);
+        let d_cut = s.cutoff_radius_m().expect("pruning enabled");
+        // The calibration's cutoff is a couple of kilometers.
+        assert!((1000.0..5000.0).contains(&d_cut), "d_cut = {d_cut}");
+        // BSs respect the spacing that keeps hotspot cells separated.
+        for (a, &(xa, ya)) in s.bs_positions.iter().enumerate() {
+            for &(xb, yb) in &s.bs_positions[a + 1..] {
+                let d = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+                assert!(d >= CITY_BS_SPACING_FACTOR * d_cut * 0.999, "spacing {d}");
+            }
+        }
+        assert!(s.diurnal.is_some());
+        // Deterministic in the seed.
+        assert_eq!(
+            s,
+            Scenario::city(200, 4, Scenario::default_city_area(4), 11)
+        );
+    }
+}

@@ -1,0 +1,977 @@
+//! The cluster-parallel slot solver and its observation driver.
+//!
+//! [`ShardedController`] replays the dense
+//! [`Controller`](greencell_core::Controller) step exactly, but runs the
+//! separable stages (S1 scheduling, S2 admission, S3 routing) per
+//! interference cluster — optionally on several worker threads — while S4
+//! energy management stays global (the provider's cost `f(P)` couples all
+//! base stations). With pruning disabled there is one cluster and every
+//! [`SlotReport`] is bit-identical to the dense pipeline's; the
+//! `city_equivalence` integration test pins that.
+//!
+//! Worker count never changes results: clusters are solved from their own
+//! state only and are assigned to threads in contiguous deterministic
+//! chunks, so the per-cluster outputs — and every global reduction, which
+//! always runs in cluster-id order on one thread — are identical at any
+//! parallelism.
+
+use greencell_core::pipeline::{self, EnergyStage, RelayStage, ScheduleStage};
+use greencell_core::{
+    dpp, resource_allocation_into, route_flows_into, solve_grid_only_into, solve_safe_mode,
+    Admission, ControllerConfig, DegradationEvent, DegradationPolicy, EnergyManagementError,
+    EnergyManagementInput, EnergyOutcome, S1Inputs, S1Scratch, S3Scratch, S4Workspace,
+    ScheduleOutcome, SlotObservation, SlotReport,
+};
+use greencell_energy::{Battery, CostFn, NodeEnergyModel, QuadraticCost};
+use greencell_net::{Network, NetworkBuilder, NodeId, NodeKind, PathLossModel, SessionId};
+use greencell_phy::{packets_per_slot, potential_capacity, PhyConfig, SpectrumState};
+use greencell_queue::{lyapunov_value, DataQueueBank, FlowPlan, LinkQueueBank};
+use greencell_stochastic::{Distribution, Poisson, Rng};
+use greencell_units::{Bandwidth, Energy, Packets, Power};
+
+use super::ClusterSet;
+use crate::engine::SimError;
+use crate::scenario::{DemandModel, GridModel, Scenario};
+
+/// One interference cluster's dense subproblem: its sub-network, queue
+/// banks, and the warm per-slot scratch the stages reuse. Local node ids
+/// are positions in the ascending global member list (base stations keep
+/// their lead because global ids put BSs first); local session ids follow
+/// global session order.
+#[derive(Debug)]
+struct ClusterSolver {
+    net: Network,
+    /// Global node ids, ascending.
+    nodes: Vec<usize>,
+    /// Global session ids, ascending.
+    sessions: Vec<usize>,
+    data: DataQueueBank,
+    links: LinkQueueBank,
+    max_powers: Vec<Power>,
+    models: Vec<NodeEnergyModel>,
+    // Per-slot scratch, allocated once and reused (zero-alloc steady state).
+    traffic_budget: Vec<Energy>,
+    session_demand: Vec<Packets>,
+    z: Vec<f64>,
+    s1: S1Scratch,
+    outcome: ScheduleOutcome,
+    s3: S3Scratch,
+    flows: FlowPlan,
+    admissions: Vec<Admission>,
+    link_service: Vec<(NodeId, NodeId, Packets)>,
+    routing_caps: Vec<(NodeId, NodeId, Packets)>,
+    admission_triples: Vec<(SessionId, NodeId, Packets)>,
+}
+
+impl ClusterSolver {
+    /// Runs S1, S2, routing-cap assembly, link service, and S3 for one
+    /// slot — everything the dense step does before its S4 loop, minus
+    /// fault availability (the sharded path rejects faults). Routing caps
+    /// cover within-cluster pairs only; a cross-cluster gain is exactly
+    /// zero, so such a link can never be scheduled and routing onto it
+    /// would queue packets forever.
+    fn solve_slot(
+        &mut self,
+        phy: &PhyConfig,
+        spectrum: &SpectrumState,
+        config: &ControllerConfig,
+        schedule_stage: &'static dyn ScheduleStage,
+        relay_stage: &'static dyn RelayStage,
+        beta_cap: Packets,
+    ) {
+        let s1_inputs = S1Inputs {
+            net: &self.net,
+            phy,
+            spectrum,
+            links: &self.links,
+            max_powers: &self.max_powers,
+            energy_models: &self.models,
+            traffic_budget: &self.traffic_budget,
+            available: &[],
+            slot: config.slot,
+            packet_size: config.packet_size,
+        };
+        schedule_stage.schedule(&s1_inputs, &mut self.s1, &mut self.outcome);
+        resource_allocation_into(
+            &self.net,
+            &self.data,
+            config.lambda,
+            config.v,
+            config.k_max,
+            &mut self.admissions,
+        );
+        let net = &self.net;
+        self.routing_caps.clear();
+        self.routing_caps.extend(
+            net.topology()
+                .ordered_pairs()
+                .filter(|&(i, j)| !net.link_bands(i, j).is_empty())
+                .filter(|&(i, _)| relay_stage.may_relay(net, i))
+                .map(|(i, j)| (i, j, beta_cap)),
+        );
+        self.refresh_link_service(spectrum, phy, config);
+        route_flows_into(
+            &self.net,
+            &self.data,
+            &self.links,
+            &self.routing_caps,
+            &self.admissions,
+            &self.session_demand,
+            &mut self.s3,
+            &mut self.flows,
+        );
+    }
+
+    /// Recomputes the link-service list from the (possibly shed) schedule
+    /// — the only S3 input that changes on a degradation retry. The flow
+    /// plan does not read the schedule, so it needs no recompute.
+    fn refresh_link_service(
+        &mut self,
+        spectrum: &SpectrumState,
+        phy: &PhyConfig,
+        config: &ControllerConfig,
+    ) {
+        self.link_service.clear();
+        self.link_service
+            .extend(self.outcome.schedule.transmissions().iter().map(|t| {
+                let capacity = potential_capacity(spectrum.bandwidth(t.band()), phy);
+                (
+                    t.tx(),
+                    t.rx(),
+                    packets_per_slot(capacity, config.packet_size, config.slot),
+                )
+            }));
+    }
+}
+
+/// A cluster-parallel drop-in for the dense controller on city-scale
+/// scenarios: S1–S3 per interference cluster, S4 global, same degradation
+/// ladder, bit-identical reports when pruning is off (one cluster).
+///
+/// Construct from a [`Scenario`]; step with the same [`SlotObservation`]s
+/// the dense pipeline takes (or drive it with [`CitySim`]).
+#[derive(Debug)]
+pub struct ShardedController {
+    phy: PhyConfig,
+    config: ControllerConfig,
+    cost: QuadraticCost,
+    beta: f64,
+    gamma_max: f64,
+    total_nodes: usize,
+    total_sessions: usize,
+    band_count: usize,
+    workers: usize,
+    schedule_stage: &'static dyn ScheduleStage,
+    relay_stage: &'static dyn RelayStage,
+    energy_stage: &'static dyn EnergyStage,
+    // Global per-node energy state, in global node-id order.
+    batteries: Vec<Battery>,
+    models: Vec<NodeEnergyModel>,
+    grid_limits: Vec<Energy>,
+    is_bs: Vec<bool>,
+    // Decomposition.
+    decomposition: ClusterSet,
+    clusters: Vec<ClusterSolver>,
+    /// Cluster id → index into `clusters` (None for BS-less clusters,
+    /// whose nodes idle: no scheduling, no sessions, idle demand only).
+    solver_of_cluster: Vec<Option<usize>>,
+    node_cluster: Vec<usize>,
+    node_local: Vec<usize>,
+    /// Global ids of nodes in BS-less clusters.
+    uncovered: Vec<usize>,
+    // Global per-slot arena (reused; zero-alloc steady state).
+    z: Vec<f64>,
+    z_after: Vec<f64>,
+    demand: Vec<Energy>,
+    traffic_budget: Vec<Energy>,
+    s4: S4Workspace,
+    energy: EnergyOutcome,
+    slot: u64,
+}
+
+impl ShardedController {
+    /// Single-threaded construction; see [`ShardedController::with_workers`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedController::with_workers`].
+    pub fn new(scenario: &Scenario) -> Result<Self, SimError> {
+        Self::with_workers(scenario, 1)
+    }
+
+    /// Builds the decomposition and all per-cluster state for `scenario`,
+    /// solving clusters on up to `workers` threads per slot. Worker count
+    /// does not affect results, only wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedAtScale`] if the scenario uses shadowing or
+    /// fault injection, or if a session destination lands in a cluster
+    /// with no base station (no admission source could ever reach it);
+    /// [`SimError::Network`] if a cluster sub-network fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's controller configuration is numerically
+    /// invalid (same contract as the dense controller).
+    pub fn with_workers(scenario: &Scenario, workers: usize) -> Result<Self, SimError> {
+        if scenario.shadowing_sigma_db > 0.0 {
+            return Err(SimError::UnsupportedAtScale {
+                detail: "log-normal shadowing breaks the geometric interference-closure \
+                         guarantee of cluster decomposition"
+                    .into(),
+            });
+        }
+        if scenario.faults.is_some() {
+            return Err(SimError::UnsupportedAtScale {
+                detail: "fault injection is only wired into the dense Simulator".into(),
+            });
+        }
+        let phy = scenario.phy();
+        let config = scenario.controller_config();
+        config.validate();
+        let cost = QuadraticCost::new(scenario.cost.0, scenario.cost.1, scenario.cost.2);
+        let beta = dpp::beta(&config, &phy);
+        let schedule_stage = pipeline::schedule_stage(config.scheduler.key())
+            .expect("built-in schedule stage is registered");
+        let relay_stage =
+            pipeline::relay_stage(config.relay.key()).expect("built-in relay stage is registered");
+        let energy_stage = pipeline::energy_stage(config.energy_policy.key())
+            .expect("built-in energy stage is registered");
+
+        let layout = scenario.build_layout();
+        let n = layout.len();
+        let mut batteries = Vec::with_capacity(n);
+        let mut models = Vec::with_capacity(n);
+        let mut max_powers = Vec::with_capacity(n);
+        let mut grid_limits = Vec::with_capacity(n);
+        let mut is_bs = Vec::with_capacity(n);
+        for kind in &layout.kinds {
+            let nc = scenario.node_energy_config(kind.is_base_station());
+            batteries.push(nc.battery);
+            models.push(nc.energy_model);
+            max_powers.push(nc.max_power);
+            grid_limits.push(nc.grid_limit);
+            is_bs.push(kind.is_base_station());
+        }
+        // γ_max over the whole network's BS grid capacity, in global node
+        // order — exactly `dpp::gamma_max` on the dense network.
+        let max_grid_draw: Energy = (0..n).filter(|&i| is_bs[i]).map(|i| grid_limits[i]).sum();
+        let gamma_max = cost.max_marginal(max_grid_draw);
+
+        let decomposition = ClusterSet::decompose(&layout, scenario);
+        let node_cluster = decomposition.membership().to_vec();
+        let mut node_local = vec![0usize; n];
+        for members in decomposition.clusters() {
+            for (local, &g) in members.iter().enumerate() {
+                node_local[g] = local;
+            }
+        }
+        for &(dest, _) in &layout.sessions {
+            let members = &decomposition.clusters()[node_cluster[dest]];
+            if !is_bs[members[0]] {
+                return Err(SimError::UnsupportedAtScale {
+                    detail: format!(
+                        "session destination node {dest} lies in a base-station-free \
+                         interference cluster; no admission source could reach it"
+                    ),
+                });
+            }
+        }
+
+        let mut clusters = Vec::new();
+        let mut solver_of_cluster = Vec::with_capacity(decomposition.len());
+        let mut uncovered = Vec::new();
+        for (cid, members) in decomposition.clusters().iter().enumerate() {
+            // Global ids put BSs first, members are ascending: a cluster
+            // has a BS iff its first member is one.
+            if !is_bs[members[0]] {
+                solver_of_cluster.push(None);
+                uncovered.extend(members.iter().copied());
+                continue;
+            }
+            let mut b = NetworkBuilder::new(
+                PathLossModel::new(scenario.path_loss_c, scenario.path_loss_gamma),
+                scenario.band_count(),
+            );
+            for &g in members {
+                match layout.kinds[g] {
+                    NodeKind::BaseStation => b.add_base_station(layout.positions[g]),
+                    NodeKind::User => b.add_user(layout.positions[g]),
+                };
+            }
+            for (local, &g) in members.iter().enumerate() {
+                b.set_bands(NodeId::from_index(local), layout.bands[g]);
+            }
+            let mut cluster_sessions = Vec::new();
+            let mut destinations = Vec::new();
+            for (sid, &(dest, demand)) in layout.sessions.iter().enumerate() {
+                if node_cluster[dest] == cid {
+                    let local = NodeId::from_index(node_local[dest]);
+                    b.add_session(local, demand);
+                    cluster_sessions.push(sid);
+                    destinations.push(local);
+                }
+            }
+            if scenario.gain_floor > 0.0 {
+                b.set_gain_floor(scenario.gain_floor);
+            }
+            let net = b.build().map_err(SimError::Network)?;
+            let local_n = members.len();
+            let local_s = cluster_sessions.len();
+            // Structural per-slot maxima, so the warm scratch never grows
+            // after construction: candidate (i, j, m) triples are bounded
+            // by the shared-band count over ordered pairs, routable links
+            // by the pairs with any shared band, schedules by the
+            // single-radio limit ⌊n/2⌋.
+            let link_slots = net
+                .topology()
+                .ordered_pairs()
+                .filter(|&(i, j)| !net.link_bands(i, j).is_empty())
+                .count();
+            let candidate_bound: usize = net
+                .topology()
+                .ordered_pairs()
+                .map(|(i, j)| net.link_bands(i, j).len())
+                .sum();
+            let schedule_bound = local_n / 2 + 1;
+            let mut s1 = S1Scratch::default();
+            s1.reserve(local_n, scenario.band_count(), candidate_bound);
+            let mut outcome = ScheduleOutcome::empty();
+            outcome.reserve(schedule_bound);
+            let mut s3 = S3Scratch::default();
+            s3.reserve(local_n, local_s, link_slots);
+            solver_of_cluster.push(Some(clusters.len()));
+            clusters.push(ClusterSolver {
+                net,
+                nodes: members.clone(),
+                sessions: cluster_sessions,
+                data: DataQueueBank::new(local_n, &destinations),
+                links: LinkQueueBank::new(local_n, beta),
+                max_powers: members.iter().map(|&g| max_powers[g]).collect(),
+                models: members.iter().map(|&g| models[g]).collect(),
+                traffic_budget: Vec::with_capacity(local_n),
+                session_demand: Vec::with_capacity(local_s),
+                z: Vec::with_capacity(local_n),
+                s1,
+                outcome,
+                s3,
+                flows: FlowPlan::new(local_n, local_s),
+                admissions: Vec::with_capacity(local_s),
+                link_service: Vec::with_capacity(schedule_bound),
+                routing_caps: Vec::with_capacity(link_slots),
+                admission_triples: Vec::with_capacity(local_s),
+            });
+        }
+
+        Ok(Self {
+            phy,
+            config,
+            cost,
+            beta,
+            gamma_max,
+            total_nodes: n,
+            total_sessions: layout.sessions.len(),
+            band_count: scenario.band_count(),
+            workers: workers.max(1),
+            schedule_stage,
+            relay_stage,
+            energy_stage,
+            batteries,
+            models,
+            grid_limits,
+            is_bs,
+            decomposition,
+            clusters,
+            solver_of_cluster,
+            node_cluster,
+            node_local,
+            uncovered,
+            z: Vec::with_capacity(n),
+            z_after: Vec::with_capacity(n),
+            demand: Vec::with_capacity(n),
+            traffic_budget: Vec::with_capacity(n),
+            s4: S4Workspace::default(),
+            energy: EnergyOutcome::empty(),
+            slot: 0,
+        })
+    }
+
+    /// Runs one slot: scatter the observation, solve every cluster's
+    /// S1–S3 (in parallel when configured), solve global S4 with the
+    /// degradation ladder, advance all queues and batteries, and
+    /// aggregate the [`SlotReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedAtScale`] if the observation carries
+    /// per-node availability (fault injection);
+    /// [`SimError::Controller`] under the strict degradation policy when
+    /// S4 stays infeasible after shedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs` has the wrong dimensions for this scenario.
+    pub fn step(&mut self, obs: &SlotObservation) -> Result<SlotReport, SimError> {
+        let mut clusters = std::mem::take(&mut self.clusters);
+        let result = self.step_inner(obs, &mut clusters);
+        self.clusters = clusters;
+        result
+    }
+
+    fn step_inner(
+        &mut self,
+        obs: &SlotObservation,
+        clusters: &mut [ClusterSolver],
+    ) -> Result<SlotReport, SimError> {
+        obs.validate(self.total_nodes, self.total_sessions, self.band_count);
+        if !obs.node_available.is_empty() {
+            return Err(SimError::UnsupportedAtScale {
+                detail: "per-node availability (fault injection) is only wired into the \
+                         dense pipeline"
+                    .into(),
+            });
+        }
+        let n = self.total_nodes;
+
+        // Shifted battery levels and energy admission budgets, globally in
+        // node order — the exact dense expressions.
+        self.z.clear();
+        self.z.extend((0..n).map(|i| {
+            dpp::shifted_level(
+                self.batteries[i].level(),
+                self.config.v,
+                self.gamma_max,
+                self.batteries[i].discharge_limit(),
+            )
+        }));
+        self.traffic_budget.clear();
+        self.traffic_budget.extend((0..n).map(|i| {
+            let fixed = self.models[i].const_energy() + self.models[i].idle_energy();
+            let grid = if obs.grid_connected[i] {
+                self.grid_limits[i]
+            } else {
+                Energy::ZERO
+            };
+            (obs.renewable[i] + self.batteries[i].max_discharge_now() + grid - fixed)
+                .max(Energy::ZERO)
+        }));
+
+        // Scatter to clusters.
+        for c in clusters.iter_mut() {
+            c.traffic_budget.clear();
+            c.traffic_budget
+                .extend(c.nodes.iter().map(|&g| self.traffic_budget[g]));
+            c.session_demand.clear();
+            c.session_demand
+                .extend(c.sessions.iter().map(|&s| obs.session_demand[s]));
+            c.z.clear();
+            c.z.extend(c.nodes.iter().map(|&g| self.z[g]));
+        }
+
+        // Cluster-parallel S1–S3.
+        let beta_cap = Packets::new(self.beta.floor() as u64);
+        {
+            let phy = &self.phy;
+            let config = &self.config;
+            let spectrum = &obs.spectrum;
+            let schedule_stage = self.schedule_stage;
+            let relay_stage = self.relay_stage;
+            let workers = self.workers.min(clusters.len().max(1));
+            if workers <= 1 {
+                for c in clusters.iter_mut() {
+                    c.solve_slot(phy, spectrum, config, schedule_stage, relay_stage, beta_cap);
+                }
+            } else {
+                let chunk = clusters.len().div_ceil(workers);
+                std::thread::scope(|scope| {
+                    for part in clusters.chunks_mut(chunk) {
+                        scope.spawn(move || {
+                            for c in part {
+                                c.solve_slot(
+                                    phy,
+                                    spectrum,
+                                    config,
+                                    schedule_stage,
+                                    relay_stage,
+                                    beta_cap,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+        }
+
+        // Global S4 with the degradation ladder (dense rung semantics,
+        // cluster-aware mechanics).
+        let mut shed = 0usize;
+        let mut degradation: Vec<DegradationEvent> = Vec::new();
+        let scaled_cost = dpp::scaled_cost(&self.cost, obs.price_multiplier);
+        loop {
+            // Per-node demand from the cluster schedules; BS-less-cluster
+            // nodes idle.
+            self.demand.clear();
+            self.demand.resize(n, Energy::ZERO);
+            for c in clusters.iter() {
+                for (local, &g) in c.nodes.iter().enumerate() {
+                    let node = NodeId::from_index(local);
+                    let tx_power = c.outcome.schedule.transmission_from(node).and_then(|t| {
+                        c.outcome
+                            .schedule
+                            .transmissions()
+                            .iter()
+                            .position(|u| u == t)
+                            .map(|k| c.outcome.powers[k])
+                    });
+                    let receiving = c.outcome.schedule.transmission_to(node).is_some();
+                    self.demand[g] =
+                        self.models[g].slot_demand(tx_power, receiving, self.config.slot);
+                }
+            }
+            for &g in &self.uncovered {
+                self.demand[g] = self.models[g].slot_demand(None, false, self.config.slot);
+            }
+            let input = EnergyManagementInput {
+                z: &self.z,
+                demand: &self.demand,
+                renewable: &obs.renewable,
+                batteries: &self.batteries,
+                grid_connected: &obs.grid_connected,
+                grid_limits: &self.grid_limits,
+                is_base_station: &self.is_bs,
+                cost: &scaled_cost,
+                v: self.config.v,
+            };
+            let err = match self
+                .energy_stage
+                .solve(&input, &mut self.s4, &mut self.energy)
+            {
+                Ok(()) => break,
+                Err(e) => e,
+            };
+
+            // Rung 1 — shed the starving node's transmissions and retry.
+            let total_scheduled: usize = clusters.iter().map(|c| c.outcome.schedule.len()).sum();
+            let mut handled = false;
+            if total_scheduled > 0 {
+                let gnode = match err {
+                    EnergyManagementError::Deficit { node, .. } => node.min(n - 1),
+                    _ => clusters
+                        .iter()
+                        .find(|c| !c.outcome.schedule.is_empty())
+                        .map(|c| c.nodes[c.outcome.schedule.transmissions()[0].tx().index()])
+                        .expect("non-empty global schedule has a first transmission"),
+                };
+                if let Some(si) = self.solver_of_cluster[self.node_cluster[gnode]] {
+                    let c = &mut clusters[si];
+                    let local = NodeId::from_index(self.node_local[gnode]);
+                    let before = c.outcome.schedule.len();
+                    let reduced = pipeline::shed_node(
+                        &c.net,
+                        &c.outcome,
+                        local,
+                        &obs.spectrum,
+                        &self.phy,
+                        &c.max_powers,
+                    );
+                    let dropped = before - reduced.schedule.len();
+                    if dropped > 0 {
+                        c.outcome = reduced;
+                        shed += dropped;
+                        degradation.push(DegradationEvent::Shed {
+                            node: gnode,
+                            dropped,
+                        });
+                        c.refresh_link_service(&obs.spectrum, &self.phy, &self.config);
+                        handled = true;
+                    }
+                }
+            }
+            if handled {
+                continue;
+            }
+            if matches!(self.config.degradation, DegradationPolicy::Strict) {
+                return Err(SimError::Controller(err.into()));
+            }
+            // Rung 2 — storage-oblivious grid-only sourcing.
+            if solve_grid_only_into(&input, &mut self.energy).is_ok() {
+                degradation.push(DegradationEvent::GridOnlyFallback);
+                break;
+            }
+            // Rung 3a — drop the whole schedule and retry on idle demand.
+            if total_scheduled > 0 {
+                shed += total_scheduled;
+                degradation.push(DegradationEvent::Shed {
+                    node: n, // sentinel: whole-schedule drop
+                    dropped: total_scheduled,
+                });
+                for c in clusters.iter_mut() {
+                    c.outcome.clear();
+                    c.link_service.clear();
+                }
+                continue;
+            }
+            // Rung 3b — safe mode: always resolves.
+            let safe = solve_safe_mode(&input);
+            for &(node, deficit) in &safe.deficits {
+                degradation.push(DegradationEvent::SafeMode { node, deficit });
+            }
+            for c in clusters.iter_mut() {
+                c.admissions.clear();
+                c.link_service.clear();
+                let (cn, cs) = (c.net.topology().len(), c.net.session_count());
+                c.flows.reset(cn, cs);
+            }
+            self.energy = safe.outcome;
+            break;
+        }
+
+        // Drift-plus-penalty diagnostics against pre-update queue state.
+        // Each sum runs over clusters in id order on one thread, so it is
+        // one fixed f64 association — identical to the dense chain when
+        // there is a single cluster, deterministic always.
+        let lyapunov_before = sharded_lyapunov(clusters, &self.uncovered, &self.z);
+        let psi1 = dpp::psi1(
+            self.beta,
+            clusters.iter().flat_map(|c| {
+                c.link_service
+                    .iter()
+                    .map(|&(i, j, pkts)| c.links.h(i, j) * pkts.count_f64())
+            }),
+        );
+        let psi2 = dpp::psi2(
+            clusters.iter().flat_map(|c| {
+                c.admissions.iter().map(|a| {
+                    (
+                        c.data.backlog(a.source, a.session).count_f64(),
+                        a.packets.count_f64(),
+                    )
+                })
+            }),
+            self.config.lambda,
+            self.config.v,
+        );
+        let psi3 = dpp::psi3(clusters.iter().flat_map(|c| {
+            c.flows.iter_nonzero().map(|(s, i, j, l)| {
+                let coeff = -c.data.backlog(i, s).count_f64()
+                    + c.data.backlog(j, s).count_f64()
+                    + self.beta * c.links.h(i, j);
+                (coeff, l.count_f64())
+            })
+        }));
+
+        // Advance queues per cluster and batteries globally.
+        let mut admitted = 0u64;
+        let mut routed = 0u64;
+        let mut scheduled_links = 0usize;
+        for c in clusters.iter_mut() {
+            c.admission_triples.clear();
+            c.admission_triples.extend(
+                c.admissions
+                    .iter()
+                    .filter(|a| a.packets > Packets::ZERO)
+                    .map(|a| (a.session, a.source, a.packets)),
+            );
+            admitted += c
+                .admission_triples
+                .iter()
+                .map(|&(_, _, k)| k.count())
+                .sum::<u64>();
+            routed += c.flows.total().count();
+            scheduled_links += c.outcome.schedule.len();
+            c.data.advance(&c.flows, &c.admission_triples);
+            c.links.advance(&c.flows, &c.link_service);
+        }
+        for (battery, decision) in self.batteries.iter_mut().zip(&self.energy.decisions) {
+            decision
+                .apply_to_battery(battery)
+                .expect("validated decision must apply");
+        }
+        self.z_after.clear();
+        self.z_after.extend((0..n).map(|i| {
+            dpp::shifted_level(
+                self.batteries[i].level(),
+                self.config.v,
+                self.gamma_max,
+                self.batteries[i].discharge_limit(),
+            )
+        }));
+        for c in clusters.iter_mut() {
+            c.z.clear();
+            c.z.extend(c.nodes.iter().map(|&g| self.z_after[g]));
+        }
+        let lyapunov_after = sharded_lyapunov(clusters, &self.uncovered, &self.z_after);
+
+        let report = SlotReport {
+            slot: self.slot,
+            cost: self.energy.cost,
+            grid_draw: self.energy.grid_draw,
+            scheduled_links,
+            admitted: Packets::new(admitted),
+            routed: Packets::new(routed),
+            psi1,
+            psi2,
+            psi3,
+            psi4: self.energy.objective,
+            lyapunov_before,
+            lyapunov_after,
+            shed_transmissions: shed,
+            degradation,
+        };
+        self.slot += 1;
+        Ok(report)
+    }
+
+    /// The cluster decomposition this controller solves over.
+    #[must_use]
+    pub fn decomposition(&self) -> &ClusterSet {
+        &self.decomposition
+    }
+
+    /// Number of clusters that carry a sub-network solver (clusters with
+    /// at least one base station).
+    #[must_use]
+    pub fn solver_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The configured worker-thread cap.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Slots stepped so far.
+    #[must_use]
+    pub fn slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// When the decomposition is a single cluster covering every node
+    /// (pruning off, or one fully connected component), its sub-network —
+    /// which is then exactly the dense [`Scenario::build_network`] result.
+    #[must_use]
+    pub fn single_network(&self) -> Option<&Network> {
+        if self.decomposition.len() == 1 && self.clusters.len() == 1 {
+            Some(&self.clusters[0].net)
+        } else {
+            None
+        }
+    }
+
+    /// Total data-queue backlog across all clusters (stability telemetry).
+    #[must_use]
+    pub fn total_data_backlog(&self) -> Packets {
+        Packets::new(
+            self.clusters
+                .iter()
+                .map(|c| c.data.total_backlog().count())
+                .sum(),
+        )
+    }
+}
+
+/// `Σ_c L_c + ½·Σ_{uncovered} z²`: the Lyapunov value decomposes over
+/// clusters because every queue (data, link) lives inside one cluster and
+/// the energy term is a per-node sum. Uncovered nodes have no queues, so
+/// only their shifted-energy term remains.
+fn sharded_lyapunov(clusters: &[ClusterSolver], uncovered: &[usize], z: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for c in clusters {
+        total += lyapunov_value(&c.data, &c.links, &c.z);
+    }
+    for &g in uncovered {
+        total += 0.5 * z[g] * z[g];
+    }
+    total
+}
+
+/// Drives a [`ShardedController`] with observations drawn by the exact
+/// per-stream discipline of the dense [`Simulator`](crate::Simulator):
+/// the master seed splits into topology, band, renewable, grid, and
+/// demand streams in that order, and each slot consumes draws in the same
+/// sequence — so a fault-free, i.i.d.-grid scenario produces
+/// bit-identical observations on either driver.
+#[derive(Debug)]
+pub struct CitySim {
+    scenario: Scenario,
+    controller: ShardedController,
+    band_rng: Rng,
+    renewable_rng: Rng,
+    grid_rng: Rng,
+    demand_rng: Rng,
+    is_bs: Vec<bool>,
+    session_cells: Vec<usize>,
+    session_nominal: Vec<Packets>,
+    slots_run: usize,
+}
+
+impl CitySim {
+    /// Single-threaded construction; see [`CitySim::with_workers`].
+    ///
+    /// # Errors
+    ///
+    /// See [`CitySim::with_workers`].
+    pub fn new(scenario: &Scenario) -> Result<Self, SimError> {
+        Self::with_workers(scenario, 1)
+    }
+
+    /// Builds the sharded controller and observation streams.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnsupportedAtScale`] for Markov grid chains (their
+    /// per-node state is wired into the dense engine) and for anything
+    /// [`ShardedController::with_workers`] rejects.
+    pub fn with_workers(scenario: &Scenario, workers: usize) -> Result<Self, SimError> {
+        if matches!(scenario.grid_model, GridModel::Markov { .. }) {
+            return Err(SimError::UnsupportedAtScale {
+                detail: "Markov grid chains are only wired into the dense Simulator".into(),
+            });
+        }
+        let mut master = Rng::seed_from(scenario.seed);
+        let _topology = master.split(); // consumed by build_layout
+        let band_rng = master.split();
+        let renewable_rng = master.split();
+        let grid_rng = master.split();
+        let demand_rng = master.split();
+        let controller = ShardedController::with_workers(scenario, workers)?;
+        let layout = scenario.build_layout();
+        let session_cells = layout.session_cells();
+        let session_nominal = layout
+            .sessions
+            .iter()
+            .map(|&(_, demand)| (demand * scenario.slot).whole_packets(scenario.packet_size))
+            .collect();
+        Ok(Self {
+            scenario: scenario.clone(),
+            controller,
+            band_rng,
+            renewable_rng,
+            grid_rng,
+            demand_rng,
+            is_bs: layout.kinds.iter().map(|k| k.is_base_station()).collect(),
+            session_cells,
+            session_nominal,
+            slots_run: 0,
+        })
+    }
+
+    /// Draws the next slot's observation (advancing every stream and the
+    /// slot counter) without stepping the controller. Pair with
+    /// [`CitySim::controller_mut`] to drive the solve yourself — e.g. to
+    /// pre-draw observations outside a measured region.
+    pub fn next_observation(&mut self) -> SlotObservation {
+        let s = &self.scenario;
+        let mut bandwidths = Vec::with_capacity(s.band_count());
+        bandwidths.push(Bandwidth::from_megahertz(s.cellular_band_mhz));
+        for &(lo, hi) in &s.random_bands {
+            bandwidths.push(Bandwidth::from_megahertz(self.band_rng.range_f64(lo, hi)));
+        }
+        let renewables_on = s.architecture.renewables_enabled();
+        let renewable: Vec<Energy> = self
+            .is_bs
+            .iter()
+            .map(|&bs| {
+                let max = if bs {
+                    s.bs_renewable_max
+                } else {
+                    s.user_renewable_max
+                };
+                // Draw even when disabled (common random numbers).
+                let watts = self.renewable_rng.range_f64(0.0, max.as_watts());
+                if renewables_on {
+                    Power::from_watts(watts) * s.slot
+                } else {
+                    Energy::ZERO
+                }
+            })
+            .collect();
+        let grid_connected: Vec<bool> = self
+            .is_bs
+            .iter()
+            .map(|&bs| {
+                let draw = self.grid_rng.chance(s.user_grid_probability);
+                bs || draw
+            })
+            .collect();
+        let n_cells = s.bs_positions.len();
+        let session_demand: Vec<Packets> = self
+            .session_nominal
+            .iter()
+            .enumerate()
+            .map(|(sid, &base)| {
+                let mut nominal = base;
+                if let Some(profile) = s.diurnal {
+                    nominal =
+                        profile.scale(nominal, self.slots_run, self.session_cells[sid], n_cells);
+                }
+                match s.demand_model {
+                    DemandModel::Constant => nominal,
+                    DemandModel::Poisson => {
+                        let poisson = Poisson::new(nominal.count_f64()).expect("non-negative mean");
+                        Packets::new(poisson.sample(&mut self.demand_rng))
+                    }
+                }
+            })
+            .collect();
+        let price_multiplier = s.pricing.multiplier(self.slots_run);
+        self.slots_run += 1;
+        SlotObservation {
+            spectrum: SpectrumState::new(bandwidths),
+            renewable,
+            grid_connected,
+            session_demand,
+            price_multiplier,
+            node_available: vec![],
+        }
+    }
+
+    /// Draws one observation and steps the controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ShardedController::step`] errors.
+    pub fn step(&mut self) -> Result<SlotReport, SimError> {
+        let obs = self.next_observation();
+        self.controller.step(&obs)
+    }
+
+    /// Runs the scenario's full horizon, collecting every slot report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CitySim::step`] error.
+    pub fn run(&mut self) -> Result<Vec<SlotReport>, SimError> {
+        let mut reports = Vec::with_capacity(self.scenario.horizon);
+        for _ in 0..self.scenario.horizon {
+            reports.push(self.step()?);
+        }
+        Ok(reports)
+    }
+
+    /// The scenario this simulation runs.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The underlying sharded controller.
+    #[must_use]
+    pub fn controller(&self) -> &ShardedController {
+        &self.controller
+    }
+
+    /// Mutable access to the controller, for callers that pre-draw
+    /// observations with [`CitySim::next_observation`].
+    pub fn controller_mut(&mut self) -> &mut ShardedController {
+        &mut self.controller
+    }
+
+    /// Slots stepped (or observed) so far.
+    #[must_use]
+    pub fn slots_run(&self) -> usize {
+        self.slots_run
+    }
+}

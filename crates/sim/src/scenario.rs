@@ -5,7 +5,9 @@ use crate::Architecture;
 use greencell_core::{ControllerConfig, EnergyConfig, NodeEnergyConfig, SchedulerKind};
 
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
-use greencell_net::{BandId, BandSet, Network, NetworkBuilder, NetworkError, PathLossModel, Point};
+use greencell_net::{
+    BandId, BandSet, Network, NetworkBuilder, NetworkError, NodeKind, PathLossModel, Point,
+};
 use greencell_phy::PhyConfig;
 use greencell_stochastic::Rng;
 use greencell_units::{Bandwidth, DataRate, Energy, PacketSize, Packets, Power, TimeDelta};
@@ -36,6 +38,61 @@ pub enum GridModel {
         /// `P(off → off)`.
         stay_off: f64,
     },
+}
+
+/// How user positions are drawn inside the deployment area.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Placement {
+    /// The paper's model: i.i.d. uniform over the square area.
+    #[default]
+    Uniform,
+    /// City-scale extension: each user joins a Gaussian hotspot centred on
+    /// a uniformly chosen base station with probability `fraction`, and is
+    /// placed uniformly otherwise. Hotspot offsets are radially clamped to
+    /// `2·sigma_m`, so `fraction = 1.0` guarantees every user sits within
+    /// `2σ` of some BS — the property cluster decomposition relies on.
+    Hotspots {
+        /// Hotspot standard deviation in meters.
+        sigma_m: f64,
+        /// Probability a user belongs to a hotspot (vs uniform background).
+        fraction: f64,
+    },
+}
+
+/// A per-cell diurnal traffic profile (city-scale extension knob).
+///
+/// Cell `c` of `n` sees its nominal session demand scaled by
+/// `min + (1 − min) · ½(1 + cos(2π(t/period − c/n)))` — a cosine
+/// day/night cycle with per-cell phase offsets, as in the large-scale BS
+/// operation literature (PAPERS.md: Che/Duan/Zhang).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Slots per full day/night cycle.
+    pub period_slots: usize,
+    /// Trough load as a fraction of the nominal demand, in `[0, 1]`.
+    pub min_fraction: f64,
+}
+
+impl DiurnalProfile {
+    /// The demand multiplier for cell `cell` of `n_cells` at slot `t`.
+    #[must_use]
+    pub fn factor(&self, t: usize, cell: usize, n_cells: usize) -> f64 {
+        if self.period_slots == 0 || n_cells == 0 {
+            return 1.0;
+        }
+        let phase = t as f64 / self.period_slots as f64 - cell as f64 / n_cells as f64;
+        let wave = 0.5 * (1.0 + (std::f64::consts::TAU * phase).cos());
+        let min = self.min_fraction.clamp(0.0, 1.0);
+        min + (1.0 - min) * wave
+    }
+
+    /// Scales a nominal packet demand by [`DiurnalProfile::factor`],
+    /// rounding to the nearest whole packet.
+    #[must_use]
+    pub fn scale(&self, nominal: Packets, t: usize, cell: usize, n_cells: usize) -> Packets {
+        let scaled = (nominal.count() as f64 * self.factor(t, cell, n_cells)).round();
+        Packets::new(scaled as u64)
+    }
 }
 
 /// Time-of-use electricity pricing (extension knob).
@@ -199,6 +256,19 @@ pub struct Scenario {
     /// top of the paper's pure path loss (extension knob; default 0 = the
     /// paper's model). Typical urban values: 4–8 dB.
     pub shadowing_sigma_db: f64,
+    /// How user positions are drawn (city-scale knob; default uniform =
+    /// the paper's model).
+    pub placement: Placement,
+    /// Interference pruning floor applied to the gain matrix: gains
+    /// strictly below it become exact zeros (city-scale knob; default 0 =
+    /// no pruning, bit-identical to the paper's dense matrix). Use
+    /// [`Scenario::interference_gain_floor`] for the largest floor that
+    /// provably cannot change scheduling feasibility or raise interference
+    /// above thermal noise.
+    pub gain_floor: f64,
+    /// Optional per-cell diurnal traffic profile (city-scale knob; default
+    /// `None` = the paper's stationary demand).
+    pub diurnal: Option<DiurnalProfile>,
     /// Electricity tariff (extension knob; default flat, as in the paper).
     pub pricing: TouPricing,
     /// Which S4 energy policy to run (ablation knob; default the paper's
@@ -262,6 +332,9 @@ impl Scenario {
             demand_model: DemandModel::Constant,
             grid_model: GridModel::Iid,
             shadowing_sigma_db: 0.0,
+            placement: Placement::Uniform,
+            gain_floor: 0.0,
+            diurnal: None,
             pricing: TouPricing::Flat,
             energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
             faults: None,
@@ -332,43 +405,86 @@ impl Scenario {
         PhyConfig::new(self.sinr_threshold, self.noise_density)
     }
 
-    /// Builds the network: BSs at the configured positions, users placed
-    /// uniformly at random, per-user random band subsets, and sessions
-    /// destined to distinct random users. Deterministic in `seed`.
+    /// Draws every random topology decision — positions, band subsets,
+    /// session destinations, shadowing — **without** assembling the dense
+    /// `n × n` gain matrix. Deterministic in `seed`, consuming the
+    /// topology stream in exactly the order [`Scenario::build_network`]
+    /// always has, so the two stay interchangeable.
     ///
-    /// # Errors
-    ///
-    /// Propagates [`NetworkError`] from validation.
-    pub fn build_network(&self) -> Result<Network, NetworkError> {
+    /// The layout is the city-scale entry point: `Θ(n)` in nodes, it is
+    /// what the sharded controller decomposes into clusters before any
+    /// `Θ(|cluster|²)` matrix exists.
+    #[must_use]
+    pub fn build_layout(&self) -> ScenarioLayout {
         let mut rng = Rng::seed_from(self.seed).split(); // topology stream
-        let mut b = NetworkBuilder::new(
-            PathLossModel::new(self.path_loss_c, self.path_loss_gamma),
-            self.band_count(),
-        );
+        let n_bs = self.bs_positions.len();
+        let mut kinds = Vec::with_capacity(n_bs + self.users);
+        let mut positions = Vec::with_capacity(n_bs + self.users);
         for &(x, y) in &self.bs_positions {
-            b.add_base_station(Point::new(x, y));
+            kinds.push(NodeKind::BaseStation);
+            positions.push(Point::new(x, y));
         }
-        let mut user_ids = Vec::with_capacity(self.users);
-        for _ in 0..self.users {
-            let x = rng.range_f64(0.0, self.area_m);
-            let y = rng.range_f64(0.0, self.area_m);
-            user_ids.push(b.add_user(Point::new(x, y)));
+        let mut hotspot_users = Vec::new();
+        for u in 0..self.users {
+            let p = match self.placement {
+                Placement::Uniform => {
+                    let x = rng.range_f64(0.0, self.area_m);
+                    let y = rng.range_f64(0.0, self.area_m);
+                    Point::new(x, y)
+                }
+                Placement::Hotspots { sigma_m, fraction } => {
+                    if n_bs > 0 && rng.chance(fraction) {
+                        hotspot_users.push(n_bs + u);
+                        let (cx, cy) = self.bs_positions[rng.index(n_bs)];
+                        // Box–Muller in polar form, radius clamped to 2σ so
+                        // hotspot membership implies bounded BS distance.
+                        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+                        let u2 = rng.next_f64();
+                        let r = (sigma_m * (-2.0 * u1.ln()).sqrt()).min(2.0 * sigma_m);
+                        let theta = std::f64::consts::TAU * u2;
+                        // Out-of-area offsets are *reflected* at the
+                        // boundary rather than clamped: clamping puts an
+                        // atom on the edges, and two users clamped to the
+                        // same corner coincide exactly — a zero distance
+                        // the path-loss model (rightly) rejects.
+                        Point::new(
+                            reflect_into(cx + r * theta.cos(), self.area_m),
+                            reflect_into(cy + r * theta.sin(), self.area_m),
+                        )
+                    } else {
+                        let x = rng.range_f64(0.0, self.area_m);
+                        let y = rng.range_f64(0.0, self.area_m);
+                        Point::new(x, y)
+                    }
+                }
+            };
+            kinds.push(NodeKind::User);
+            positions.push(p);
         }
         // Cellular band (index 0) everywhere; each extra band available at
-        // a user with probability `user_band_probability`.
-        for &u in &user_ids {
-            let mut bands = BandSet::empty();
-            bands.insert(BandId::from_index(0));
+        // a user with probability `user_band_probability`. BSs keep full
+        // spectrum access.
+        let mut bands = vec![BandSet::all(self.band_count()); n_bs];
+        for _ in 0..self.users {
+            let mut set = BandSet::empty();
+            set.insert(BandId::from_index(0));
             for m in 1..self.band_count() {
                 if rng.chance(self.user_band_probability) {
-                    bands.insert(BandId::from_index(m));
+                    set.insert(BandId::from_index(m));
                 }
             }
-            b.set_bands(u, bands);
+            bands.push(set);
         }
-        // Sessions to distinct random users.
-        let mut dests = user_ids.clone();
+        // Sessions to distinct random users. Under hotspot placement the
+        // destination pool is the hotspot members (when any exist): with
+        // `fraction = 1.0` that is everyone, and it keeps every session
+        // endpoint BS-covered by construction.
+        let mut dests: Vec<usize> = match self.placement {
+            Placement::Hotspots { .. } if !hotspot_users.is_empty() => hotspot_users.clone(),
+            _ => (n_bs..n_bs + self.users).collect(),
+        };
         rng.shuffle(&mut dests);
+        let mut sessions = Vec::with_capacity(self.sessions);
         for s in 0..self.sessions {
             let demand = match &self.session_demands_kbps {
                 Some(rates) if !rates.is_empty() => {
@@ -376,27 +492,91 @@ impl Scenario {
                 }
                 _ => self.session_demand,
             };
-            b.add_session(dests[s % dests.len()], demand);
+            sessions.push((dests[s % dests.len()], demand));
         }
         // Optional log-normal shadowing, drawn after all other topology
         // randomness so the default (σ = 0) leaves existing streams — and
         // therefore every paper-scenario result — bit-identical.
+        let mut shadowing_db = Vec::new();
         if self.shadowing_sigma_db > 0.0 {
-            let n = b.node_count();
+            let n = kinds.len();
             for i in 0..n {
                 for j in (i + 1)..n {
                     let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
                     let u2 = rng.next_f64();
                     let normal = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-                    b.set_shadowing_db(
-                        greencell_net::NodeId::from_index(i),
-                        greencell_net::NodeId::from_index(j),
-                        self.shadowing_sigma_db * normal,
-                    );
+                    shadowing_db.push((i, j, self.shadowing_sigma_db * normal));
                 }
             }
         }
-        b.build()
+        ScenarioLayout {
+            kinds,
+            positions,
+            bands,
+            sessions,
+            shadowing_db,
+        }
+    }
+
+    /// Builds the network: BSs at the configured positions, users placed
+    /// per [`Scenario::placement`], per-user random band subsets, and
+    /// sessions destined to distinct random users. Deterministic in
+    /// `seed`. Assembles the dense gain matrix — use
+    /// [`Scenario::build_layout`] plus the `scale` module's sharded path
+    /// when `Θ(n²)` is infeasible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetworkError`] from validation.
+    pub fn build_network(&self) -> Result<Network, NetworkError> {
+        self.build_layout().assemble(self)
+    }
+
+    /// The energy hardware of a single node (BS or user) — the unit the
+    /// per-node [`Scenario::energy_config`] map is built from, exposed so
+    /// sharded drivers can construct per-cluster configs with identical
+    /// numerics.
+    #[must_use]
+    pub fn node_energy_config(&self, is_bs: bool) -> NodeEnergyConfig {
+        let (capacity, limit, max_power) = if is_bs {
+            (
+                self.bs_battery_capacity,
+                self.bs_charge_limit,
+                self.bs_max_power,
+            )
+        } else {
+            (
+                self.user_battery_capacity,
+                self.user_charge_limit,
+                self.user_max_power,
+            )
+        };
+        let overhead = if is_bs {
+            self.bs_overhead_power
+        } else {
+            self.user_overhead_power
+        };
+        let mut battery = Battery::with_efficiency(capacity, limit, limit, self.battery_efficiency);
+        // Pre-charge to the configured fraction through the law so
+        // the level is consistent with the efficiency model.
+        let target = capacity * self.initial_battery_fraction;
+        while battery.level().as_joules() + 1e-6 < target.as_joules() {
+            let draw = battery
+                .max_charge_now()
+                .min((target - battery.level()) / self.battery_efficiency);
+            if draw.as_joules() <= 1e-6 {
+                break;
+            }
+            battery
+                .apply(draw, Energy::ZERO)
+                .expect("pre-charge within limits");
+        }
+        NodeEnergyConfig {
+            battery,
+            energy_model: NodeEnergyModel::new(overhead * self.slot, Energy::ZERO, self.recv_power),
+            max_power,
+            grid_limit: self.grid_limit,
+        }
     }
 
     /// The per-node energy hardware for this scenario.
@@ -406,57 +586,50 @@ impl Scenario {
             .topology()
             .nodes()
             .iter()
-            .map(|node| {
-                let is_bs = node.kind().is_base_station();
-                let (capacity, limit, max_power) = if is_bs {
-                    (
-                        self.bs_battery_capacity,
-                        self.bs_charge_limit,
-                        self.bs_max_power,
-                    )
-                } else {
-                    (
-                        self.user_battery_capacity,
-                        self.user_charge_limit,
-                        self.user_max_power,
-                    )
-                };
-                let overhead = if is_bs {
-                    self.bs_overhead_power
-                } else {
-                    self.user_overhead_power
-                };
-                let mut battery =
-                    Battery::with_efficiency(capacity, limit, limit, self.battery_efficiency);
-                // Pre-charge to the configured fraction through the law so
-                // the level is consistent with the efficiency model.
-                let target = capacity * self.initial_battery_fraction;
-                while battery.level().as_joules() + 1e-6 < target.as_joules() {
-                    let draw = battery
-                        .max_charge_now()
-                        .min((target - battery.level()) / self.battery_efficiency);
-                    if draw.as_joules() <= 1e-6 {
-                        break;
-                    }
-                    battery
-                        .apply(draw, Energy::ZERO)
-                        .expect("pre-charge within limits");
-                }
-                NodeEnergyConfig {
-                    battery,
-                    energy_model: NodeEnergyModel::new(
-                        overhead * self.slot,
-                        Energy::ZERO,
-                        self.recv_power,
-                    ),
-                    max_power,
-                    grid_limit: self.grid_limit,
-                }
-            })
+            .map(|node| self.node_energy_config(node.kind().is_base_station()))
             .collect();
         EnergyConfig {
             nodes,
             cost: QuadraticCost::new(self.cost.0, self.cost.1, self.cost.2),
+        }
+    }
+
+    /// The narrowest bandwidth any band can present in a slot (the
+    /// cellular band's fixed width or the smallest random-band lower
+    /// bound).
+    #[must_use]
+    pub fn min_bandwidth(&self) -> Bandwidth {
+        let random_min = self
+            .random_bands
+            .iter()
+            .map(|&(lo, _)| lo)
+            .fold(f64::INFINITY, f64::min);
+        Bandwidth::from_megahertz(self.cellular_band_mhz.min(random_min))
+    }
+
+    /// The largest interference pruning floor that provably cannot change
+    /// the physical model: `min(Γ,1)·η·W_min / p_max` over the scenario's
+    /// narrowest band and largest transmit power cap (see
+    /// `PhyConfig::prune_gain_floor`). Assign it to
+    /// [`Scenario::gain_floor`] to enable exact-zero pruning.
+    #[must_use]
+    pub fn interference_gain_floor(&self) -> f64 {
+        self.phy().prune_gain_floor(
+            self.min_bandwidth(),
+            self.bs_max_power.max(self.user_max_power),
+        )
+    }
+
+    /// The interference cutoff radius implied by [`Scenario::gain_floor`]:
+    /// beyond `d_cut = (C/F)^{1/γ}` meters the unshadowed gain falls below
+    /// the floor and is pruned to exactly zero. `None` when pruning is
+    /// disabled (`gain_floor <= 0`).
+    #[must_use]
+    pub fn cutoff_radius_m(&self) -> Option<f64> {
+        if self.gain_floor > 0.0 {
+            Some((self.path_loss_c / self.gain_floor).powf(1.0 / self.path_loss_gamma))
+        } else {
+            None
         }
     }
 
@@ -481,6 +654,130 @@ impl Scenario {
     #[must_use]
     pub fn demand_packets_per_slot(&self) -> Packets {
         (self.session_demand * self.slot).whole_packets(self.packet_size)
+    }
+}
+
+/// Folds a coordinate back into `[0, area]` by mirror reflection at the
+/// boundary it crossed. Hotspot offsets are radially bounded by `2σ ≪
+/// area`, so a single reflection always suffices; the trailing clamp only
+/// guards degenerate configurations where it would not.
+fn reflect_into(v: f64, area: f64) -> f64 {
+    let folded = if v < 0.0 {
+        -v
+    } else if v > area {
+        2.0 * area - v
+    } else {
+        v
+    };
+    folded.clamp(0.0, area)
+}
+
+/// Every random topology decision of a scenario, drawn but not yet
+/// assembled into a dense [`Network`].
+///
+/// Node indices are dense: base stations first (in
+/// [`Scenario::bs_positions`] order), then users. The layout costs `Θ(n)`
+/// memory, so it is the representation city-scale paths decompose before
+/// any `Θ(n²)` gain matrix is built.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioLayout {
+    /// Node kinds in dense index order (BSs first).
+    pub kinds: Vec<NodeKind>,
+    /// Node positions in dense index order.
+    pub positions: Vec<Point>,
+    /// Per-node spectrum access in dense index order.
+    pub bands: Vec<BandSet>,
+    /// Sessions as `(destination node index, demand)`.
+    pub sessions: Vec<(usize, DataRate)>,
+    /// Symmetric per-link shadowing offsets in dB, `(i, j, db)` with
+    /// `i < j`; empty when shadowing is disabled.
+    pub shadowing_db: Vec<(usize, usize, f64)>,
+}
+
+impl ScenarioLayout {
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` if the layout has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of base stations (the leading `bs_count` dense indices).
+    #[must_use]
+    pub fn bs_count(&self) -> usize {
+        self.kinds.iter().filter(|k| k.is_base_station()).count()
+    }
+
+    /// The index of the base station nearest to node `idx` (ties broken
+    /// toward the lower index), or `None` if the layout has no BSs.
+    /// The paper has no cell association — this is the "cell" used by
+    /// diurnal traffic profiles and bench reporting only.
+    #[must_use]
+    pub fn nearest_bs(&self, idx: usize) -> Option<usize> {
+        let p = self.positions[idx];
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_base_station())
+            .min_by(|&(a, _), &(b, _)| {
+                let da = self.positions[a].distance_to(p).as_meters();
+                let db = self.positions[b].distance_to(p).as_meters();
+                da.total_cmp(&db).then(a.cmp(&b))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// The diurnal "cell" (nearest-BS index) of every session destination,
+    /// in session order. Empty sessions map to an empty vec; a BS-less
+    /// layout maps every session to cell 0.
+    #[must_use]
+    pub fn session_cells(&self) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .map(|&(dest, _)| self.nearest_bs(dest).unwrap_or(0))
+            .collect()
+    }
+
+    /// Assembles the dense [`Network`] this layout describes, applying
+    /// `scenario`'s gain floor. [`Scenario::build_network`] is exactly
+    /// `build_layout().assemble(&scenario)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetworkError`] from validation.
+    pub fn assemble(&self, scenario: &Scenario) -> Result<Network, NetworkError> {
+        let mut b = NetworkBuilder::new(
+            PathLossModel::new(scenario.path_loss_c, scenario.path_loss_gamma),
+            scenario.band_count(),
+        );
+        for (kind, &pos) in self.kinds.iter().zip(&self.positions) {
+            match kind {
+                NodeKind::BaseStation => b.add_base_station(pos),
+                NodeKind::User => b.add_user(pos),
+            };
+        }
+        for (i, &bands) in self.bands.iter().enumerate() {
+            b.set_bands(greencell_net::NodeId::from_index(i), bands);
+        }
+        for &(dest, demand) in &self.sessions {
+            b.add_session(greencell_net::NodeId::from_index(dest), demand);
+        }
+        for &(i, j, db) in &self.shadowing_db {
+            b.set_shadowing_db(
+                greencell_net::NodeId::from_index(i),
+                greencell_net::NodeId::from_index(j),
+                db,
+            );
+        }
+        if scenario.gain_floor > 0.0 {
+            b.set_gain_floor(scenario.gain_floor);
+        }
+        b.build()
     }
 }
 

@@ -1,0 +1,49 @@
+//! Determinism gates for the city-scale subsystem: scenario generation,
+//! cluster decomposition, and — critically — the cluster-parallel solve
+//! must be bit-identical at any worker count and across repeat runs.
+
+use greencell_sim::{CitySim, ClusterSet, Scenario};
+
+#[test]
+fn city_generation_is_deterministic() {
+    let a = Scenario::city(300, 6, Scenario::default_city_area(6), 17);
+    let b = Scenario::city(300, 6, Scenario::default_city_area(6), 17);
+    assert_eq!(
+        a, b,
+        "scenario construction must be a pure function of seed"
+    );
+    assert_eq!(a.build_layout(), b.build_layout());
+    let la = a.build_layout();
+    assert_eq!(
+        ClusterSet::decompose(&la, &a),
+        ClusterSet::decompose(&b.build_layout(), &b)
+    );
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    let mut s = Scenario::city(240, 6, Scenario::default_city_area(6), 23);
+    s.horizon = 15;
+    let mut runs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut sim = CitySim::with_workers(&s, workers).expect("city path builds");
+        assert!(
+            sim.controller().solver_count() >= 2,
+            "need several clusters for the parallelism to be real"
+        );
+        runs.push(sim.run().expect("run completes"));
+    }
+    assert_eq!(runs[0], runs[1], "1 vs 2 workers diverged");
+    assert_eq!(runs[0], runs[2], "1 vs 4 workers diverged");
+}
+
+#[test]
+fn repeat_city_runs_are_bit_identical() {
+    let mut s = Scenario::city(120, 3, Scenario::default_city_area(3), 31);
+    s.horizon = 10;
+    let mut first = CitySim::new(&s).expect("city path builds");
+    let mut second = CitySim::new(&s).expect("city path builds");
+    let a = first.run().expect("first run completes");
+    let b = second.run().expect("second run completes");
+    assert_eq!(a, b);
+}

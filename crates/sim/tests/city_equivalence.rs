@@ -1,0 +1,101 @@
+//! Equivalence gate for the city-scale sharded path.
+//!
+//! With pruning disabled (`gain_floor = 0`, i.e. cutoff = ∞) the
+//! decomposition is a single cluster and [`CitySim`] must replay the
+//! dense [`Simulator`] **bit for bit**: same observation streams, same
+//! per-slot [`greencell_core::SlotReport`]s, down to every `f64`
+//! diagnostic. Pinned on the paper scenario, the tiny scenario, and an
+//! unpruned city scenario (hotspot placement + diurnal traffic still
+//! active, so those knobs are covered by the gate too).
+
+use greencell_sim::{CitySim, Scenario, Simulator};
+
+fn assert_city_matches_dense(label: &str, scenario: &Scenario) {
+    assert_eq!(
+        scenario.gain_floor, 0.0,
+        "{label}: the bit-identity gate needs pruning off (one cluster)"
+    );
+    let mut dense = Simulator::new(scenario).expect("dense path builds");
+    let mut city = CitySim::new(scenario).expect("sharded path builds");
+    assert_eq!(
+        city.controller().decomposition().len(),
+        1,
+        "{label}: cutoff = ∞ must give exactly one cluster"
+    );
+    for slot in 0..scenario.horizon {
+        let d = dense.step_with_report().expect("dense slot steps");
+        let c = city.step().expect("sharded slot steps");
+        assert_eq!(d, c, "{label}: slot {slot} diverged");
+    }
+}
+
+#[test]
+fn paper_scenario_is_bit_identical() {
+    let mut s = Scenario::paper(42);
+    s.horizon = 40;
+    assert_city_matches_dense("paper", &s);
+}
+
+#[test]
+fn tiny_scenario_is_bit_identical() {
+    assert_city_matches_dense("tiny", &Scenario::tiny(7));
+}
+
+#[test]
+fn unpruned_city_scenario_is_bit_identical() {
+    let mut s = Scenario::city(60, 2, Scenario::default_city_area(2), 9);
+    s.gain_floor = 0.0; // cutoff = ∞: hotspots + diurnal stay, pruning off
+    s.horizon = 25;
+    assert_city_matches_dense("city-unpruned", &s);
+}
+
+#[test]
+fn single_cluster_sub_network_is_the_dense_network() {
+    let s = Scenario::tiny(3);
+    let city = CitySim::new(&s).expect("sharded path builds");
+    let dense = s.build_network().expect("dense network builds");
+    let single = city
+        .controller()
+        .single_network()
+        .expect("one cluster covers everything");
+    let (st, dt) = (single.topology(), dense.topology());
+    assert_eq!(st.len(), dt.len());
+    for i in st.nodes().iter().zip(dt.nodes()) {
+        assert_eq!(i.0.kind(), i.1.kind());
+    }
+    for (i, j) in dt.ordered_pairs() {
+        // Bitwise-equal gains: the sub-network is assembled by the same
+        // builder path with the same inputs.
+        assert_eq!(st.gain(i, j), dt.gain(i, j), "gain ({i:?}, {j:?})");
+    }
+    assert_eq!(single.session_count(), dense.session_count());
+}
+
+/// A *pruned* city run decomposes into several clusters, completes its
+/// horizon cleanly (no degradation events in a fault-free calibrated
+/// scenario), serves traffic, and keeps queues bounded. Full reports are
+/// deliberately not compared against the dense pipeline here: dense
+/// routing may push packets onto never-schedulable cross-cluster
+/// zero-gain links (phantom queues), which the sharded path excludes by
+/// construction — the documented, principled divergence.
+#[test]
+fn pruned_city_run_is_clean_and_decomposed() {
+    let mut s = Scenario::city(80, 3, Scenario::default_city_area(3), 13);
+    s.horizon = 20;
+    let mut city = CitySim::new(&s).expect("sharded path builds");
+    assert!(
+        city.controller().decomposition().len() > 1,
+        "calibrated city should decompose into several clusters"
+    );
+    let reports = city.run().expect("pruned run completes");
+    assert_eq!(reports.len(), s.horizon);
+    assert!(
+        reports.iter().all(|r| r.degradation.is_empty()),
+        "fault-free calibrated city should never hit the ladder"
+    );
+    assert!(reports.iter().all(|r| r.cost.is_finite() && r.cost >= 0.0));
+    assert!(
+        reports.iter().any(|r| r.routed.count() > 0),
+        "traffic should move"
+    );
+}

@@ -87,6 +87,35 @@ fn kill_and_resume_is_bit_identical_across_faults_and_schedulers() {
     }
 }
 
+/// A city scenario — hotspot placement, diurnal traffic, gain floor —
+/// snapshots and resumes bit-identically on the dense path. The new
+/// `Scenario` fields ride in the Debug-based scenario fingerprint, so a
+/// restore against a tweaked city scenario is also rejected.
+#[test]
+fn city_scenario_snapshots_roundtrip_on_the_dense_path() {
+    let mut s = Scenario::city(40, 2, Scenario::default_city_area(2), 77);
+    s.gain_floor = 0.0; // dense path: the full n×n matrix must build
+    s.horizon = 12;
+    assert_kill_resume_identical(&s, 5);
+
+    let mut sim = Simulator::new(&s).expect("city scenario builds densely");
+    for _ in 0..3 {
+        sim.step().expect("slot steps");
+    }
+    let snap = sim.snapshot();
+    let mut other = s.clone();
+    other.diurnal = None;
+    match Simulator::restore(&other, &snap) {
+        Err(SimError::CorruptSnapshot { detail, .. }) => {
+            assert!(
+                detail.contains("scenario fingerprint"),
+                "diurnal profile must be part of the scenario fingerprint: {detail}"
+            );
+        }
+        other => panic!("expected a scenario-fingerprint rejection, got {other:?}"),
+    }
+}
+
 #[test]
 fn restored_fault_plan_lands_on_the_same_schedule() {
     let s = scenario(97, 0, SchedulerKind::Greedy);
