@@ -61,6 +61,21 @@ echo "== sweep resume gate =="
 # one-shot sweep; corrupt checkpoints are quarantined, never trusted.
 cargo test -p greencell-sim --test sweep_resume -q $CARGO_FLAGS
 
+echo "== distributed sweep gate =="
+# Multi-process work-stealing driver: the merged stability report must be
+# byte-identical to the in-process engine at 1 and 3 worker processes,
+# including after a worker is killed mid-sweep (its stale claim is stolen
+# and the point recomputed); claim races admit exactly one owner and
+# corrupt results are quarantined, requeued, and never re-read.
+cargo test -p greencell-sim --test distrib_equivalence -q $CARGO_FLAGS
+
+echo "== adaptive frontier gate =="
+# The adaptive V-frontier search must reproduce a dense fixed-grid
+# frontier within its max-gap tolerance using at most half the points,
+# stay deterministic, and produce byte-identical maps through the
+# in-process and distributed evaluation engines.
+cargo test -p greencell-sim --test frontier -q $CARGO_FLAGS
+
 echo "== city equivalence gate =="
 # The sharded city path (grid index + interference pruning + per-cluster
 # solves) must match the dense single-controller path bit-for-bit when the
@@ -108,6 +123,20 @@ echo "== city_scale bench smoke (n = 10^2) =="
 # silently bit-rot; the full n ∈ {10^2..10^4} sweep (and the 10^5 XL tier)
 # stays a manual `cargo bench --bench city_scale` run.
 CITY_SCALE_SMOKE=1 cargo bench -p greencell-bench --bench city_scale -q $CARGO_FLAGS
+
+echo "== frontier run-smoke (release binary) =="
+# One-command frontier map on the tiny scenario through the release
+# binary, evaluated by 2 worker processes (the sweep_worker sibling built
+# above): the run must converge and emit both artifacts.
+FRONTIER_DIR=$(mktemp -d)
+./target/release/greencell frontier --tiny --horizon 10 \
+  --v-min 1e4 --v-max 1e6 --max-gap 0.6 --budget 10 --init-points 3 \
+  --procs 2 --out "$FRONTIER_DIR" >/dev/null
+test -s "$FRONTIER_DIR/frontier.json"
+test -s "$FRONTIER_DIR/frontier.csv"
+grep -q '"converged": true' "$FRONTIER_DIR/frontier.json"
+rm -rf "$FRONTIER_DIR"
+echo "frontier smoke: converged map written"
 
 echo "== trace determinism gate =="
 # Short paper-scenario traced run. --check re-parses the chrome-trace JSON

@@ -26,7 +26,8 @@ use greencell_core::{
 };
 use greencell_net::GridIndex;
 use greencell_sim::{
-    run_sweep, trace_points, CitySim, Scenario, SweepOptions, SweepPoint, SweepReport,
+    run_sweep, run_sweep_distributed_stats, trace_points, CitySim, DistribOptions, Scenario,
+    SweepOptions, SweepPoint, SweepReport, WorkerCommand,
 };
 use greencell_trace::{RingSink, Stage};
 use std::hint::black_box;
@@ -169,6 +170,78 @@ fn city_row(users: usize, workers: usize, samples: usize) -> String {
     )
 }
 
+/// Locate the `sweep_worker` binary for the distributed-driver A/B:
+/// `GREENCELL_WORKER_BIN` wins if set, else a sibling of this binary
+/// (cargo places workspace binaries in the same target directory).
+fn worker_bin() -> Option<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("GREENCELL_WORKER_BIN") {
+        let p = std::path::PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let sibling = exe.parent()?.join("sweep_worker");
+    sibling.is_file().then_some(sibling)
+}
+
+/// Distributed-driver A/B rows: the same point batch through 1 and 3
+/// worker *processes*, best of `reps` each on a fresh work directory (a
+/// reused directory would salvage instead of compute). Reports wall
+/// clock, points/sec, and the steal/requeue counters; byte-identity
+/// against the in-process reference is asserted, not just recorded.
+fn distrib_section(points: &[SweepPoint], reference_fp: &str, reps: usize) -> String {
+    let Some(bin) = worker_bin() else {
+        eprintln!(
+            "distrib A/B skipped: sweep_worker binary not found \
+             (build the workspace or set GREENCELL_WORKER_BIN)"
+        );
+        return "  \"distrib\": { \"available\": false }".to_string();
+    };
+    let rows: Vec<String> = [1usize, 3]
+        .iter()
+        .map(|&workers| {
+            let mut best = Duration::MAX;
+            let mut last = None;
+            for rep in 0..reps.max(1) {
+                let dir = std::env::temp_dir().join(format!(
+                    "greencell-bench-distrib-w{workers}-r{rep}-{}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let opts = DistribOptions::new(workers, WorkerCommand::new(&bin, vec![]));
+                let start = Instant::now();
+                let result = run_sweep_distributed_stats(points, &opts, &dir)
+                    .expect("distributed sweep runs");
+                best = best.min(start.elapsed());
+                last = Some(result);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            let (report, stats) = last.expect("at least one rep");
+            assert_eq!(
+                fingerprint(&report),
+                reference_fp,
+                "distributed sweep diverged from the in-process baseline at {workers} worker(s)"
+            );
+            let wall_s = best.as_secs_f64();
+            let pps = points.len() as f64 / wall_s.max(1e-12);
+            println!(
+                "distrib w{workers}: {wall_s:.4}s ({pps:.1} points/s), {} steals, \
+                 {} requeued; byte-identical",
+                stats.steals, stats.requeued
+            );
+            format!(
+                "    \"w{workers}\": {{ \"workers\": {workers}, \"wall_s\": {wall_s:.6}, \
+                 \"points_per_sec\": {pps:.2}, \"steals\": {}, \"requeued\": {}, \
+                 \"worker_failures\": {} }}",
+                stats.steals, stats.requeued, stats.worker_failures
+            )
+        })
+        .collect();
+    format!(
+        "  \"distrib\": {{\n    \"available\": true,\n    \"bit_identical\": true,\n{}\n  }}",
+        rows.join(",\n")
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n_points: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
@@ -276,6 +349,12 @@ fn main() {
         .map(|&users| city_row(users, city_workers, 61))
         .collect();
 
+    // Distributed-driver A/B: the same batch through 1 vs 3 worker
+    // *processes*. On a 1-core box the processes time-slice, so the
+    // global "degenerate" label covers these rows too — the counters
+    // (steals, requeues, byte-identity) are meaningful regardless.
+    let distrib = distrib_section(&points, &fingerprint(&serial_report), reps);
+
     let json = format!(
         "{{\n  \"benchmark\": \"sweep_throughput\",\n  \"points\": {n_points},\n  \
          \"slots_total\": {slots},\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
@@ -285,13 +364,14 @@ fn main() {
          \"serial_slots_per_sec\": {:.2},\n  \"parallel_slots_per_sec\": {:.2},\n  \
          \"bit_identical\": true,\n  \"stage_latency_ns\": {{\n{}\n  }},\n  \
          \"s1_kernel\": {{\n{}\n  }},\n  \"s4_kernel\": {{\n{}\n  }},\n  \
-         \"city_scale\": {{\n{}\n  }}\n}}\n",
+         \"city_scale\": {{\n{}\n  }},\n{}\n}}\n",
         slots as f64 / serial_s,
         slots as f64 / parallel_s,
         stage_rows.join(",\n"),
         kernel_rows.join(",\n"),
         s4_rows.join(",\n"),
         city_rows.join(",\n"),
+        distrib,
     );
     match greencell_sim::write_text_atomic(std::path::Path::new("BENCH_sweep.json"), &json) {
         Ok(()) => eprintln!("wrote BENCH_sweep.json"),

@@ -152,7 +152,7 @@ fn telemetry_of(v: &Value) -> Result<RunTelemetry, String> {
     })
 }
 
-fn outcome_json(fp: u64, o: &PointOutcome) -> String {
+pub(crate) fn outcome_json(fp: u64, o: &PointOutcome) -> String {
     format!(
         "{{\"label\":\"{}\",\"seed\":{},\"scenario_fp\":{},\"penalty_b\":{},\"relaxed_admitted\":{},\"telemetry\":{},\"metrics\":{}}}",
         json_escape(&o.label),
@@ -167,13 +167,14 @@ fn outcome_json(fp: u64, o: &PointOutcome) -> String {
 }
 
 /// A salvaged checkpoint entry: the outcome plus the scenario fingerprint
-/// it was computed under.
-struct SavedEntry {
-    scenario_fp: u64,
-    outcome: PointOutcome,
+/// it was computed under. Also the payload of a distributed-sweep result
+/// file (see [`crate::distrib`]).
+pub(crate) struct SavedEntry {
+    pub(crate) scenario_fp: u64,
+    pub(crate) outcome: PointOutcome,
 }
 
-fn entry_of(v: &Value) -> Result<SavedEntry, String> {
+pub(crate) fn entry_of(v: &Value) -> Result<SavedEntry, String> {
     let relaxed_admitted = match get(v, "relaxed_admitted")? {
         Value::Null => None,
         other => Some(f64_of(other)?),

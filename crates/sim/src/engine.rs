@@ -55,6 +55,14 @@ pub enum SimError {
         /// The unsupported feature, for the error message.
         detail: String,
     },
+    /// A sweep-driver or frontier-search configuration was rejected before
+    /// any work started: zero worker processes, an empty point set, an
+    /// inverted or non-positive `V` range, a gap tolerance that cannot be
+    /// met, … The run never silently degenerates — it fails here.
+    InvalidConfig {
+        /// Which knob was rejected, and why.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +86,9 @@ impl fmt::Display for SimError {
             Self::UnsupportedAtScale { detail } => {
                 write!(f, "unsupported by the sharded city-scale path: {detail}")
             }
+            Self::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
+            }
         }
     }
 }
@@ -91,7 +102,8 @@ impl Error for SimError {
             | Self::Serialize(_)
             | Self::CorruptSnapshot { .. }
             | Self::SnapshotVersionMismatch { .. }
-            | Self::UnsupportedAtScale { .. } => None,
+            | Self::UnsupportedAtScale { .. }
+            | Self::InvalidConfig { .. } => None,
         }
     }
 }

@@ -32,9 +32,11 @@
 
 mod arch;
 pub mod checkpoint;
+pub mod distrib;
 mod engine;
 pub mod experiments;
 pub mod faults;
+pub mod frontier;
 pub mod fsio;
 mod metrics;
 pub mod report;
@@ -50,8 +52,15 @@ pub use checkpoint::{
     run_sweep_checkpointed, run_sweep_checkpointed_stats, CheckpointStats, CHECKPOINT_FORMAT,
     CHECKPOINT_VERSION,
 };
+pub use distrib::{
+    prepare_work_dir, run_sweep_distributed, run_sweep_distributed_stats, run_worker,
+    DistribOptions, DistribStats, WorkerCommand, WorkerStats,
+};
 pub use engine::{SimError, Simulator};
 pub use faults::{FaultPlan, FaultSpec, StabilityWatchdog, WatchdogReport, WatchdogState};
+pub use frontier::{
+    run_frontier, FrontierEngine, FrontierMap, FrontierOptions, FrontierPoint, FrontierStats,
+};
 pub use fsio::write_text_atomic;
 pub use metrics::RunMetrics;
 pub use scale::{CitySim, ClusterSet, ShardedController};

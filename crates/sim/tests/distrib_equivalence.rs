@@ -1,0 +1,276 @@
+//! Distributed-driver equivalence and claim-protocol contention tests.
+//!
+//! The contract under test: the multi-process work-stealing driver
+//! produces a `stability_json` **byte-identical** to the in-process sweep
+//! engine at any worker-process count — including after a worker is
+//! killed mid-sweep (its stale claim is stolen and the point recomputed)
+//! — and the on-disk claim protocol has single-winner semantics under
+//! real multi-process races.
+
+use greencell_sim::distrib::prepare_work_dir;
+use greencell_sim::faults::{FaultSpec, MarkovFault, OutageScope, SlotWindow};
+use greencell_sim::{
+    derive_point_seed, run_sweep, run_sweep_distributed_stats, DistribOptions, Scenario,
+    SweepOptions, SweepPoint, WorkerCommand,
+};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant, SystemTime};
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_sweep_worker");
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("greencell-distrib-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn opts(workers: usize) -> DistribOptions {
+    let mut o = DistribOptions::new(workers, WorkerCommand::new(WORKER_BIN, vec![]));
+    o.poll = Duration::from_millis(5);
+    o
+}
+
+/// A heterogeneous sweep: plain tiny points, a fault-laden point, and a
+/// city-scale (hotspot placement + diurnal) point — the full scenario
+/// codec surface crosses the process boundary.
+fn points() -> Vec<SweepPoint> {
+    let mut out: Vec<SweepPoint> = (0..3)
+        .map(|i| {
+            let mut s = Scenario::tiny(derive_point_seed(70, i as u64));
+            s.horizon = 8 + 2 * (i % 2);
+            s.v *= (i + 1) as f64;
+            SweepPoint::new(format!("tiny-{i}"), s)
+        })
+        .collect();
+
+    let mut faulty = Scenario::tiny(derive_point_seed(70, 100));
+    faulty.horizon = 10;
+    faulty.faults = Some(FaultSpec {
+        node_outage: Some(MarkovFault {
+            stay_up: 0.9,
+            stay_down: 0.5,
+        }),
+        outage_scope: OutageScope::All,
+        droughts: vec![SlotWindow::new(2, 5)],
+        dropout_probability: 0.05,
+        ..FaultSpec::default()
+    });
+    out.push(SweepPoint::new("faulty", faulty));
+
+    let mut city = Scenario::city(24, 2, Scenario::default_city_area(2), 4242);
+    city.horizon = 6;
+    out.push(SweepPoint::new("city", city));
+    out
+}
+
+fn spawn_worker(dir: &Path, id: &str, stale_after_ms: u64) -> Child {
+    Command::new(WORKER_BIN)
+        .args([
+            "--dir",
+            &dir.display().to_string(),
+            "--id",
+            id,
+            "--stale-after-ms",
+            &stale_after_ms.to_string(),
+            "--poll-ms",
+            "5",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker")
+}
+
+fn worker_stats(dir: &Path, id: &str) -> (usize, usize, usize, usize) {
+    let text = std::fs::read_to_string(dir.join("stats").join(format!("{id}.json")))
+        .unwrap_or_else(|_| panic!("stats for {id}"));
+    let v = greencell_trace::json::parse(text.trim()).expect("stats parse");
+    let n = |k: &str| v.get(k).and_then(|x| x.as_f64()).expect("stat field") as usize;
+    (n("claimed"), n("computed"), n("steals"), n("requeued"))
+}
+
+#[test]
+fn distributed_sweep_is_byte_identical_at_1_and_3_workers() {
+    let all = points();
+    let reference = run_sweep(&all, &SweepOptions::serial()).expect("in-process sweep");
+    for workers in [1, 3] {
+        let dir = temp_dir(&format!("eq{workers}"));
+        let (report, stats) =
+            run_sweep_distributed_stats(&all, &opts(workers), &dir).expect("distributed sweep");
+        assert_eq!(
+            report.stability_json(),
+            reference.stability_json(),
+            "stability report diverged at {workers} worker(s)"
+        );
+        for (a, b) in report.outcomes.iter().zip(&reference.outcomes) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.metrics, b.metrics, "metrics diverged for {}", a.label);
+        }
+        assert_eq!(stats.computed, all.len(), "fresh dir computes every point");
+        assert_eq!(stats.salvaged, 0);
+        assert_eq!(stats.worker_failures, 0, "no worker may fail");
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}
+
+#[test]
+fn finished_work_dir_is_salvaged_not_recomputed() {
+    let all = points();
+    let dir = temp_dir("salvage");
+    let (first, _) = run_sweep_distributed_stats(&all, &opts(1), &dir).expect("first run");
+    let (second, stats) = run_sweep_distributed_stats(&all, &opts(1), &dir).expect("second run");
+    assert_eq!(stats.salvaged, all.len(), "every result salvaged");
+    assert_eq!(stats.computed, 0, "nothing recomputed");
+    assert_eq!(second.outcomes, first.outcomes);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn killed_worker_mid_point_is_stolen_and_the_sweep_stays_byte_identical() {
+    // Point 0 is deliberately slow so the doomed worker is killed while
+    // holding its claim with no result written.
+    let mut all = points();
+    let mut slow = Scenario::tiny(derive_point_seed(70, 500));
+    slow.horizon = 600;
+    all.insert(0, SweepPoint::new("slow", slow));
+    let reference = run_sweep(&all, &SweepOptions::serial()).expect("in-process sweep");
+
+    let dir = temp_dir("kill");
+    prepare_work_dir(&all, &dir).expect("stage work dir");
+
+    // The doomed worker scans in index order, so it claims the slow point
+    // first. Kill it as soon as that claim appears.
+    let mut doomed = spawn_worker(&dir, "doomed", 60_000);
+    let claim = dir.join("claims").join("p0.claim");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !claim.exists() {
+        assert!(Instant::now() < deadline, "claim p0 never appeared");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    doomed.kill().expect("kill worker");
+    doomed.wait().expect("reap worker");
+    assert!(
+        !dir.join("results").join("p0.json").exists(),
+        "the doomed worker must die before finishing its point"
+    );
+
+    // Two fresh workers finish the queue: the orphaned claim goes stale
+    // (200 ms) and exactly one of them steals and recomputes the point.
+    let survivors = [spawn_worker(&dir, "s0", 200), spawn_worker(&dir, "s1", 200)];
+    for mut child in survivors {
+        assert!(child.wait().expect("wait worker").success());
+    }
+    // At least one steal must happen (the orphan). More are legal: the
+    // slow point outlives the 200 ms staleness window, so the other
+    // survivor may re-steal mid-compute — the duplicate compute is
+    // deterministic and harmless by design.
+    let steals: usize = ["s0", "s1"].iter().map(|id| worker_stats(&dir, id).2).sum();
+    assert!(steals >= 1, "the orphaned claim must be stolen");
+
+    // The driver then merges the worker-written results (same points →
+    // same manifest bytes) without recomputing anything, and the final
+    // artifact matches the in-process engine byte for byte.
+    let (report, stats) = run_sweep_distributed_stats(&all, &opts(1), &dir).expect("merge sweep");
+    assert_eq!(report.stability_json(), reference.stability_json());
+    assert_eq!(stats.salvaged, all.len(), "all results were already there");
+    assert_eq!(stats.computed, 0);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn two_processes_racing_for_one_point_yield_exactly_one_owner() {
+    let point = vec![SweepPoint::new("only", {
+        let mut s = Scenario::tiny(7);
+        s.horizon = 30;
+        s
+    })];
+    let dir = temp_dir("race");
+    prepare_work_dir(&point, &dir).expect("stage work dir");
+
+    let a = spawn_worker(&dir, "a", 60_000);
+    let b = spawn_worker(&dir, "b", 60_000);
+    for mut child in [a, b] {
+        let status = child.wait().expect("wait worker");
+        assert!(status.success(), "workers must exit cleanly");
+    }
+    let (claimed_a, computed_a, steals_a, _) = worker_stats(&dir, "a");
+    let (claimed_b, computed_b, steals_b, _) = worker_stats(&dir, "b");
+    assert_eq!(
+        claimed_a + claimed_b,
+        1,
+        "exclusive create admits exactly one claimant"
+    );
+    assert_eq!(computed_a + computed_b, 1, "the point runs exactly once");
+    assert_eq!(steals_a + steals_b, 0, "a live claim is never stolen");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn backdated_stale_claim_is_stolen() {
+    let point = vec![SweepPoint::new("abandoned", {
+        let mut s = Scenario::tiny(11);
+        s.horizon = 6;
+        s
+    })];
+    let dir = temp_dir("stale");
+    prepare_work_dir(&point, &dir).expect("stage work dir");
+
+    // A claim from a worker that died an hour ago: create it, then
+    // backdate its mtime so staleness is deterministic, not timing-based.
+    let claim = dir.join("claims").join("p0.claim");
+    let file = std::fs::File::create(&claim).expect("orphan claim");
+    let old = SystemTime::now() - Duration::from_secs(3600);
+    file.set_times(std::fs::FileTimes::new().set_modified(old))
+        .expect("backdate claim");
+    drop(file);
+
+    let mut worker = spawn_worker(&dir, "thief", 1_000);
+    assert!(worker.wait().expect("wait worker").success());
+    let (claimed, computed, steals, _) = worker_stats(&dir, "thief");
+    assert_eq!(steals, 1, "the stale claim must be stolen");
+    assert_eq!(computed, 1);
+    assert_eq!(claimed, 0, "the point was never freshly claimable");
+    assert!(dir.join("results").join("p0.json").exists());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn corrupt_result_is_quarantined_requeued_and_never_reread() {
+    let all = points();
+    let dir = temp_dir("corrupt");
+    let (first, _) = run_sweep_distributed_stats(&all, &opts(1), &dir).expect("first run");
+
+    // Flip a payload byte in one result: the checksum must catch it.
+    let victim = dir.join("results").join("p1.json");
+    let text = std::fs::read_to_string(&victim).expect("read result");
+    let payload_start = text.find('\n').expect("two lines") + 1;
+    let mut bytes = text.into_bytes();
+    bytes[payload_start + 40] ^= 0x01;
+    std::fs::write(&victim, &bytes).expect("corrupt result");
+
+    let (second, stats) = run_sweep_distributed_stats(&all, &opts(1), &dir).expect("second run");
+    assert_eq!(stats.requeued, 1, "the bad result is requeued once");
+    assert_eq!(stats.computed, 1, "only the bad point recomputes");
+    assert_eq!(stats.salvaged, all.len() - 1);
+    // Deterministic fields match exactly; full-outcome equality would
+    // compare the recomputed point's wall-clock telemetry, which rightly
+    // differs.
+    assert_eq!(second.stability_json(), first.stability_json());
+    for (a, b) in second.outcomes.iter().zip(&first.outcomes) {
+        assert_eq!(a.metrics, b.metrics, "metrics diverged for {}", a.label);
+    }
+
+    // The quarantined bytes survive untouched for postmortem — the run
+    // recomputed from scratch rather than re-reading them.
+    let quarantine = dir.join("results").join("p1.json.corrupt");
+    assert_eq!(
+        std::fs::read(&quarantine).expect("quarantine file").len(),
+        bytes.len(),
+        "quarantined file must keep the corrupt image"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

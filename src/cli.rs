@@ -4,7 +4,7 @@
 //! flags, small enough that explicit code is clearer than a dependency.
 
 use greencell_core::SchedulerKind;
-use greencell_sim::{Architecture, DemandModel, GridModel, Scenario, TouPricing};
+use greencell_sim::{Architecture, DemandModel, FaultSpec, GridModel, Scenario, TouPricing};
 use std::fmt;
 
 /// A parsed CLI invocation.
@@ -20,6 +20,10 @@ pub struct Command {
     pub out_dir: Option<String>,
     /// Service-mode tunables (meaningful for [`Action::Serve`] only).
     pub serve: ServeFlags,
+    /// Frontier-search tunables (meaningful for [`Action::Frontier`] only).
+    pub frontier: FrontierFlags,
+    /// Work-queue tunables (meaningful for [`Action::SweepWorker`] only).
+    pub worker: WorkerFlags,
 }
 
 /// The CLI's subcommands.
@@ -42,6 +46,12 @@ pub enum Action {
     /// Long-running service: observations on stdin, events on stdout,
     /// auto-snapshot/restore through a state directory.
     Serve,
+    /// Adaptive V-frontier search: one-command Fig. 2(e)/(f)-style
+    /// cost-vs-backlog frontier map (JSON + CSV).
+    Frontier,
+    /// Hidden: distributed-sweep worker process (spawned by the driver,
+    /// not meant for interactive use; absent from the usage text).
+    SweepWorker,
     /// Print usage.
     Help,
 }
@@ -68,6 +78,64 @@ impl Default for ServeFlags {
             status_every: 10,
             error_budget: 10,
             state_dir: None,
+        }
+    }
+}
+
+/// Tunables for the `frontier` action (mirrors
+/// `greencell_sim::FrontierOptions` plus process-fleet knobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierFlags {
+    /// `--v-min X` — smallest Lyapunov weight.
+    pub v_min: f64,
+    /// `--v-max X` — largest Lyapunov weight.
+    pub v_max: f64,
+    /// `--max-gap X` — normalized refinement tolerance.
+    pub max_gap: f64,
+    /// `--budget N` — total simulation-point ceiling.
+    pub budget: usize,
+    /// `--init-points N` — initial log-spaced grid size.
+    pub init_points: usize,
+    /// `--procs N` — worker processes; 0 = evaluate in-process.
+    pub procs: usize,
+    /// `--work-dir DIR` — work-queue directory for `--procs ≥ 1`.
+    pub work_dir: Option<String>,
+}
+
+impl Default for FrontierFlags {
+    fn default() -> Self {
+        Self {
+            v_min: 1e5,
+            v_max: 1e6,
+            max_gap: 0.25,
+            budget: 32,
+            init_points: 5,
+            procs: 0,
+            work_dir: None,
+        }
+    }
+}
+
+/// Tunables for the hidden `sweep-worker` action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFlags {
+    /// `--dir DIR` — the work-queue directory (required).
+    pub dir: Option<String>,
+    /// `--id NAME` — this worker's identity in claims and stats.
+    pub id: String,
+    /// `--stale-after-ms N` — claim staleness threshold.
+    pub stale_after_ms: u64,
+    /// `--poll-ms N` — idle rescan period.
+    pub poll_ms: u64,
+}
+
+impl Default for WorkerFlags {
+    fn default() -> Self {
+        Self {
+            dir: None,
+            id: "worker".to_string(),
+            stale_after_ms: 30_000,
+            poll_ms: 25,
         }
     }
 }
@@ -106,6 +174,11 @@ ACTIONS:
              event lines (status gauges, watchdog verdicts, snapshot
              notices) on stdout; auto-snapshots to --state-dir and
              restores from the latest valid snapshot on startup
+    frontier adaptive V-frontier search: bisects in log-V space wherever
+             the cost-vs-backlog curve bends, and writes a Fig. 2(e)/(f)-
+             style frontier map (frontier.json + frontier.csv via --out);
+             --procs N evaluates points with N worker processes through
+             the distributed work-stealing driver
     help     this text
 
 FLAGS (all optional):
@@ -122,6 +195,10 @@ FLAGS (all optional):
     --tou PEAKX         periodic tariff with PEAKX multiplier (12-slot
                         period, 6 peak slots)          [flat]
     --tiny              use the small test scenario instead of the paper's
+    --city N            synthetic city scenario with N users (Poisson-disk
+                        BS placement, hotspots, diurnal traffic)
+    --faults P          fault preset: bs-outage | drought | price-spike |
+                        band-loss | chaos (windows scale to the horizon)
     --track-lower-bound co-run the relaxed lower-bound controller
     --out DIR           also write CSV artifacts to DIR
 
@@ -130,6 +207,15 @@ SERVE FLAGS:
     --snapshot-every N  auto-snapshot period in slots, 0 = off  [50]
     --status-every N    status-event period in slots, 0 = off   [10]
     --error-budget N    malformed lines tolerated before stop   [10]
+
+FRONTIER FLAGS:
+    --v-min X           smallest Lyapunov weight        [1e5]
+    --v-max X           largest Lyapunov weight         [1e6]
+    --max-gap X         normalized refinement tolerance [0.25]
+    --budget N          simulation-point ceiling        [32]
+    --init-points N     initial log-spaced grid size    [5]
+    --procs N           worker processes, 0 = in-process [0]
+    --work-dir DIR      work-queue dir for --procs >= 1 [<out>/frontier_work]
 ";
 
 fn parse_flag_value<T: std::str::FromStr>(key: &str, value: Option<&str>) -> Result<T, ParseError> {
@@ -156,19 +242,48 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("sweeps") => Action::Sweeps,
         Some("trace") => Action::Trace,
         Some("serve") => Action::Serve,
+        Some("frontier") => Action::Frontier,
+        Some("sweep-worker") => Action::SweepWorker,
         Some(other) => return Err(ParseError(format!("unknown action: {other}"))),
     };
 
     let mut seed = 42u64;
     let mut tiny = false;
+    let mut city: Option<usize> = None;
+    let mut fault_preset: Option<String> = None;
     let mut scenario_edits: Vec<(String, String)> = Vec::new();
     let mut track_lower = false;
     let mut out_dir = None;
     let mut v_values = None;
     let mut serve = ServeFlags::default();
+    let mut frontier = FrontierFlags::default();
+    let mut worker = WorkerFlags::default();
 
     while let Some(flag) = it.next() {
         match flag {
+            "--v-min" => frontier.v_min = parse_flag_value(flag, it.next())?,
+            "--v-max" => frontier.v_max = parse_flag_value(flag, it.next())?,
+            "--max-gap" => frontier.max_gap = parse_flag_value(flag, it.next())?,
+            "--budget" => frontier.budget = parse_flag_value(flag, it.next())?,
+            "--init-points" => frontier.init_points = parse_flag_value(flag, it.next())?,
+            "--procs" => frontier.procs = parse_flag_value(flag, it.next())?,
+            "--work-dir" => {
+                frontier.work_dir = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--work-dir needs a directory".into()))?
+                        .to_string(),
+                );
+            }
+            "--dir" => {
+                worker.dir = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--dir needs a directory".into()))?
+                        .to_string(),
+                );
+            }
+            "--id" => worker.id = parse_flag_value(flag, it.next())?,
+            "--stale-after-ms" => worker.stale_after_ms = parse_flag_value(flag, it.next())?,
+            "--poll-ms" => worker.poll_ms = parse_flag_value(flag, it.next())?,
             "--snapshot-every" => serve.snapshot_every = parse_flag_value(flag, it.next())?,
             "--status-every" => serve.status_every = parse_flag_value(flag, it.next())?,
             "--error-budget" => serve.error_budget = parse_flag_value(flag, it.next())?,
@@ -181,6 +296,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             "--seed" => seed = parse_flag_value(flag, it.next())?,
             "--tiny" => tiny = true,
+            "--city" => city = Some(parse_flag_value(flag, it.next())?),
+            "--faults" => {
+                fault_preset = Some(
+                    it.next()
+                        .ok_or_else(|| ParseError("--faults needs a preset name".into()))?
+                        .to_string(),
+                );
+            }
             "--track-lower-bound" => track_lower = true,
             "--out" => {
                 out_dir = Some(
@@ -205,14 +328,35 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
     }
 
-    let mut scenario = if tiny {
-        Scenario::tiny(seed)
-    } else {
-        Scenario::paper(seed)
+    let mut scenario = match city {
+        Some(users) => {
+            if tiny {
+                return Err(ParseError(
+                    "--tiny and --city are mutually exclusive".into(),
+                ));
+            }
+            let n_bs = (users / 50).max(2);
+            Scenario::city(users, n_bs, Scenario::default_city_area(n_bs), seed)
+        }
+        None if tiny => Scenario::tiny(seed),
+        None => Scenario::paper(seed),
     };
     scenario.track_lower_bound = track_lower;
     for (key, value) in &scenario_edits {
         apply_edit(&mut scenario, key, value)?;
+    }
+    if let Some(name) = &fault_preset {
+        // Applied after the edits so preset windows scale to the final
+        // horizon, not the base scenario's.
+        let h = scenario.horizon;
+        scenario.faults = Some(match name.as_str() {
+            "bs-outage" => FaultSpec::bs_outage(),
+            "drought" => FaultSpec::renewable_drought(h / 4, h / 2),
+            "price-spike" => FaultSpec::price_spike(h / 4, h / 2, 6.0),
+            "band-loss" => FaultSpec::band_loss(),
+            "chaos" => FaultSpec::chaos(h),
+            other => return Err(ParseError(format!("unknown fault preset: {other}"))),
+        });
     }
 
     Ok(Command {
@@ -221,6 +365,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         v_values,
         out_dir,
         serve,
+        frontier,
+        worker,
     })
 }
 
@@ -351,6 +497,24 @@ mod tests {
     }
 
     #[test]
+    fn city_and_fault_presets() {
+        let cmd = parse(&argv("run --city 200 --horizon 40 --faults chaos")).unwrap();
+        assert_eq!(cmd.scenario.users, 200);
+        assert!(cmd.scenario.bs_positions.len() >= 2);
+        let faults = cmd.scenario.faults.as_ref().expect("preset applied");
+        // Preset windows scale to the *final* horizon (applied post-edit).
+        assert_eq!(
+            faults.droughts,
+            vec![greencell_sim::faults::SlotWindow::new(10, 20)]
+        );
+
+        let err = parse(&argv("run --tiny --city 100")).unwrap_err();
+        assert!(err.0.contains("mutually exclusive"), "got {err}");
+        let err = parse(&argv("run --faults nonsense")).unwrap_err();
+        assert!(err.0.contains("unknown fault preset"), "got {err}");
+    }
+
+    #[test]
     fn serve_flags() {
         let cmd = parse(&argv(
             "serve --tiny --state-dir state --snapshot-every 25 --status-every 5 --error-budget 3",
@@ -363,6 +527,45 @@ mod tests {
         assert_eq!(cmd.serve.error_budget, 3);
         // Defaults hold when unspecified.
         assert_eq!(parse(&argv("serve")).unwrap().serve, ServeFlags::default());
+    }
+
+    #[test]
+    fn frontier_flags() {
+        let cmd = parse(&argv(
+            "frontier --tiny --v-min 1e4 --v-max 1e6 --max-gap 0.1 --budget 16 \
+             --init-points 4 --procs 3 --work-dir wq",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::Frontier);
+        assert_eq!(cmd.frontier.v_min, 1e4);
+        assert_eq!(cmd.frontier.v_max, 1e6);
+        assert_eq!(cmd.frontier.max_gap, 0.1);
+        assert_eq!(cmd.frontier.budget, 16);
+        assert_eq!(cmd.frontier.init_points, 4);
+        assert_eq!(cmd.frontier.procs, 3);
+        assert_eq!(cmd.frontier.work_dir.as_deref(), Some("wq"));
+        // Defaults hold when unspecified.
+        assert_eq!(
+            parse(&argv("frontier")).unwrap().frontier,
+            FrontierFlags::default()
+        );
+    }
+
+    #[test]
+    fn sweep_worker_is_parseable_but_hidden() {
+        let cmd = parse(&argv(
+            "sweep-worker --dir wq --id w7 --stale-after-ms 500 --poll-ms 10",
+        ))
+        .unwrap();
+        assert_eq!(cmd.action, Action::SweepWorker);
+        assert_eq!(cmd.worker.dir.as_deref(), Some("wq"));
+        assert_eq!(cmd.worker.id, "w7");
+        assert_eq!(cmd.worker.stale_after_ms, 500);
+        assert_eq!(cmd.worker.poll_ms, 10);
+        assert!(
+            !USAGE.contains("sweep-worker"),
+            "the worker mode is internal plumbing and stays out of the usage text"
+        );
     }
 
     #[test]

@@ -35,7 +35,81 @@ fn dispatch(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
         Action::Sweeps => sweeps(cmd),
         Action::Trace => trace(cmd),
         Action::Serve => serve(cmd),
+        Action::Frontier => frontier(cmd),
+        Action::SweepWorker => sweep_worker(cmd),
     }
+}
+
+fn frontier(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    use greencell::sim::{DistribOptions, FrontierEngine, FrontierOptions, WorkerCommand};
+    let options = FrontierOptions {
+        v_min: cmd.frontier.v_min,
+        v_max: cmd.frontier.v_max,
+        max_gap: cmd.frontier.max_gap,
+        budget: cmd.frontier.budget,
+        init_points: cmd.frontier.init_points,
+    };
+    let engine = if cmd.frontier.procs == 0 {
+        FrontierEngine::InProcess(greencell_sim::SweepOptions::from_env())
+    } else {
+        let work_dir = cmd.frontier.work_dir.clone().unwrap_or_else(|| {
+            let base = cmd.out_dir.clone().unwrap_or_else(|| "results".into());
+            format!("{base}/frontier_work")
+        });
+        // Workers are this same binary re-invoked in its hidden
+        // sweep-worker mode.
+        let worker = WorkerCommand::current_exe(vec!["sweep-worker".into()])?;
+        FrontierEngine::Distributed {
+            opts: DistribOptions::new(cmd.frontier.procs, worker),
+            work_dir: std::path::PathBuf::from(work_dir),
+        }
+    };
+    let map = greencell_sim::run_frontier(&cmd.scenario, &options, &engine)?;
+    println!(
+        "# frontier — avg energy cost vs avg total backlog across V \
+         ({} point(s), {} refinement round(s), {}, worst gap {:.4})",
+        map.stats.sims_run,
+        map.stats.rounds,
+        if map.stats.converged {
+            "converged"
+        } else {
+            "budget exhausted"
+        },
+        map.stats.worst_gap,
+    );
+    println!(
+        "{:>14} {:>14} {:>16} {:>6}",
+        "V", "avg cost", "avg backlog", "round"
+    );
+    for p in &map.points {
+        println!(
+            "{:>14.6e} {:>14.6} {:>16.2} {:>6}",
+            p.v, p.avg_cost, p.avg_backlog, p.round
+        );
+    }
+    write_artifacts(
+        cmd,
+        &[("frontier.json", &map.json()), ("frontier.csv", &map.csv())],
+    )
+}
+
+fn sweep_worker(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = cmd
+        .worker
+        .dir
+        .as_ref()
+        .ok_or("sweep-worker needs --dir <work_dir>")?;
+    let stats = greencell_sim::run_worker(
+        std::path::Path::new(dir),
+        &cmd.worker.id,
+        std::time::Duration::from_millis(cmd.worker.stale_after_ms),
+        std::time::Duration::from_millis(cmd.worker.poll_ms),
+    )?;
+    eprintln!(
+        "sweep-worker {}: claimed {} computed {} steals {} requeued {}",
+        cmd.worker.id, stats.claimed, stats.computed, stats.steals, stats.requeued
+    );
+    Ok(())
 }
 
 fn serve(cmd: &Command) -> Result<(), Box<dyn std::error::Error>> {
