@@ -55,6 +55,21 @@ echo "== snapshot equivalence gate =="
 # snapshot files must surface as typed errors.
 cargo test -p greencell-sim --test snapshot_equivalence -q $CARGO_FLAGS
 
+echo "== networkstate equivalence gate =="
+# Dynamic network-state layer: inert policies (never-triggering sleep,
+# zero-efficiency cooperation) must replay the static default controller
+# bit-for-bit across every fault archetype and on the sharded city path;
+# an aggressive sleep policy must re-decompose clusters and stay
+# worker-count invariant.
+cargo test -p greencell-sim --test networkstate_equivalence -q $CARGO_FLAGS
+
+echo "== policy ablation gate =="
+# ROADMAP-mandated ablation: at equal V, energy cooperation strictly
+# reduces grid draw on a renewable-imbalanced run, BS sleeping strictly
+# reduces it at low load with service continuing, and both policies stay
+# watchdog-stable under all four fault archetypes.
+cargo test -p greencell-sim --test policy_ablation -q $CARGO_FLAGS
+
 echo "== sweep resume gate =="
 # Resumable checkpointed sweeps: interrupt after k points, resume at any
 # worker count, byte-compare the deterministic stability report against a
@@ -159,7 +174,8 @@ echo "== cargo clippy (no unwrap in core/sim/trace/phy library code) =="
 # controller/simulator/tracing/power-control production path must not.
 # greencell-core's audit covers every module on the per-slot control path:
 # controller, pipeline (stage registry + fallback ladder), s1–s4, dpp
-# (drift constants), and lower_bound (the relaxed P̄3 controller).
+# (drift constants), netstate (the sleep/cooperation machine), and
+# lower_bound (the relaxed P̄3 controller).
 cargo clippy -p greencell-core -p greencell-sim -p greencell-trace \
   -p greencell-phy --lib --bins $CARGO_FLAGS -- \
   -D warnings -D clippy::unwrap_used

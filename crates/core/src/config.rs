@@ -130,6 +130,12 @@ pub struct ControllerConfig {
     pub w_max: Bandwidth,
     /// What to do when S4 stays infeasible after shedding (fault handling).
     pub degradation: DegradationPolicy,
+    /// Dynamic BS sleeping (the `bs_sleep` schedule stage); `None` keeps
+    /// every BS awake and the controller bit-identical to the paper.
+    pub bs_sleep: Option<crate::netstate::SleepPolicy>,
+    /// Inter-BS energy cooperation (the `energy_coop` energy stage);
+    /// `None` keeps S4 per-node-independent as in the paper.
+    pub energy_coop: Option<crate::netstate::CoopPolicy>,
 }
 
 impl ControllerConfig {
@@ -196,6 +202,8 @@ mod tests {
             energy_policy: EnergyPolicy::MarginalPrice,
             w_max: Bandwidth::from_megahertz(2.0),
             degradation: DegradationPolicy::Graceful,
+            bs_sleep: None,
+            energy_coop: None,
         }
     }
 

@@ -14,10 +14,11 @@ use crate::pipeline::{
     StageClock,
 };
 use crate::{
-    dpp, greedy_schedule_with, resource_allocation, resource_allocation_into, route_flows,
-    route_flows_into, s1::S1Inputs, sequential_fix_schedule_with, solve_energy_management,
-    ControllerConfig, EnergyConfig, EnergyManagementError, EnergyManagementInput, S1Scratch,
-    ScheduleOutcome, SchedulerKind, SlotObservation,
+    dpp, greedy_schedule_with, resource_allocation, resource_allocation_into,
+    resource_allocation_masked_into, route_flows, route_flows_into, s1::S1Inputs,
+    sequential_fix_schedule_with, solve_energy_management, ControllerConfig, EnergyConfig,
+    EnergyManagementError, EnergyManagementInput, NetworkState, S1Scratch, ScheduleOutcome,
+    SchedulerKind, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel};
 use greencell_net::{Network, NodeId, SessionId};
@@ -231,6 +232,22 @@ pub struct ControllerState {
     pub phantom: Vec<Packets>,
     /// Link queues in the bank's `queues[i·n + j]` layout.
     pub link_queues: Vec<PacketQueue>,
+    /// Per-node awake flags from the dynamic [`crate::NetworkState`]
+    /// (empty when neither dynamic policy is enabled).
+    pub awake: Vec<bool>,
+    /// Per-node consecutive-idle-slot counters (empty when static).
+    pub idle_slots: Vec<u32>,
+    /// Per-node remaining ramp-up slots (empty when static).
+    pub ramp_remaining: Vec<u32>,
+    /// Per-user best awake BS, `usize::MAX` = uncovered (empty when
+    /// static).
+    pub association: Vec<usize>,
+    /// Cumulative BS sleep transitions.
+    pub sleep_transitions: u64,
+    /// Cumulative BS wake transitions.
+    pub wake_transitions: u64,
+    /// Cumulative kWh delivered by inter-BS energy transfers.
+    pub transferred_kwh: f64,
 }
 
 /// The online finite-queue-aware energy-cost controller (the paper's
@@ -305,19 +322,35 @@ impl Controller {
         let max_powers = energy.nodes.iter().map(|n| n.max_power).collect();
         let models = energy.nodes.iter().map(|n| n.energy_model).collect();
         let grid_limits = energy.nodes.iter().map(|n| n.grid_limit).collect();
-        let is_bs = net
+        let is_bs: Vec<bool> = net
             .topology()
             .nodes()
             .iter()
             .map(|n| n.kind().is_base_station())
             .collect();
-        let schedule_stage = pipeline::schedule_stage(config.scheduler.key())
-            .expect("built-in scheduler stage is registered");
+        // An enabled dynamic policy swaps in its stage; otherwise the
+        // config enums resolve exactly as before.
+        let schedule_key = if config.bs_sleep.is_some() {
+            "bs_sleep"
+        } else {
+            config.scheduler.key()
+        };
+        let energy_key = if config.energy_coop.is_some() {
+            "energy_coop"
+        } else {
+            config.energy_policy.key()
+        };
+        let schedule_stage =
+            pipeline::schedule_stage(schedule_key).expect("built-in scheduler stage is registered");
         let relay_stage =
             pipeline::relay_stage(config.relay.key()).expect("built-in relay stage is registered");
-        let energy_stage = pipeline::energy_stage(config.energy_policy.key())
-            .expect("built-in energy stage is registered");
+        let energy_stage =
+            pipeline::energy_stage(energy_key).expect("built-in energy stage is registered");
         let ladder = pipeline::fallback_ladder(config.degradation);
+        let ctx = SlotContext {
+            net_state: Self::make_net_state(&config, &is_bs),
+            ..SlotContext::default()
+        };
         Ok(Self {
             data: DataQueueBank::new(nodes, &destinations),
             links: LinkQueueBank::new(nodes, beta),
@@ -339,8 +372,22 @@ impl Controller {
             relay_stage,
             energy_stage,
             ladder,
-            ctx: SlotContext::default(),
+            ctx,
         })
+    }
+
+    /// Builds the slot context's [`NetworkState`] from the config's
+    /// dynamic-policy knobs (inert when both are `None`).
+    fn make_net_state(config: &ControllerConfig, is_bs: &[bool]) -> NetworkState {
+        NetworkState::new(is_bs, config.bs_sleep, config.energy_coop, config.scheduler)
+    }
+
+    /// The dynamic network state, when a dynamic-topology policy
+    /// (`bs_sleep` / `energy_coop`) is enabled; `None` for the paper's
+    /// static configuration.
+    #[must_use]
+    pub fn network_state(&self) -> Option<&NetworkState> {
+        self.ctx.net_state.dynamic().then_some(&self.ctx.net_state)
     }
 
     /// The network being controlled.
@@ -431,6 +478,9 @@ impl Controller {
     /// workspaces are warm or freshly defaulted.
     #[must_use]
     pub fn export_state(&self) -> ControllerState {
+        let ns = &self.ctx.net_state;
+        let dynamic = ns.dynamic();
+        let (awake, idle_slots, ramp_remaining) = ns.export_timers();
         ControllerState {
             slot: self.slot,
             batteries: self.batteries.clone(),
@@ -438,6 +488,25 @@ impl Controller {
             delivered: self.data.delivered_per_session().to_vec(),
             phantom: self.data.phantom_per_session().to_vec(),
             link_queues: self.links.queues().to_vec(),
+            awake: if dynamic { awake.to_vec() } else { Vec::new() },
+            idle_slots: if dynamic {
+                idle_slots.to_vec()
+            } else {
+                Vec::new()
+            },
+            ramp_remaining: if dynamic {
+                ramp_remaining.to_vec()
+            } else {
+                Vec::new()
+            },
+            association: if dynamic {
+                ns.association().to_vec()
+            } else {
+                Vec::new()
+            },
+            sleep_transitions: ns.sleep_transitions(),
+            wake_transitions: ns.wake_transitions(),
+            transferred_kwh: ns.transferred_kwh(),
         }
     }
 
@@ -461,7 +530,21 @@ impl Controller {
         self.data
             .restore(&state.data_queues, &state.delivered, &state.phantom);
         self.links.restore(&state.link_queues);
-        self.ctx = SlotContext::default();
+        self.ctx = SlotContext {
+            net_state: Self::make_net_state(&self.config, &self.is_bs),
+            ..SlotContext::default()
+        };
+        if !state.awake.is_empty() {
+            self.ctx.net_state.restore(
+                &state.awake,
+                &state.idle_slots,
+                &state.ramp_remaining,
+                &state.association,
+                state.sleep_transitions,
+                state.wake_transitions,
+                state.transferred_kwh,
+            );
+        }
         self.timings = StageTimings::default();
     }
 
@@ -571,7 +654,20 @@ impl Controller {
             flows,
             s4,
             energy,
+            net_state,
         } = &mut arena;
+
+        // Dynamic network state: copy the fault mask in and feed the sleep
+        // machine its backlog signal. Entirely skipped (and bit-identically
+        // absent) when neither dynamic policy is enabled.
+        let dynamic = net_state.dynamic();
+        if dynamic {
+            net_state.begin_slot(&obs.node_available);
+            for i in 0..nodes {
+                net_state
+                    .set_node_backlog(i, self.data.node_backlog(NodeId::from_index(i)).count_f64());
+            }
+        }
 
         // Shifted battery levels for this slot.
         z.clear();
@@ -606,22 +702,44 @@ impl Controller {
             packet_size: self.config.packet_size,
         };
         let clock = StageClock::start();
-        schedule_stage.schedule(&s1_inputs, s1, outcome);
+        schedule_stage.schedule(&s1_inputs, net_state, s1, outcome);
         clock.stop(&mut self.timings.s1, self.slot, Stage::S1, traced, sink);
 
         // S2 — source selection and admission control. A down source BS
         // admits nothing (fault injection; the session waits the outage
-        // out rather than being handed to a farther BS mid-fault).
+        // out rather than being handed to a farther BS mid-fault). A BS
+        // that chose to sleep is different: sessions re-associate, so
+        // source selection simply skips it (and skips mid-ramp BSs, which
+        // cannot serve yet either) — outaged BSs stay selectable so fault
+        // behaviour is unchanged by an inert sleep policy.
         let clock = StageClock::start();
-        resource_allocation_into(
-            &self.net,
-            &self.data,
-            self.config.lambda,
-            self.config.v,
-            self.config.k_max,
-            admissions,
-        );
-        if !obs.node_available.is_empty() {
+        if dynamic {
+            let ns: &NetworkState = net_state;
+            resource_allocation_masked_into(
+                &self.net,
+                &self.data,
+                self.config.lambda,
+                self.config.v,
+                self.config.k_max,
+                &|b: NodeId| !ns.is_asleep(b.index()) && ns.ramp_remaining(b.index()) == 0,
+                admissions,
+            );
+        } else {
+            resource_allocation_into(
+                &self.net,
+                &self.data,
+                self.config.lambda,
+                self.config.v,
+                self.config.k_max,
+                admissions,
+            );
+        }
+        if dynamic {
+            // An outaged source BS admits nothing (the mask above already
+            // keeps sleeping/ramping BSs from being chosen at all).
+            let active = net_state.active();
+            admissions.retain(|a| active[a.source.index()]);
+        } else if !obs.node_available.is_empty() {
             admissions.retain(|a| obs.is_node_available(a.source.index()));
         }
         clock.stop(&mut self.timings.s2, self.slot, Stage::S2, traced, sink);
@@ -639,14 +757,20 @@ impl Controller {
         // packets per slot — the two-layer reading of constraint (25); see
         // `s3` module docs.
         let beta_cap = Packets::new(self.beta.floor() as u64);
+        let active_mask: Option<&[bool]> = if dynamic {
+            Some(net_state.active())
+        } else {
+            None
+        };
         routing_caps.clear();
         routing_caps.extend(
             self.net
                 .topology()
                 .ordered_pairs()
                 .filter(|&(i, j)| !self.net.link_bands(i, j).is_empty())
-                .filter(|&(i, j)| {
-                    obs.is_node_available(i.index()) && obs.is_node_available(j.index())
+                .filter(|&(i, j)| match active_mask {
+                    Some(active) => active[i.index()] && active[j.index()],
+                    None => obs.is_node_available(i.index()) && obs.is_node_available(j.index()),
                 })
                 .filter(|&(i, _)| relay_stage.may_relay(&self.net, i))
                 .map(|(i, j)| (i, j, beta_cap)),
@@ -680,6 +804,21 @@ impl Controller {
                 let receiving = outcome.schedule.transmission_to(node).is_some();
                 self.models[i].slot_demand(tx_power, receiving, self.config.slot)
             }));
+            // Sleep-policy demand override: an asleep BS draws only its
+            // sleep power, a ramping BS its ramp power. Outage-forced-awake
+            // BSs take the normal path (identical to the static pipeline).
+            if let Some(sp) = self.config.bs_sleep {
+                for (i, d) in demand.iter_mut().enumerate() {
+                    if !self.is_bs[i] {
+                        continue;
+                    }
+                    if net_state.is_asleep(i) {
+                        *d = sp.sleep_power * self.config.slot;
+                    } else if net_state.ramp_remaining(i) > 0 {
+                        *d = sp.ramp_power * self.config.slot;
+                    }
+                }
+            }
             // Time-of-use pricing: this slot the provider pays
             // `m·f(P)`, which for the quadratic f is exactly the scaled
             // quadratic — S4's exactness is preserved.
@@ -696,7 +835,7 @@ impl Controller {
                 v: self.config.v,
             };
             let clock = StageClock::start();
-            let solved = energy_stage.solve(&input, s4, energy);
+            let solved = energy_stage.solve(&input, net_state, s4, energy);
             clock.stop(&mut self.timings.s4, self.slot, Stage::S4, traced, sink);
             match solved {
                 Ok(()) => break,

@@ -188,6 +188,8 @@ mod tests {
             energy_policy: crate::EnergyPolicy::MarginalPrice,
             w_max: Bandwidth::from_megahertz(2.0),
             degradation: Default::default(),
+            bs_sleep: None,
+            energy_coop: None,
         };
         (net, energy, config, PhyConfig::new(1.0, 1e-20))
     }

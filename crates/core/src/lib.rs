@@ -65,6 +65,8 @@
 //!     energy_policy: EnergyPolicy::MarginalPrice,
 //!     w_max: Bandwidth::from_megahertz(2.0),
 //!     degradation: Default::default(),
+//!     bs_sleep: None,
+//!     energy_coop: None,
 //! };
 //! let mut ctl = Controller::new(net, PhyConfig::new(1.0, 1e-20), energy, config)?;
 //!
@@ -88,6 +90,7 @@ mod config;
 mod controller;
 pub mod dpp;
 mod lower_bound;
+mod netstate;
 pub mod pipeline;
 mod s1;
 mod s2;
@@ -103,13 +106,17 @@ pub use controller::{
     Controller, ControllerError, ControllerState, DegradationEvent, SlotReport, StageTimings,
 };
 pub use lower_bound::{LowerBoundSeries, RelaxedController, RelaxedState};
-pub use pipeline::SlotContext;
+pub use netstate::{CoopPolicy, NetworkState, SleepPolicy};
+pub use pipeline::{SlotContext, UnknownStageKey};
 pub use s1::{
     greedy_schedule, greedy_schedule_reference, greedy_schedule_with, sequential_fix_schedule,
     sequential_fix_schedule_reference, sequential_fix_schedule_with, S1Inputs, S1Scratch,
     ScheduleOutcome,
 };
-pub use s2::{admission_valve_open, resource_allocation, resource_allocation_into, Admission};
+pub use s2::{
+    admission_valve_open, resource_allocation, resource_allocation_into,
+    resource_allocation_masked_into, Admission,
+};
 pub use s3::{route_flows, route_flows_into, S3Scratch};
 pub use s4::{
     solve_energy_management, solve_energy_management_into, solve_energy_management_warm_into,

@@ -27,12 +27,13 @@
 //! exact same order, and the golden-fingerprint suite plus the
 //! `pipeline_equivalence` tests in `greencell-sim` hold that line.
 
+use crate::netstate::NetworkState;
 use crate::s1::S1Inputs;
 use crate::{
     greedy_schedule_with, sequential_fix_schedule_with, solve_energy_management_into,
     solve_energy_management_warm_into, solve_grid_only_into, solve_safe_mode, Admission,
     DegradationEvent, DegradationPolicy, EnergyManagementError, EnergyManagementInput,
-    EnergyOutcome, S1Scratch, S3Scratch, S4Workspace, ScheduleOutcome,
+    EnergyOutcome, S1Scratch, S3Scratch, S4Workspace, ScheduleOutcome, SchedulerKind,
 };
 use greencell_net::{Network, NodeId, SessionId};
 use greencell_phy::{PhyConfig, Schedule, SpectrumState};
@@ -44,11 +45,21 @@ use std::time::{Duration, Instant};
 
 /// An S1 link-scheduling stage: fills `out` with the slot's schedule and
 /// minimal power assignment using caller-retained scratch.
+///
+/// Stages also see the slot's mutable [`NetworkState`]: the paper's static
+/// stages ignore it, while dynamic-topology stages (e.g. [`BsSleepStage`])
+/// advance its sleep machine and schedule over the resulting active set.
 pub trait ScheduleStage: fmt::Debug + Sync {
     /// The registry key this stage is looked up by.
     fn key(&self) -> &'static str;
     /// Runs S1 for one slot.
-    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome);
+    fn schedule(
+        &self,
+        inputs: &S1Inputs<'_>,
+        net_state: &mut NetworkState,
+        scratch: &mut S1Scratch,
+        out: &mut ScheduleOutcome,
+    );
 }
 
 /// The relay-eligibility seam between S1/S3 and the topology: which nodes
@@ -62,6 +73,10 @@ pub trait RelayStage: fmt::Debug + Sync {
 
 /// An S4 energy-management stage: solves the slot's sourcing problem into
 /// a caller-retained workspace and outcome.
+///
+/// Stages also see the slot's mutable [`NetworkState`]: the paper's
+/// per-node stages ignore it, while [`EnergyCoopStage`] records its
+/// inter-BS transfers there.
 pub trait EnergyStage: fmt::Debug + Sync {
     /// The registry key this stage is looked up by.
     fn key(&self) -> &'static str;
@@ -74,6 +89,7 @@ pub trait EnergyStage: fmt::Debug + Sync {
     fn solve(
         &self,
         input: &EnergyManagementInput<'_>,
+        net_state: &mut NetworkState,
         ws: &mut S4Workspace,
         out: &mut EnergyOutcome,
     ) -> Result<(), EnergyManagementError>;
@@ -89,7 +105,13 @@ impl ScheduleStage for GreedyStage {
         "greedy"
     }
 
-    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome) {
+    fn schedule(
+        &self,
+        inputs: &S1Inputs<'_>,
+        _net_state: &mut NetworkState,
+        scratch: &mut S1Scratch,
+        out: &mut ScheduleOutcome,
+    ) {
         greedy_schedule_with(inputs, scratch, out);
     }
 }
@@ -104,7 +126,13 @@ impl ScheduleStage for SequentialFixStage {
         "sequential_fix"
     }
 
-    fn schedule(&self, inputs: &S1Inputs<'_>, scratch: &mut S1Scratch, out: &mut ScheduleOutcome) {
+    fn schedule(
+        &self,
+        inputs: &S1Inputs<'_>,
+        _net_state: &mut NetworkState,
+        scratch: &mut S1Scratch,
+        out: &mut ScheduleOutcome,
+    ) {
         sequential_fix_schedule_with(inputs, scratch, out);
     }
 }
@@ -155,6 +183,7 @@ impl EnergyStage for MarginalPriceStage {
     fn solve(
         &self,
         input: &EnergyManagementInput<'_>,
+        _net_state: &mut NetworkState,
         ws: &mut S4Workspace,
         out: &mut EnergyOutcome,
     ) -> Result<(), EnergyManagementError> {
@@ -178,6 +207,7 @@ impl EnergyStage for MarginalPriceReferenceStage {
     fn solve(
         &self,
         input: &EnergyManagementInput<'_>,
+        _net_state: &mut NetworkState,
         ws: &mut S4Workspace,
         out: &mut EnergyOutcome,
     ) -> Result<(), EnergyManagementError> {
@@ -199,6 +229,7 @@ impl EnergyStage for GridOnlyStage {
     fn solve(
         &self,
         input: &EnergyManagementInput<'_>,
+        _net_state: &mut NetworkState,
         _ws: &mut S4Workspace,
         out: &mut EnergyOutcome,
     ) -> Result<(), EnergyManagementError> {
@@ -206,36 +237,184 @@ impl EnergyStage for GridOnlyStage {
     }
 }
 
+/// Dynamic-topology S1 stage (key `"bs_sleep"`): advances the
+/// [`NetworkState`] sleep machine — hysteresis power-down, backlog-
+/// triggered wake-up with a ramp window, user re-association via the
+/// topology's gain table — then dispatches to the configured inner
+/// scheduler over the resulting active-node mask. With every BS awake the
+/// mask is all-true, which the S1 kernels treat exactly like the default
+/// empty mask, so the stage is bit-identical to the inner scheduler alone.
+#[derive(Debug, Clone, Copy)]
+pub struct BsSleepStage;
+
+impl ScheduleStage for BsSleepStage {
+    fn key(&self) -> &'static str {
+        "bs_sleep"
+    }
+
+    fn schedule(
+        &self,
+        inputs: &S1Inputs<'_>,
+        net_state: &mut NetworkState,
+        scratch: &mut S1Scratch,
+        out: &mut ScheduleOutcome,
+    ) {
+        let topo = inputs.net.topology();
+        let gain = |u: usize, b: usize| topo.gain(NodeId::from_index(u), NodeId::from_index(b));
+        net_state.step_sleep(&gain);
+        let inner = S1Inputs {
+            net: inputs.net,
+            phy: inputs.phy,
+            spectrum: inputs.spectrum,
+            links: inputs.links,
+            max_powers: inputs.max_powers,
+            energy_models: inputs.energy_models,
+            traffic_budget: inputs.traffic_budget,
+            available: net_state.active(),
+            slot: inputs.slot,
+            packet_size: inputs.packet_size,
+        };
+        match net_state.scheduler() {
+            SchedulerKind::Greedy => greedy_schedule_with(&inner, scratch, out),
+            SchedulerKind::SequentialFix => sequential_fix_schedule_with(&inner, scratch, out),
+        }
+    }
+}
+
+/// Coupled multi-node S4 stage (key `"energy_coop"`): computes this slot's
+/// lossy inter-BS renewable transfers (efficiency `η_x`) in the
+/// [`NetworkState`], then solves the marginal-price problem on the
+/// transfer-adjusted renewable vector with the same warm kernel as
+/// [`MarginalPriceStage`]. At `η_x = 0` the adjusted vector is a verbatim
+/// copy and the stage is bit-identical to the per-node oracle — the
+/// standing equivalence reference.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyCoopStage;
+
+impl EnergyStage for EnergyCoopStage {
+    fn key(&self) -> &'static str {
+        "energy_coop"
+    }
+
+    fn solve(
+        &self,
+        input: &EnergyManagementInput<'_>,
+        net_state: &mut NetworkState,
+        ws: &mut S4Workspace,
+        out: &mut EnergyOutcome,
+    ) -> Result<(), EnergyManagementError> {
+        net_state.compute_transfers(input);
+        let adjusted = EnergyManagementInput {
+            z: input.z,
+            demand: input.demand,
+            renewable: net_state.adjusted_renewable(),
+            batteries: input.batteries,
+            grid_connected: input.grid_connected,
+            grid_limits: input.grid_limits,
+            is_base_station: input.is_base_station,
+            cost: input.cost,
+            v: input.v,
+        };
+        solve_energy_management_warm_into(&adjusted, ws, out)
+    }
+}
+
 static GREEDY: GreedyStage = GreedyStage;
 static SEQUENTIAL_FIX: SequentialFixStage = SequentialFixStage;
+static BS_SLEEP: BsSleepStage = BsSleepStage;
 static MULTI_HOP: MultiHopStage = MultiHopStage;
 static ONE_HOP: OneHopStage = OneHopStage;
 static MARGINAL_PRICE: MarginalPriceStage = MarginalPriceStage;
 static MARGINAL_PRICE_REFERENCE: MarginalPriceReferenceStage = MarginalPriceReferenceStage;
 static GRID_ONLY: GridOnlyStage = GridOnlyStage;
+static ENERGY_COOP: EnergyCoopStage = EnergyCoopStage;
 
-static SCHEDULE_STAGES: [&dyn ScheduleStage; 2] = [&GREEDY, &SEQUENTIAL_FIX];
+static SCHEDULE_STAGES: [&dyn ScheduleStage; 3] = [&GREEDY, &SEQUENTIAL_FIX, &BS_SLEEP];
 static RELAY_STAGES: [&dyn RelayStage; 2] = [&MULTI_HOP, &ONE_HOP];
-static ENERGY_STAGES: [&dyn EnergyStage; 3] =
-    [&MARGINAL_PRICE, &MARGINAL_PRICE_REFERENCE, &GRID_ONLY];
+static ENERGY_STAGES: [&dyn EnergyStage; 4] = [
+    &MARGINAL_PRICE,
+    &MARGINAL_PRICE_REFERENCE,
+    &GRID_ONLY,
+    &ENERGY_COOP,
+];
 
-/// Looks up a registered S1 stage by key (`"greedy"`, `"sequential_fix"`).
-#[must_use]
-pub fn schedule_stage(key: &str) -> Option<&'static dyn ScheduleStage> {
-    SCHEDULE_STAGES.iter().copied().find(|s| s.key() == key)
+/// A stage-registry lookup failed: the error names the unknown key and
+/// enumerates every registered key of that stage kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownStageKey {
+    /// Which registry was searched (`"schedule"`, `"relay"`, `"energy"`).
+    pub kind: &'static str,
+    /// The key that failed to resolve.
+    pub key: String,
+    /// Every key registered in that registry.
+    pub valid: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownStageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} stage key \"{}\"; valid keys: {}",
+            self.kind,
+            self.key,
+            self.valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownStageKey {}
+
+/// Looks up a registered S1 stage by key (`"greedy"`, `"sequential_fix"`,
+/// `"bs_sleep"`).
+///
+/// # Errors
+///
+/// [`UnknownStageKey`] naming the key and the registered alternatives.
+pub fn schedule_stage(key: &str) -> Result<&'static dyn ScheduleStage, UnknownStageKey> {
+    SCHEDULE_STAGES
+        .iter()
+        .copied()
+        .find(|s| s.key() == key)
+        .ok_or_else(|| UnknownStageKey {
+            kind: "schedule",
+            key: key.to_string(),
+            valid: SCHEDULE_STAGES.iter().map(|s| s.key()).collect(),
+        })
 }
 
 /// Looks up a registered relay stage by key (`"multi_hop"`, `"one_hop"`).
-#[must_use]
-pub fn relay_stage(key: &str) -> Option<&'static dyn RelayStage> {
-    RELAY_STAGES.iter().copied().find(|s| s.key() == key)
+///
+/// # Errors
+///
+/// [`UnknownStageKey`] naming the key and the registered alternatives.
+pub fn relay_stage(key: &str) -> Result<&'static dyn RelayStage, UnknownStageKey> {
+    RELAY_STAGES
+        .iter()
+        .copied()
+        .find(|s| s.key() == key)
+        .ok_or_else(|| UnknownStageKey {
+            kind: "relay",
+            key: key.to_string(),
+            valid: RELAY_STAGES.iter().map(|s| s.key()).collect(),
+        })
 }
 
 /// Looks up a registered S4 stage by key (`"marginal_price"`,
-/// `"marginal_price_reference"`, `"grid_only"`).
-#[must_use]
-pub fn energy_stage(key: &str) -> Option<&'static dyn EnergyStage> {
-    ENERGY_STAGES.iter().copied().find(|s| s.key() == key)
+/// `"marginal_price_reference"`, `"grid_only"`, `"energy_coop"`).
+///
+/// # Errors
+///
+/// [`UnknownStageKey`] naming the key and the registered alternatives.
+pub fn energy_stage(key: &str) -> Result<&'static dyn EnergyStage, UnknownStageKey> {
+    ENERGY_STAGES
+        .iter()
+        .copied()
+        .find(|s| s.key() == key)
+        .ok_or_else(|| UnknownStageKey {
+            kind: "energy",
+            key: key.to_string(),
+            valid: ENERGY_STAGES.iter().map(|s| s.key()).collect(),
+        })
 }
 
 /// What a [`FallbackStage`] rung decided about a failed S4 solve.
@@ -526,6 +705,7 @@ pub struct SlotContext {
     pub(crate) flows: FlowPlan,
     pub(crate) s4: S4Workspace,
     pub(crate) energy: EnergyOutcome,
+    pub(crate) net_state: NetworkState,
 }
 
 impl SlotContext {
@@ -634,31 +814,60 @@ mod tests {
 
     #[test]
     fn registry_resolves_all_builtin_keys() {
-        for key in ["greedy", "sequential_fix"] {
+        for key in ["greedy", "sequential_fix", "bs_sleep"] {
             assert_eq!(schedule_stage(key).expect("registered").key(), key);
         }
         for key in ["multi_hop", "one_hop"] {
             assert_eq!(relay_stage(key).expect("registered").key(), key);
         }
-        for key in ["marginal_price", "marginal_price_reference", "grid_only"] {
+        for key in [
+            "marginal_price",
+            "marginal_price_reference",
+            "grid_only",
+            "energy_coop",
+        ] {
             assert_eq!(energy_stage(key).expect("registered").key(), key);
         }
-        assert!(schedule_stage("no_such_stage").is_none());
-        assert!(relay_stage("no_such_stage").is_none());
-        assert!(energy_stage("no_such_stage").is_none());
+        assert!(schedule_stage("no_such_stage").is_err());
+        assert!(relay_stage("no_such_stage").is_err());
+        assert!(energy_stage("no_such_stage").is_err());
+    }
+
+    #[test]
+    fn registry_errors_name_the_key_and_enumerate_valid_keys() {
+        let err = schedule_stage("no_such_stage").expect_err("unknown key");
+        assert_eq!(err.kind, "schedule");
+        assert_eq!(err.key, "no_such_stage");
+        assert_eq!(err.valid, ["greedy", "sequential_fix", "bs_sleep"]);
+        assert_eq!(
+            err.to_string(),
+            "unknown schedule stage key \"no_such_stage\"; \
+             valid keys: greedy, sequential_fix, bs_sleep"
+        );
+        let err = relay_stage("mutli_hop").expect_err("misspelled key");
+        assert_eq!(
+            err.to_string(),
+            "unknown relay stage key \"mutli_hop\"; valid keys: multi_hop, one_hop"
+        );
+        let err = energy_stage("marginal").expect_err("truncated key");
+        assert_eq!(
+            err.to_string(),
+            "unknown energy stage key \"marginal\"; valid keys: \
+             marginal_price, marginal_price_reference, grid_only, energy_coop"
+        );
     }
 
     #[test]
     fn config_keys_round_trip_through_the_registry() {
         use crate::{EnergyPolicy, RelayPolicy, SchedulerKind};
         for kind in [SchedulerKind::Greedy, SchedulerKind::SequentialFix] {
-            assert!(schedule_stage(kind.key()).is_some());
+            assert!(schedule_stage(kind.key()).is_ok());
         }
         for policy in [RelayPolicy::MultiHop, RelayPolicy::OneHop] {
-            assert!(relay_stage(policy.key()).is_some());
+            assert!(relay_stage(policy.key()).is_ok());
         }
         for policy in [EnergyPolicy::MarginalPrice, EnergyPolicy::GridOnly] {
-            assert!(energy_stage(policy.key()).is_some());
+            assert!(energy_stage(policy.key()).is_ok());
         }
     }
 

@@ -93,13 +93,47 @@ pub fn resource_allocation_into(
     k_max: Packets,
     out: &mut Vec<Admission>,
 ) {
+    resource_allocation_masked_into(net, data, lambda, v, k_max, &|_| true, out);
+}
+
+/// S2 restricted to an eligible source set: the paper's rule over only the
+/// base stations for which `source_eligible` returns true. The dynamic
+/// network-state layer passes "awake and done ramping" here so sessions
+/// re-associate to a serving BS instead of queueing behind one that chose
+/// to sleep. Outaged BSs are *not* excluded by that caller — a down source
+/// admits nothing and the session waits the fault out, exactly as in the
+/// static controller.
+///
+/// If no BS is eligible (every BS mid-ramp after a mass wake-up) the
+/// filter is ignored and the unrestricted rule applies; the caller's
+/// active-mask retain then drops the admission for the slot.
+///
+/// # Panics
+///
+/// Panics if the network has no base stations (prevented by
+/// `NetworkBuilder` validation).
+pub fn resource_allocation_masked_into(
+    net: &Network,
+    data: &DataQueueBank,
+    lambda: f64,
+    v: f64,
+    k_max: Packets,
+    source_eligible: &dyn Fn(NodeId) -> bool,
+    out: &mut Vec<Admission>,
+) {
     out.clear();
     out.extend(net.sessions().iter().map(|session| {
         let s = session.id();
         let source = net
             .topology()
             .base_stations()
+            .filter(|&b| source_eligible(b))
             .min_by_key(|&b| (data.backlog(b, s), b))
+            .or_else(|| {
+                net.topology()
+                    .base_stations()
+                    .min_by_key(|&b| (data.backlog(b, s), b))
+            })
             .expect("network has at least one base station");
         let q = data.backlog(source, s).count_f64();
         let packets = if admission_valve_open(q, lambda, v) {
@@ -175,6 +209,38 @@ mod tests {
         admit(&mut data, 0, 1, 100);
         let adm = resource_allocation(&net, &data, 0.1, 1000.0, Packets::new(9));
         assert_eq!(adm[0].packets, Packets::ZERO);
+    }
+
+    #[test]
+    fn masked_selection_skips_ineligible_sources_and_falls_back_when_empty() {
+        let (net, mut data) = fixture();
+        admit(&mut data, 0, 0, 500); // BS 0 has 500 queued for session 0
+                                     // BS 1 is emptier but ineligible (asleep) ⇒ BS 0 wins despite its
+                                     // backlog, and the valve is evaluated at BS 0's queue.
+        let asleep_1 = |b: NodeId| b != NodeId::from_index(1);
+        let mut adm = Vec::new();
+        resource_allocation_masked_into(
+            &net,
+            &data,
+            1.0,
+            1000.0,
+            Packets::new(100),
+            &asleep_1,
+            &mut adm,
+        );
+        assert_eq!(adm[0].source, NodeId::from_index(0));
+        assert_eq!(adm[0].packets, Packets::new(100)); // 500 < λV = 1000
+                                                       // No eligible BS at all ⇒ the filter is ignored, not a panic.
+        resource_allocation_masked_into(
+            &net,
+            &data,
+            1.0,
+            1000.0,
+            Packets::new(100),
+            &|_| false,
+            &mut adm,
+        );
+        assert_eq!(adm[0].source, NodeId::from_index(1)); // emptier BS again
     }
 
     #[test]

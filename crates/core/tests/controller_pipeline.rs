@@ -56,6 +56,8 @@ fn config(v: f64) -> ControllerConfig {
         energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
         degradation: Default::default(),
+        bs_sleep: None,
+        energy_coop: None,
     }
 }
 

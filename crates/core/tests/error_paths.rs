@@ -47,6 +47,8 @@ fn config() -> ControllerConfig {
         energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
         degradation: DegradationPolicy::Graceful,
+        bs_sleep: None,
+        energy_coop: None,
     }
 }
 

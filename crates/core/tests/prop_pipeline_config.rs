@@ -97,6 +97,8 @@ proptest! {
             } else {
                 DegradationPolicy::Graceful
             },
+            bs_sleep: None,
+            energy_coop: None,
         };
         let mut pipeline = build_controller(config, grid_limit_kwh);
         let mut oracle = build_controller(config, grid_limit_kwh);

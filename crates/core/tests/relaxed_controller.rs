@@ -54,6 +54,8 @@ fn config() -> ControllerConfig {
         energy_policy: EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
         degradation: Default::default(),
+        bs_sleep: None,
+        energy_coop: None,
     }
 }
 

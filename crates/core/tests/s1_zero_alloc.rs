@@ -16,9 +16,9 @@
 
 use greencell_core::{
     greedy_schedule_with, solve_energy_management_warm_into, Controller, ControllerConfig,
-    DegradationPolicy, EnergyConfig, EnergyManagementInput, EnergyOutcome, EnergyPolicy,
-    NodeEnergyConfig, RelayPolicy, S1Inputs, S1Scratch, S4Workspace, ScheduleOutcome,
-    SchedulerKind, SlotObservation,
+    CoopPolicy, DegradationPolicy, EnergyConfig, EnergyManagementInput, EnergyOutcome,
+    EnergyPolicy, NodeEnergyConfig, RelayPolicy, S1Inputs, S1Scratch, S4Workspace, ScheduleOutcome,
+    SchedulerKind, SleepPolicy, SlotObservation,
 };
 use greencell_energy::{Battery, NodeEnergyModel, QuadraticCost};
 use greencell_net::{NetworkBuilder, NodeId, PathLossModel, Point, SessionId};
@@ -72,6 +72,7 @@ fn steady_state_slot_allocates_nothing() {
     steady_state_greedy_s1_section();
     steady_state_warm_s4_section();
     steady_state_full_pipeline_section();
+    steady_state_dynamic_policies_section();
 }
 
 fn steady_state_warm_s4_section() {
@@ -270,6 +271,8 @@ fn steady_state_full_pipeline_section() {
         energy_policy: EnergyPolicy::MarginalPrice,
         w_max: Bandwidth::from_megahertz(2.0),
         degradation: DegradationPolicy::Graceful,
+        bs_sleep: None,
+        energy_coop: None,
     };
     let phy = PhyConfig::new(1.0, 1e-20);
     let mut ctl = Controller::new(net, phy, energy, config).expect("controller builds");
@@ -313,6 +316,118 @@ fn steady_state_full_pipeline_section() {
         after - before,
         0,
         "steady-state Controller::step performed {} heap allocations over 50 slots",
+        after - before
+    );
+}
+
+fn steady_state_dynamic_policies_section() {
+    // The full-pipeline fixture again, now with both dynamic network-state
+    // stages live: an aggressive sleep policy parks one BS during warm-up
+    // (the last-awake guard keeps the other up) and stays there, and the
+    // cooperation stage recomputes lossy transfers every slot. Steady
+    // state therefore exercises begin_slot, the backlog scatter,
+    // step_sleep, masked S2 source selection, and compute_transfers —
+    // all of which must run out of the arena.
+    let mut b = NetworkBuilder::new(PathLossModel::new(62.5, 4.0), 2);
+    b.add_base_station(Point::new(0.0, 0.0));
+    b.add_base_station(Point::new(1200.0, 0.0));
+    let mut users = Vec::new();
+    for k in 0..6 {
+        let angle = k as f64 * std::f64::consts::TAU / 6.0;
+        users.push(b.add_user(Point::new(600.0 + 500.0 * angle.cos(), 500.0 * angle.sin())));
+    }
+    for &u in users.iter().take(3) {
+        b.add_session(u, DataRate::from_kilobits_per_second(100.0));
+    }
+    let net = b.build().expect("valid network");
+    let n = net.topology().len();
+    let sessions = net.session_count();
+
+    let node_cfg = |is_bs: bool| NodeEnergyConfig {
+        battery: Battery::new(
+            Energy::from_kilowatt_hours(1.0),
+            Energy::from_kilowatt_hours(0.1),
+            Energy::from_kilowatt_hours(0.1),
+        ),
+        energy_model: NodeEnergyModel::new(
+            Energy::from_joules(10.0),
+            Energy::from_joules(5.0),
+            Power::from_milliwatts(100.0),
+        ),
+        max_power: if is_bs {
+            Power::from_watts(20.0)
+        } else {
+            Power::from_watts(1.0)
+        },
+        grid_limit: Energy::from_kilowatt_hours(0.2),
+    };
+    let energy = EnergyConfig {
+        nodes: net
+            .topology()
+            .nodes()
+            .iter()
+            .map(|nd| node_cfg(nd.kind().is_base_station()))
+            .collect(),
+        cost: QuadraticCost::paper_default(),
+    };
+    let config = ControllerConfig {
+        v: 1e5,
+        lambda: 0.2,
+        k_max: Packets::new(1000),
+        packet_size: PacketSize::from_bits(10_000),
+        slot: TimeDelta::from_minutes(1.0),
+        scheduler: SchedulerKind::Greedy,
+        relay: RelayPolicy::MultiHop,
+        energy_policy: EnergyPolicy::MarginalPrice,
+        w_max: Bandwidth::from_megahertz(2.0),
+        degradation: DegradationPolicy::Graceful,
+        bs_sleep: Some(SleepPolicy {
+            threshold_pkts: 1e9, // every slot counts as idle
+            w_slots: 2,
+            wake_threshold_pkts: 1e9, // and the decision sticks
+            ramp_slots: 2,
+            sleep_power: Power::from_milliwatts(500.0),
+            ramp_power: Power::from_watts(5.0),
+        }),
+        energy_coop: Some(CoopPolicy { eta_x: 0.7 }),
+    };
+    let phy = PhyConfig::new(1.0, 1e-20);
+    let mut ctl = Controller::new(net, phy, energy, config).expect("controller builds");
+
+    let obs = SlotObservation {
+        spectrum: SpectrumState::new(vec![
+            Bandwidth::from_megahertz(1.0),
+            Bandwidth::from_megahertz(2.0),
+        ]),
+        renewable: vec![Energy::from_joules(300.0); n],
+        grid_connected: vec![true; n],
+        session_demand: vec![Packets::new(600); sessions],
+        price_multiplier: 1.0,
+        node_available: vec![],
+    };
+
+    for _ in 0..50 {
+        ctl.step(&obs).expect("fault-free slot");
+    }
+    let ns = ctl
+        .network_state()
+        .expect("dynamic policies carry a network state");
+    assert!(
+        ns.asleep_bs_count() > 0,
+        "warm-up must park a BS or the dynamic audit is vacuous"
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..50 {
+        let report = ctl.step(&obs).expect("fault-free slot");
+        assert!(report.degradation.is_empty());
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state dynamic-policy Controller::step performed {} heap \
+         allocations over 50 slots",
         after - before
     );
 }

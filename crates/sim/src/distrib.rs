@@ -333,8 +333,25 @@ pub fn scenario_json(s: &Scenario) -> String {
         .faults
         .as_ref()
         .map_or_else(|| "null".to_string(), faults_json);
+    let bs_sleep = s.bs_sleep.map_or_else(
+        || "null".to_string(),
+        |p| {
+            format!(
+                "[{},{},{},{},{},{}]",
+                hex_f64(p.threshold_pkts),
+                hex_u64(u64::from(p.w_slots)),
+                hex_f64(p.wake_threshold_pkts),
+                hex_u64(u64::from(p.ramp_slots)),
+                hex_f64(p.sleep_power.as_watts()),
+                hex_f64(p.ramp_power.as_watts()),
+            )
+        },
+    );
+    let energy_coop = s
+        .energy_coop
+        .map_or_else(|| "null".to_string(), |c| hex_f64(c.eta_x));
     format!(
-        "{{\"area_m\":{},\"bs_positions\":{},\"users\":{},\"cellular_band_mhz\":{},\"random_bands\":{},\"user_band_probability\":{},\"sessions\":{},\"session_demand_bps\":{},\"session_demands_kbps\":{},\"path_loss_c\":{},\"path_loss_gamma\":{},\"sinr_threshold\":{},\"noise_density\":{},\"user_max_power_w\":{},\"bs_max_power_w\":{},\"user_renewable_max_w\":{},\"bs_renewable_max_w\":{},\"user_charge_limit_j\":{},\"bs_charge_limit_j\":{},\"user_battery_capacity_j\":{},\"bs_battery_capacity_j\":{},\"initial_battery_fraction\":{},\"battery_efficiency\":{},\"grid_limit_j\":{},\"user_grid_probability\":{},\"recv_power_w\":{},\"bs_overhead_power_w\":{},\"user_overhead_power_w\":{},\"cost\":[{},{},{}],\"v\":{},\"lambda\":{},\"k_max\":{},\"packet_size_bits\":{},\"slot_s\":{},\"horizon\":{},\"scheduler\":\"{scheduler}\",\"architecture\":\"{architecture}\",\"track_lower_bound\":{},\"demand_model\":\"{demand_model}\",\"grid_model\":{grid_model},\"shadowing_sigma_db\":{},\"placement\":{placement},\"gain_floor\":{},\"diurnal\":{diurnal},\"pricing\":{pricing},\"energy_policy\":\"{energy_policy}\",\"faults\":{faults},\"degradation\":\"{degradation}\",\"seed\":{}}}",
+        "{{\"area_m\":{},\"bs_positions\":{},\"users\":{},\"cellular_band_mhz\":{},\"random_bands\":{},\"user_band_probability\":{},\"sessions\":{},\"session_demand_bps\":{},\"session_demands_kbps\":{},\"path_loss_c\":{},\"path_loss_gamma\":{},\"sinr_threshold\":{},\"noise_density\":{},\"user_max_power_w\":{},\"bs_max_power_w\":{},\"user_renewable_max_w\":{},\"bs_renewable_max_w\":{},\"user_charge_limit_j\":{},\"bs_charge_limit_j\":{},\"user_battery_capacity_j\":{},\"bs_battery_capacity_j\":{},\"initial_battery_fraction\":{},\"battery_efficiency\":{},\"grid_limit_j\":{},\"user_grid_probability\":{},\"recv_power_w\":{},\"bs_overhead_power_w\":{},\"user_overhead_power_w\":{},\"cost\":[{},{},{}],\"v\":{},\"lambda\":{},\"k_max\":{},\"packet_size_bits\":{},\"slot_s\":{},\"horizon\":{},\"scheduler\":\"{scheduler}\",\"architecture\":\"{architecture}\",\"track_lower_bound\":{},\"demand_model\":\"{demand_model}\",\"grid_model\":{grid_model},\"shadowing_sigma_db\":{},\"placement\":{placement},\"gain_floor\":{},\"diurnal\":{diurnal},\"pricing\":{pricing},\"energy_policy\":\"{energy_policy}\",\"faults\":{faults},\"degradation\":\"{degradation}\",\"bs_sleep\":{bs_sleep},\"energy_coop\":{energy_coop},\"seed\":{}}}",
         hex_f64(s.area_m),
         pairs_json(&s.bs_positions),
         hex_u64(s.users as u64),
@@ -585,6 +602,32 @@ pub fn scenario_of(v: &Value) -> Result<Scenario, String> {
         Value::Null => None,
         other => Some(faults_of(other)?),
     };
+    let bs_sleep = match get(v, "bs_sleep")? {
+        Value::Null => None,
+        other => {
+            let a = arr(other)?;
+            if a.len() != 6 {
+                return Err(format!("bs_sleep policy has {} fields, need 6", a.len()));
+            }
+            let slots = |x: &Value| -> Result<u32, String> {
+                u32::try_from(u64_of(x)?).map_err(|e| format!("slot count overflows u32: {e}"))
+            };
+            Some(greencell_core::SleepPolicy {
+                threshold_pkts: f64_of(&a[0])?,
+                w_slots: slots(&a[1])?,
+                wake_threshold_pkts: f64_of(&a[2])?,
+                ramp_slots: slots(&a[3])?,
+                sleep_power: Power::from_watts(f64_of(&a[4])?),
+                ramp_power: Power::from_watts(f64_of(&a[5])?),
+            })
+        }
+    };
+    let energy_coop = match get(v, "energy_coop")? {
+        Value::Null => None,
+        other => Some(greencell_core::CoopPolicy {
+            eta_x: f64_of(other)?,
+        }),
+    };
     let cost = {
         let a = arr(get(v, "cost")?)?;
         if a.len() != 3 {
@@ -645,6 +688,8 @@ pub fn scenario_of(v: &Value) -> Result<Scenario, String> {
         energy_policy,
         faults,
         degradation,
+        bs_sleep,
+        energy_coop,
         seed: u64_of(get(v, "seed")?)?,
     })
 }

@@ -590,6 +590,33 @@ impl Simulator {
             ] {
                 sink.record(TraceEvent::Gauge { slot, name, value });
             }
+            // Dynamic-network telemetry: emitted only when a sleep or
+            // cooperation policy is live, so default runs' traces are
+            // byte-identical to before the policies existed.
+            if let Some(ns) = self.controller.network_state() {
+                sink.record(TraceEvent::Gauge {
+                    slot,
+                    name: names::ASLEEP_BS,
+                    value: ns.asleep_bs_count() as f64,
+                });
+                sink.record(TraceEvent::Gauge {
+                    slot,
+                    name: names::TRANSFER_KWH,
+                    value: ns.slot_transferred_kwh(),
+                });
+                if ns.slot_sleep_transitions() > 0 {
+                    sink.record(TraceEvent::Mark {
+                        slot,
+                        name: "bs_sleep",
+                    });
+                }
+                if ns.slot_wake_transitions() > 0 {
+                    sink.record(TraceEvent::Mark {
+                        slot,
+                        name: "bs_wake",
+                    });
+                }
+            }
             if faults.as_ref().is_some_and(SlotFaults::is_degraded) {
                 sink.record(TraceEvent::Mark {
                     slot,

@@ -191,6 +191,36 @@ impl FaultSpec {
         }
     }
 
+    /// The documented CLI fault presets, in the order the usage text
+    /// lists them — the single source of truth the error message below
+    /// and the CLI share.
+    pub const PRESETS: [&'static str; 5] =
+        ["bs-outage", "drought", "price-spike", "band-loss", "chaos"];
+
+    /// Resolves a named CLI fault preset, scaling windowed presets
+    /// (drought, price spike, chaos) to `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SimError::InvalidConfig`] naming the unknown
+    /// preset and enumerating the valid ones — the only five names the
+    /// `--faults` flag documents.
+    pub fn from_preset(name: &str, horizon: usize) -> Result<Self, crate::SimError> {
+        match name {
+            "bs-outage" => Ok(Self::bs_outage()),
+            "drought" => Ok(Self::renewable_drought(horizon / 4, horizon / 2)),
+            "price-spike" => Ok(Self::price_spike(horizon / 4, horizon / 2, 6.0)),
+            "band-loss" => Ok(Self::band_loss()),
+            "chaos" => Ok(Self::chaos(horizon)),
+            other => Err(crate::SimError::InvalidConfig {
+                detail: format!(
+                    "unknown fault preset: {other}; valid presets: {}",
+                    Self::PRESETS.join(", ")
+                ),
+            }),
+        }
+    }
+
     /// Whether the spec injects anything at all.
     #[must_use]
     pub fn is_noop(&self) -> bool {
@@ -692,6 +722,48 @@ mod tests {
             ..FaultSpec::default()
         };
         let _ = plan(&spec, 1, 4);
+    }
+
+    #[test]
+    fn presets_resolve_and_windows_scale_to_the_horizon() {
+        assert_eq!(
+            FaultSpec::from_preset("bs-outage", 40).unwrap(),
+            FaultSpec::bs_outage()
+        );
+        assert_eq!(
+            FaultSpec::from_preset("drought", 40).unwrap().droughts,
+            vec![SlotWindow::new(10, 20)]
+        );
+        assert_eq!(
+            FaultSpec::from_preset("price-spike", 40)
+                .unwrap()
+                .price_spikes,
+            vec![PriceSpike {
+                window: SlotWindow::new(10, 20),
+                multiplier: 6.0,
+            }]
+        );
+        assert_eq!(
+            FaultSpec::from_preset("band-loss", 40).unwrap(),
+            FaultSpec::band_loss()
+        );
+        assert_eq!(
+            FaultSpec::from_preset("chaos", 40).unwrap(),
+            FaultSpec::chaos(40)
+        );
+    }
+
+    #[test]
+    fn misspelled_preset_is_a_typed_config_error_naming_the_valid_set() {
+        match FaultSpec::from_preset("draught", 40) {
+            Err(crate::SimError::InvalidConfig { detail }) => {
+                assert!(detail.contains("unknown fault preset: draught"), "{detail}");
+                for valid in FaultSpec::PRESETS {
+                    assert!(detail.contains(valid), "{detail} must list {valid}");
+                }
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

@@ -80,11 +80,75 @@ impl ClusterSet {
                 }
             });
         }
+        Self::from_parents(&mut parent)
+    }
+
+    /// Like [`ClusterSet::decompose`], but with every node flagged in
+    /// `masked` (the sharded controller passes its sleeping base
+    /// stations) excluded from edge formation: a masked node forms a
+    /// singleton cluster and components that were only bridged by masked
+    /// nodes split apart. Deterministic for the same inputs — the sharded
+    /// controller recomputes this whenever the awake set changes, so the
+    /// effective decomposition it reports tracks the live network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout carries shadowing offsets or if `masked` does
+    /// not hold exactly one entry per node.
+    #[must_use]
+    pub fn decompose_masked(layout: &ScenarioLayout, scenario: &Scenario, masked: &[bool]) -> Self {
+        assert!(
+            layout.shadowing_db.is_empty(),
+            "cluster decomposition requires unshadowed gains"
+        );
+        let n = layout.len();
+        assert_eq!(masked.len(), n, "one mask entry per node");
+        let mut parent: Vec<usize> = (0..n).collect();
+        if scenario.gain_floor <= 0.0 {
+            // No pruning: every unmasked node joins one component.
+            let mut prev = usize::MAX;
+            for i in (0..n).filter(|&i| !masked[i]) {
+                if prev != usize::MAX {
+                    union(&mut parent, prev, i);
+                }
+                prev = i;
+            }
+        } else {
+            let d_cut = scenario
+                .cutoff_radius_m()
+                .expect("positive floor implies a finite cutoff");
+            let model = PathLossModel::new(scenario.path_loss_c, scenario.path_loss_gamma);
+            let floor = scenario.gain_floor;
+            let mut index = GridIndex::new(d_cut, scenario.area_m, scenario.area_m);
+            for &p in &layout.positions {
+                index.insert(p);
+            }
+            let scan = d_cut * 1.0001;
+            for i in 0..n {
+                if masked[i] {
+                    continue;
+                }
+                let pi = layout.positions[i];
+                index.for_neighbors_within(pi, scan, |j, pj| {
+                    if j < i && !masked[j] && model.gain(pi.distance_to(pj)) >= floor {
+                        union(&mut parent, i, j);
+                    }
+                });
+            }
+        }
+        Self::from_parents(&mut parent)
+    }
+
+    /// Collapses a union-find forest into dense cluster ids (order of
+    /// first appearance over ascending node index) and ascending member
+    /// lists — the shared tail of both decompositions.
+    fn from_parents(parent: &mut [usize]) -> Self {
+        let n = parent.len();
         let mut membership = vec![0usize; n];
         let mut root_id = vec![usize::MAX; n];
         let mut clusters: Vec<Vec<usize>> = Vec::new();
         for (i, slot) in membership.iter_mut().enumerate() {
-            let r = find(&mut parent, i);
+            let r = find(parent, i);
             if root_id[r] == usize::MAX {
                 root_id[r] = clusters.len();
                 clusters.push(Vec::new());
@@ -201,5 +265,35 @@ mod tests {
             assert!(members.windows(2).all(|w| w[0] < w[1]));
             assert!(!members.is_empty());
         }
+    }
+
+    #[test]
+    fn masking_a_node_makes_it_a_singleton() {
+        let s = Scenario::tiny(3);
+        let layout = s.build_layout();
+        let n = layout.len();
+        let mut masked = vec![false; n];
+        let unmasked = ClusterSet::decompose_masked(&layout, &s, &masked);
+        assert_eq!(unmasked, ClusterSet::decompose(&layout, &s));
+        masked[0] = true;
+        let set = ClusterSet::decompose_masked(&layout, &s, &masked);
+        assert_eq!(set.len(), 2, "masked node splits off");
+        assert_eq!(set.clusters()[0], vec![0]);
+        assert_eq!(set.clusters()[1], (1..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn masking_respects_the_pruned_graph() {
+        let s = Scenario::city(100, 4, Scenario::default_city_area(4), 5);
+        let layout = s.build_layout();
+        let base = ClusterSet::decompose(&layout, &s);
+        // Mask the first BS: the masked decomposition must have at least
+        // as many clusters, with the BS alone in its own.
+        let mut masked = vec![false; layout.len()];
+        masked[0] = true;
+        let set = ClusterSet::decompose_masked(&layout, &s, &masked);
+        assert!(set.len() >= base.len());
+        let c0 = set.cluster_of(0);
+        assert_eq!(set.clusters()[c0], vec![0]);
     }
 }

@@ -17,10 +17,10 @@
 
 use greencell_core::pipeline::{self, EnergyStage, RelayStage, ScheduleStage};
 use greencell_core::{
-    dpp, resource_allocation_into, route_flows_into, solve_grid_only_into, solve_safe_mode,
-    Admission, ControllerConfig, DegradationEvent, DegradationPolicy, EnergyManagementError,
-    EnergyManagementInput, EnergyOutcome, S1Inputs, S1Scratch, S3Scratch, S4Workspace,
-    ScheduleOutcome, SlotObservation, SlotReport,
+    dpp, resource_allocation_into, resource_allocation_masked_into, route_flows_into,
+    solve_grid_only_into, solve_safe_mode, Admission, ControllerConfig, DegradationEvent,
+    DegradationPolicy, EnergyManagementError, EnergyManagementInput, EnergyOutcome, NetworkState,
+    S1Inputs, S1Scratch, S3Scratch, S4Workspace, ScheduleOutcome, SlotObservation, SlotReport,
 };
 use greencell_energy::{Battery, CostFn, NodeEnergyModel, QuadraticCost};
 use greencell_net::{Network, NetworkBuilder, NodeId, NodeKind, PathLossModel, SessionId};
@@ -31,7 +31,7 @@ use greencell_units::{Bandwidth, Energy, Packets, Power};
 
 use super::ClusterSet;
 use crate::engine::SimError;
-use crate::scenario::{DemandModel, GridModel, Scenario};
+use crate::scenario::{DemandModel, GridModel, Scenario, ScenarioLayout};
 
 /// One interference cluster's dense subproblem: its sub-network, queue
 /// banks, and the warm per-slot scratch the stages reuse. Local node ids
@@ -61,6 +61,13 @@ struct ClusterSolver {
     link_service: Vec<(NodeId, NodeId, Packets)>,
     routing_caps: Vec<(NodeId, NodeId, Packets)>,
     admission_triples: Vec<(SessionId, NodeId, Packets)>,
+    /// Local active mask scattered from the controller's global
+    /// [`NetworkState`] each slot (empty = every node active, the
+    /// static-topology fast path — bit-identical to the pre-sleep solver).
+    avail: Vec<bool>,
+    /// Inert state satisfying the stage signature; the live sleep/coop
+    /// machine is the controller's global one.
+    net_state: NetworkState,
 }
 
 impl ClusterSolver {
@@ -87,25 +94,53 @@ impl ClusterSolver {
             max_powers: &self.max_powers,
             energy_models: &self.models,
             traffic_budget: &self.traffic_budget,
-            available: &[],
+            available: &self.avail,
             slot: config.slot,
             packet_size: config.packet_size,
         };
-        schedule_stage.schedule(&s1_inputs, &mut self.s1, &mut self.outcome);
-        resource_allocation_into(
-            &self.net,
-            &self.data,
-            config.lambda,
-            config.v,
-            config.k_max,
-            &mut self.admissions,
+        schedule_stage.schedule(
+            &s1_inputs,
+            &mut self.net_state,
+            &mut self.s1,
+            &mut self.outcome,
         );
+        if self.avail.is_empty() {
+            resource_allocation_into(
+                &self.net,
+                &self.data,
+                config.lambda,
+                config.v,
+                config.k_max,
+                &mut self.admissions,
+            );
+        } else {
+            // The sharded path rejects faults, so the scattered mask is
+            // exactly "awake and done ramping": sessions re-associate to a
+            // serving BS instead of queueing behind a sleeping one, same
+            // as the dense controller.
+            let avail = &self.avail;
+            resource_allocation_masked_into(
+                &self.net,
+                &self.data,
+                config.lambda,
+                config.v,
+                config.k_max,
+                &|b: NodeId| avail.get(b.index()).copied().unwrap_or(true),
+                &mut self.admissions,
+            );
+            self.admissions.retain(|a| avail[a.source.index()]);
+        }
         let net = &self.net;
+        let avail = &self.avail;
         self.routing_caps.clear();
         self.routing_caps.extend(
             net.topology()
                 .ordered_pairs()
                 .filter(|&(i, j)| !net.link_bands(i, j).is_empty())
+                .filter(|&(i, j)| {
+                    avail.get(i.index()).copied().unwrap_or(true)
+                        && avail.get(j.index()).copied().unwrap_or(true)
+                })
                 .filter(|&(i, _)| relay_stage.may_relay(net, i))
                 .map(|(i, j)| (i, j, beta_cap)),
         );
@@ -179,6 +214,22 @@ pub struct ShardedController {
     node_local: Vec<usize>,
     /// Global ids of nodes in BS-less clusters.
     uncovered: Vec<usize>,
+    // Dynamic network state (BS sleeping + energy cooperation). Inert
+    // when both policies are off; everything here runs pre-scatter on one
+    // thread, so worker count still never changes results.
+    net_state: NetworkState,
+    /// The scenario and layout, kept for awake-set re-decomposition.
+    scenario: Scenario,
+    layout: ScenarioLayout,
+    /// The decomposition over the currently-awake node set (recomputed on
+    /// every awake-set change; equals `decomposition` while all BSs are
+    /// up). Solvers stay bound to the static decomposition — masking
+    /// inside a static cluster is exactly equivalent because cross-cluster
+    /// gains are zero, so a user's best awake BS is always in its own
+    /// static cluster.
+    effective: ClusterSet,
+    redecompositions: u64,
+    masked: Vec<bool>,
     // Global per-slot arena (reused; zero-alloc steady state).
     z: Vec<f64>,
     z_after: Vec<f64>,
@@ -232,12 +283,20 @@ impl ShardedController {
         config.validate();
         let cost = QuadraticCost::new(scenario.cost.0, scenario.cost.1, scenario.cost.2);
         let beta = dpp::beta(&config, &phy);
+        // The sharded driver runs the sleep machine itself (pre-scatter)
+        // and masks cluster solves, so it always resolves the *inner*
+        // scheduler — never the dense driver's `bs_sleep` wrapper stage.
         let schedule_stage = pipeline::schedule_stage(config.scheduler.key())
             .expect("built-in schedule stage is registered");
         let relay_stage =
             pipeline::relay_stage(config.relay.key()).expect("built-in relay stage is registered");
-        let energy_stage = pipeline::energy_stage(config.energy_policy.key())
-            .expect("built-in energy stage is registered");
+        let energy_key = if config.energy_coop.is_some() {
+            "energy_coop"
+        } else {
+            config.energy_policy.key()
+        };
+        let energy_stage =
+            pipeline::energy_stage(energy_key).expect("built-in energy stage is registered");
 
         let layout = scenario.build_layout();
         let n = layout.len();
@@ -361,9 +420,18 @@ impl ShardedController {
                 link_service: Vec::with_capacity(schedule_bound),
                 routing_caps: Vec::with_capacity(link_slots),
                 admission_triples: Vec::with_capacity(local_s),
+                avail: Vec::with_capacity(local_n),
+                net_state: NetworkState::default(),
             });
         }
 
+        let net_state = NetworkState::new(
+            &is_bs,
+            config.bs_sleep,
+            config.energy_coop,
+            config.scheduler,
+        );
+        let effective = decomposition.clone();
         Ok(Self {
             phy,
             config,
@@ -387,6 +455,12 @@ impl ShardedController {
             node_cluster,
             node_local,
             uncovered,
+            net_state,
+            scenario: scenario.clone(),
+            layout,
+            effective,
+            redecompositions: 0,
+            masked: Vec::with_capacity(n),
             z: Vec::with_capacity(n),
             z_after: Vec::with_capacity(n),
             demand: Vec::with_capacity(n),
@@ -433,6 +507,57 @@ impl ShardedController {
             });
         }
         let n = self.total_nodes;
+
+        // Dynamic network state: run the global sleep machine before any
+        // cluster solve, single-threaded, so results stay worker-count
+        // invariant. Inert (and allocation-free) when both policies are
+        // disabled.
+        if self.net_state.dynamic() {
+            self.net_state.begin_slot(&[]);
+            for c in clusters.iter() {
+                for (local, &g) in c.nodes.iter().enumerate() {
+                    self.net_state.set_node_backlog(
+                        g,
+                        c.data.node_backlog(NodeId::from_index(local)).count_f64(),
+                    );
+                }
+            }
+            if self.net_state.sleep_policy().is_some() {
+                let node_cluster = &self.node_cluster;
+                let node_local = &self.node_local;
+                let solver_of_cluster = &self.solver_of_cluster;
+                let immutable_clusters: &[ClusterSolver] = clusters;
+                // Cluster-local gain lookup; cross-cluster pairs are
+                // exactly zero by the decomposition's closure guarantee.
+                let gain = move |u: usize, b: usize| -> f64 {
+                    if node_cluster[u] != node_cluster[b] {
+                        return 0.0;
+                    }
+                    match solver_of_cluster[node_cluster[u]] {
+                        Some(si) => immutable_clusters[si].net.topology().gain(
+                            NodeId::from_index(node_local[u]),
+                            NodeId::from_index(node_local[b]),
+                        ),
+                        None => 0.0,
+                    }
+                };
+                if self.net_state.step_sleep(&gain) {
+                    let is_bs = &self.is_bs;
+                    let awake = self.net_state.awake();
+                    self.masked.clear();
+                    self.masked.extend((0..n).map(|i| is_bs[i] && !awake[i]));
+                    self.effective =
+                        ClusterSet::decompose_masked(&self.layout, &self.scenario, &self.masked);
+                    self.redecompositions += 1;
+                }
+            }
+            // Scatter the active mask into each cluster solver.
+            let active = self.net_state.active();
+            for c in clusters.iter_mut() {
+                c.avail.clear();
+                c.avail.extend(c.nodes.iter().map(|&g| active[g]));
+            }
+        }
 
         // Shifted battery levels and energy admission budgets, globally in
         // node order — the exact dense expressions.
@@ -532,6 +657,21 @@ impl ShardedController {
             for &g in &self.uncovered {
                 self.demand[g] = self.models[g].slot_demand(None, false, self.config.slot);
             }
+            // Sleeping and ramping BSs replace their overhead demand with
+            // the policy's sleep/ramp power — same override as the dense
+            // driver, re-applied on every ladder retry.
+            if let Some(sp) = self.config.bs_sleep {
+                for g in 0..n {
+                    if !self.is_bs[g] {
+                        continue;
+                    }
+                    if self.net_state.is_asleep(g) {
+                        self.demand[g] = sp.sleep_power * self.config.slot;
+                    } else if self.net_state.ramp_remaining(g) > 0 {
+                        self.demand[g] = sp.ramp_power * self.config.slot;
+                    }
+                }
+            }
             let input = EnergyManagementInput {
                 z: &self.z,
                 demand: &self.demand,
@@ -543,10 +683,12 @@ impl ShardedController {
                 cost: &scaled_cost,
                 v: self.config.v,
             };
-            let err = match self
-                .energy_stage
-                .solve(&input, &mut self.s4, &mut self.energy)
-            {
+            let err = match self.energy_stage.solve(
+                &input,
+                &mut self.net_state,
+                &mut self.s4,
+                &mut self.energy,
+            ) {
                 Ok(()) => break,
                 Err(e) => e,
             };
@@ -758,6 +900,28 @@ impl ShardedController {
         } else {
             None
         }
+    }
+
+    /// The live dynamic network state, or `None` when both the sleep and
+    /// cooperation policies are disabled (the state is then inert).
+    #[must_use]
+    pub fn network_state(&self) -> Option<&NetworkState> {
+        self.net_state.dynamic().then_some(&self.net_state)
+    }
+
+    /// How many times an awake-set change triggered recomputation of the
+    /// effective decomposition.
+    #[must_use]
+    pub fn redecompositions(&self) -> u64 {
+        self.redecompositions
+    }
+
+    /// The decomposition over the currently-awake node set. Equals
+    /// [`ShardedController::decomposition`] until a BS sleeps; sleeping
+    /// base stations split off as singleton clusters.
+    #[must_use]
+    pub fn effective_decomposition(&self) -> &ClusterSet {
+        &self.effective
     }
 
     /// Total data-queue backlog across all clusters (stability telemetry).

@@ -282,6 +282,14 @@ pub struct Scenario {
     /// (default graceful: walk the shed → grid-only → drop-schedule →
     /// safe-mode fallback ladder; strict aborts after shedding).
     pub degradation: greencell_core::DegradationPolicy,
+    /// Optional base-station sleeping policy (dynamic-network knob;
+    /// default `None` = every BS stays awake, bit-identical to the paper
+    /// controller). Enable with [`Scenario::default_sleep_policy`].
+    pub bs_sleep: Option<greencell_core::SleepPolicy>,
+    /// Optional inter-BS renewable-energy cooperation (dynamic-network
+    /// knob; default `None` = no transfers, bit-identical to the paper
+    /// controller). Enable with [`Scenario::default_coop_policy`].
+    pub energy_coop: Option<greencell_core::CoopPolicy>,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -339,6 +347,8 @@ impl Scenario {
             energy_policy: greencell_core::EnergyPolicy::MarginalPrice,
             faults: None,
             degradation: greencell_core::DegradationPolicy::Graceful,
+            bs_sleep: None,
+            energy_coop: None,
             seed,
         }
     }
@@ -647,7 +657,32 @@ impl Scenario {
             energy_policy: self.energy_policy,
             w_max: self.max_bandwidth(),
             degradation: self.degradation,
+            bs_sleep: self.bs_sleep,
+            energy_coop: self.energy_coop,
         }
+    }
+
+    /// A conservative sleep policy scaled to this scenario's BS overhead:
+    /// a BS sleeps after 3 consecutive slots below 2 packets of backlog,
+    /// drops to 10 % of its overhead power while asleep, wakes (over a
+    /// 2-slot ramp at full overhead) once backlog reaches 8 packets.
+    #[must_use]
+    pub fn default_sleep_policy(&self) -> greencell_core::SleepPolicy {
+        greencell_core::SleepPolicy {
+            threshold_pkts: 2.0,
+            w_slots: 3,
+            wake_threshold_pkts: 8.0,
+            ramp_slots: 2,
+            sleep_power: Power::from_watts(self.bs_overhead_power.as_watts() * 0.1),
+            ramp_power: self.bs_overhead_power,
+        }
+    }
+
+    /// A default inter-BS energy-cooperation policy: 70 % transfer
+    /// efficiency, a typical figure for DC-bus sharing between sites.
+    #[must_use]
+    pub fn default_coop_policy(&self) -> greencell_core::CoopPolicy {
+        greencell_core::CoopPolicy { eta_x: 0.7 }
     }
 
     /// Per-session packet demand per slot, `v_s(t)`.

@@ -57,8 +57,11 @@ use std::path::Path;
 /// The `format` tag every snapshot header carries.
 pub const SNAPSHOT_FORMAT: &str = "greencell-snapshot";
 
-/// The format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The format version this build writes and reads. Version 2 added the
+/// controller's dynamic network state (BS sleep timers, user↔BS
+/// association, transfer totals); version-1 files are rejected with a
+/// typed [`SimError::SnapshotVersionMismatch`], never silently zeroed.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit over `bytes` — the workspace's dependency-free content
 /// checksum (snapshots, checkpoints, state fingerprints).
@@ -220,16 +223,60 @@ fn queues_of(v: &Value) -> Result<Vec<PacketQueue>, String> {
     arr(v)?.iter().map(queue_of).collect()
 }
 
+fn bool_list_json(xs: &[bool]) -> String {
+    let body: Vec<String> = xs.iter().map(bool::to_string).collect();
+    format!("[{}]", body.join(","))
+}
+
+fn bool_list_of(v: &Value) -> Result<Vec<bool>, String> {
+    arr(v)?.iter().map(bool_of).collect()
+}
+
+fn u32_list_of(v: &Value) -> Result<Vec<u32>, String> {
+    u64_list_of(v)?
+        .into_iter()
+        .map(|x| u32::try_from(x).map_err(|e| format!("counter overflows u32: {e}")))
+        .collect()
+}
+
+/// Associations use `u64::MAX` as the on-disk "no BS in range" sentinel
+/// (the in-memory form is `usize::MAX`).
+fn assoc_list_of(v: &Value) -> Result<Vec<usize>, String> {
+    u64_list_of(v)?
+        .into_iter()
+        .map(|x| {
+            if x == u64::MAX {
+                Ok(usize::MAX)
+            } else {
+                usize::try_from(x).map_err(|e| format!("association overflows usize: {e}"))
+            }
+        })
+        .collect()
+}
+
 fn controller_json(c: &ControllerState) -> String {
     let batteries: Vec<String> = c.batteries.iter().map(battery_json).collect();
     format!(
-        "{{\"slot\":{},\"batteries\":[{}],\"data_queues\":{},\"delivered\":{},\"phantom\":{},\"link_queues\":{}}}",
+        "{{\"slot\":{},\"batteries\":[{}],\"data_queues\":{},\"delivered\":{},\"phantom\":{},\"link_queues\":{},\"awake\":{},\"idle\":{},\"ramp\":{},\"assoc\":{},\"sleep_tr\":{},\"wake_tr\":{},\"transferred\":{}}}",
         hex_u64(c.slot),
         batteries.join(","),
         queues_json(&c.data_queues),
         hex_u64_list(c.delivered.iter().map(|p| p.count())),
         hex_u64_list(c.phantom.iter().map(|p| p.count())),
         queues_json(&c.link_queues),
+        bool_list_json(&c.awake),
+        hex_u64_list(c.idle_slots.iter().map(|&x| u64::from(x))),
+        hex_u64_list(c.ramp_remaining.iter().map(|&x| u64::from(x))),
+        hex_u64_list(c.association.iter().map(|&a| {
+            if a == usize::MAX {
+                u64::MAX
+            } else {
+                a as u64
+            }
+        })),
+        hex_u64(c.sleep_transitions),
+        hex_u64(c.wake_transitions),
+        hex_f64(c.transferred_kwh),
     )
 }
 
@@ -249,6 +296,13 @@ fn controller_of(v: &Value) -> Result<ControllerState, String> {
         delivered: packets("delivered")?,
         phantom: packets("phantom")?,
         link_queues: queues_of(get(v, "link_queues")?)?,
+        awake: bool_list_of(get(v, "awake")?)?,
+        idle_slots: u32_list_of(get(v, "idle")?)?,
+        ramp_remaining: u32_list_of(get(v, "ramp")?)?,
+        association: assoc_list_of(get(v, "assoc")?)?,
+        sleep_transitions: u64_of(get(v, "sleep_tr")?)?,
+        wake_transitions: u64_of(get(v, "wake_tr")?)?,
+        transferred_kwh: f64_of(get(v, "transferred")?)?,
     })
 }
 
@@ -646,6 +700,19 @@ impl Simulator {
                 "controller state dimensions do not fit the network".to_string(),
             ));
         }
+        // Dynamic-network vectors: empty (static run) or one entry per
+        // node, all four together.
+        let dyn_lens = [
+            c.awake.len(),
+            c.idle_slots.len(),
+            c.ramp_remaining.len(),
+            c.association.len(),
+        ];
+        if !(dyn_lens.iter().all(|&l| l == 0) || dyn_lens.iter().all(|&l| l == nodes)) {
+            return Err(corrupt(
+                "network-state dimensions do not fit the network".to_string(),
+            ));
+        }
         if snap.grid_chains.len() != sim.grid_chains.len() {
             return Err(corrupt(format!(
                 "snapshot has {} grid chains, scenario builds {}",
@@ -774,12 +841,12 @@ mod tests {
         let text = sim
             .snapshot()
             .to_file_string()
-            .replace("\"version\":1", "\"version\":2");
-        match SimSnapshot::parse_str(&text, "v2.snap") {
+            .replace("\"version\":2", "\"version\":3");
+        match SimSnapshot::parse_str(&text, "v3.snap") {
             Err(SimError::SnapshotVersionMismatch {
                 expected, found, ..
             }) => {
-                assert_eq!((expected, found), (1, 2));
+                assert_eq!((expected, found), (2, 3));
             }
             other => panic!("expected SnapshotVersionMismatch, got {other:?}"),
         }

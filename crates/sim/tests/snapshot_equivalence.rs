@@ -181,19 +181,51 @@ fn snapshot_file_survives_disk_and_quarantines_corruption() {
     }
 
     // Future version: typed mismatch with both versions reported.
-    let bumped = text.replace("\"version\":1", "\"version\":7");
+    let bumped = text.replace("\"version\":2", "\"version\":7");
     let vfile = dir.join("v7.snap");
     std::fs::write(&vfile, bumped).expect("write bumped");
     assert!(matches!(
         SimSnapshot::read(&vfile),
         Err(SimError::SnapshotVersionMismatch {
-            expected: 1,
+            expected: 2,
             found: 7,
             ..
         })
     ));
 
     std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Version skew downward: a file claiming the previous format version
+/// (v1, which predates the dynamic network state) is rejected with the
+/// typed mismatch — never a panic, never silently restored with zeroed
+/// sleep/association/transfer state. The checksum covers only the payload
+/// line, so rewriting the header version is exactly what a genuine v1
+/// file looks like to the parser.
+#[test]
+fn previous_version_snapshot_is_rejected_not_zeroed() {
+    let s = scenario(59, 1, SchedulerKind::Greedy);
+    let mut sim = Simulator::new(&s).expect("scenario builds");
+    for _ in 0..4 {
+        sim.step().expect("slot steps");
+    }
+    let text = sim.snapshot().to_file_string();
+    assert!(
+        text.contains("\"version\":2"),
+        "this build writes snapshot format v2"
+    );
+    let v1 = text.replace("\"version\":2", "\"version\":1");
+    match SimSnapshot::parse_str(&v1, "old.snap") {
+        Err(SimError::SnapshotVersionMismatch {
+            expected,
+            found,
+            path,
+        }) => {
+            assert_eq!((expected, found), (2, 1));
+            assert_eq!(path, "old.snap");
+        }
+        other => panic!("expected SnapshotVersionMismatch, got {other:?}"),
+    }
 }
 
 proptest! {

@@ -28,6 +28,12 @@ pub mod names {
     pub const PENALTY: &str = "penalty";
     /// The watchdog's trailing OLS backlog slope (packets/slot).
     pub const WATCHDOG_SLOPE: &str = "watchdog_slope";
+    /// Base stations currently asleep by choice (`bs_sleep` policy runs
+    /// only — default runs never emit it).
+    pub const ASLEEP_BS: &str = "asleep_bs";
+    /// kWh delivered by inter-BS energy transfers this slot
+    /// (`energy_coop` policy runs only).
+    pub const TRANSFER_KWH: &str = "transfer_kwh";
 }
 
 /// The gauge columns of [`TraceBundle::timeseries_csv`], in Fig. 2 order.

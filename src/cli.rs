@@ -200,6 +200,10 @@ FLAGS (all optional):
     --faults P          fault preset: bs-outage | drought | price-spike |
                         band-loss | chaos (windows scale to the horizon)
     --track-lower-bound co-run the relaxed lower-bound controller
+    --bs-sleep          hysteresis BS sleeping: lightly-loaded base
+                        stations power down, users re-associate   [off]
+    --energy-coop       inter-BS energy cooperation: surplus renewable
+                        offsets other BSs' grid draw (lossy)      [off]
     --out DIR           also write CSV artifacts to DIR
 
 SERVE FLAGS:
@@ -253,6 +257,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut fault_preset: Option<String> = None;
     let mut scenario_edits: Vec<(String, String)> = Vec::new();
     let mut track_lower = false;
+    let mut bs_sleep = false;
+    let mut energy_coop = false;
     let mut out_dir = None;
     let mut v_values = None;
     let mut serve = ServeFlags::default();
@@ -305,6 +311,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 );
             }
             "--track-lower-bound" => track_lower = true,
+            "--bs-sleep" => bs_sleep = true,
+            "--energy-coop" => energy_coop = true,
             "--out" => {
                 out_dir = Some(
                     it.next()
@@ -347,16 +355,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     }
     if let Some(name) = &fault_preset {
         // Applied after the edits so preset windows scale to the final
-        // horizon, not the base scenario's.
-        let h = scenario.horizon;
-        scenario.faults = Some(match name.as_str() {
-            "bs-outage" => FaultSpec::bs_outage(),
-            "drought" => FaultSpec::renewable_drought(h / 4, h / 2),
-            "price-spike" => FaultSpec::price_spike(h / 4, h / 2, 6.0),
-            "band-loss" => FaultSpec::band_loss(),
-            "chaos" => FaultSpec::chaos(h),
-            other => return Err(ParseError(format!("unknown fault preset: {other}"))),
-        });
+        // horizon, not the base scenario's. The preset registry lives
+        // with `FaultSpec` so the simulator and CLI agree on the names.
+        scenario.faults = Some(
+            FaultSpec::from_preset(name, scenario.horizon)
+                .map_err(|e| ParseError(e.to_string()))?,
+        );
+    }
+    if bs_sleep {
+        scenario.bs_sleep = Some(scenario.default_sleep_policy());
+    }
+    if energy_coop {
+        scenario.energy_coop = Some(scenario.default_coop_policy());
     }
 
     Ok(Command {
@@ -512,6 +522,31 @@ mod tests {
         assert!(err.0.contains("mutually exclusive"), "got {err}");
         let err = parse(&argv("run --faults nonsense")).unwrap_err();
         assert!(err.0.contains("unknown fault preset"), "got {err}");
+    }
+
+    #[test]
+    fn dynamic_policy_flags() {
+        // Both off by default — the paper-faithful static network.
+        let cmd = parse(&argv("run --tiny")).unwrap();
+        assert_eq!(cmd.scenario.bs_sleep, None);
+        assert_eq!(cmd.scenario.energy_coop, None);
+
+        let cmd = parse(&argv("run --tiny --bs-sleep --energy-coop")).unwrap();
+        let sleep = cmd
+            .scenario
+            .bs_sleep
+            .expect("--bs-sleep enables the policy");
+        assert_eq!(sleep, cmd.scenario.default_sleep_policy());
+        let coop = cmd
+            .scenario
+            .energy_coop
+            .expect("--energy-coop enables the policy");
+        assert!(coop.eta_x > 0.0 && coop.eta_x < 1.0, "lossy transfer");
+
+        // Works on the sweep/frontier actions too — one parser serves all.
+        let cmd = parse(&argv("frontier --city 100 --bs-sleep")).unwrap();
+        assert!(cmd.scenario.bs_sleep.is_some());
+        assert!(cmd.scenario.energy_coop.is_none());
     }
 
     #[test]
